@@ -1,0 +1,141 @@
+// Wall-clock micro-benchmarks of the library's own hot paths (these measure
+// the real implementation, not modeled time): wire-format encode/decode,
+// shared-memory staging, device-memory allocation, the conservative gate
+// and the functional kernels.
+#include <benchmark/benchmark.h>
+
+#include "common/queue.h"
+#include "proto/messages.h"
+#include "shm/segment.h"
+#include "sim/board.h"
+#include "sim/kernels.h"
+#include "sim/memory.h"
+#include "vt/gate.h"
+
+namespace bf {
+namespace {
+
+void BM_WireVarint(benchmark::State& state) {
+  for (auto _ : state) {
+    proto::Writer writer;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      writer.varint(1ULL << i % 63);
+    }
+    benchmark::DoNotOptimize(writer.bytes().data());
+  }
+}
+BENCHMARK(BM_WireVarint);
+
+void BM_MessageRoundtrip(benchmark::State& state) {
+  proto::EnqueueKernelReq request;
+  request.op_id = 42;
+  request.queue_id = 7;
+  request.kernel_id = 3;
+  for (int i = 0; i < 14; ++i) {
+    proto::KernelArgMsg arg;
+    arg.kind = proto::KernelArgMsg::Kind::kInt;
+    arg.int_value = i * 100;
+    request.args.push_back(arg);
+  }
+  for (auto _ : state) {
+    auto decoded = proto::reencode(request);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_MessageRoundtrip);
+
+void BM_ShmStageFetch(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  shm::Segment segment(sim::CopyModel(13e9), 1ULL << 30);
+  Bytes data(size, 0xAB);
+  Bytes out(size);
+  vt::Cursor cursor;
+  for (auto _ : state) {
+    auto slot = segment.stage(ByteSpan{data}, cursor);
+    benchmark::DoNotOptimize(slot.ok());
+    Status fetched = segment.fetch(slot.value(), MutableByteSpan{out}, cursor);
+    benchmark::DoNotOptimize(fetched.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size) * 2);
+}
+BENCHMARK(BM_ShmStageFetch)->Range(4 << 10, 4 << 20);
+
+void BM_DeviceMemoryAllocRelease(benchmark::State& state) {
+  sim::DeviceMemory memory(1ULL << 30);
+  for (auto _ : state) {
+    auto a = memory.allocate(64 << 10);
+    auto b = memory.allocate(256 << 10);
+    benchmark::DoNotOptimize(a.ok() && b.ok());
+    (void)memory.release(a.value());
+    (void)memory.release(b.value());
+  }
+}
+BENCHMARK(BM_DeviceMemoryAllocRelease);
+
+void BM_GateAnnounceWait(benchmark::State& state) {
+  vt::Gate gate;
+  auto source = gate.register_source(vt::Time::zero());
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    source.announce(vt::Time::nanos(++t));
+    benchmark::DoNotOptimize(gate.wait_safe(vt::Time::nanos(t)));
+  }
+}
+BENCHMARK(BM_GateAnnounceWait);
+
+void BM_BlockingQueue(benchmark::State& state) {
+  BlockingQueue<int> queue;
+  for (auto _ : state) {
+    queue.push(1);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+}
+BENCHMARK(BM_BlockingQueue);
+
+void BM_SobelKernelFunctional(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  sim::DeviceMemory memory(1ULL << 28);
+  auto in = memory.allocate(static_cast<std::uint64_t>(dim * dim * 4));
+  auto out = memory.allocate(static_cast<std::uint64_t>(dim * dim * 4));
+  std::vector<std::uint32_t> pixels(static_cast<std::size_t>(dim * dim), 7);
+  (void)memory.write(in.value(), 0,
+                     as_bytes(pixels.data(), pixels.size() * 4));
+  sim::SobelKernel kernel;
+  sim::KernelLaunch launch;
+  launch.kernel = "sobel";
+  launch.args = {in.value(), out.value(), dim, dim};
+  for (auto _ : state) {
+    Status s = kernel.execute(launch, memory);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_SobelKernelFunctional)->Arg(64)->Arg(256);
+
+void BM_GemmKernelFunctional(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  sim::DeviceMemory memory(1ULL << 28);
+  const auto bytes = static_cast<std::uint64_t>(n * n * 4);
+  auto a = memory.allocate(bytes);
+  auto b = memory.allocate(bytes);
+  auto c = memory.allocate(bytes);
+  std::vector<float> data(static_cast<std::size_t>(n * n), 1.5F);
+  (void)memory.write(a.value(), 0, as_bytes(data.data(), data.size() * 4));
+  (void)memory.write(b.value(), 0, as_bytes(data.data(), data.size() * 4));
+  sim::MatMulKernel kernel;
+  sim::KernelLaunch launch;
+  launch.kernel = "mm";
+  launch.args = {a.value(), b.value(), c.value(), n};
+  for (auto _ : state) {
+    Status s = kernel.execute(launch, memory);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmKernelFunctional)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace bf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table I: the load configurations (requests per second sent to each
+// function for each benchmark). The native scenario uses only the first
+// three columns (one function per board).
+#include <cstdio>
+
+#include "experiment.h"
+
+int main() {
+  using namespace bf::bench;
+  std::printf("Table I: test configurations (rq/s per function)\n");
+  std::printf("%-9s | %-12s | %5s | %5s | %5s | %5s | %5s\n", "Use-Case",
+              "Configuration", "1st", "2nd", "3rd", "4th", "5th");
+  std::printf("%s\n", std::string(66, '-').c_str());
+  auto print = [](const char* use_case, const std::vector<LoadConfig>& set) {
+    for (const LoadConfig& config : set) {
+      std::printf("%-9s | %-12s", use_case, config.name.c_str());
+      for (double rate : config.rates) std::printf(" | %3.0f  ", rate);
+      std::printf("\n");
+    }
+  };
+  print("Sobel", sobel_configs());
+  print("MM", mm_configs());
+  print("AlexNet", alexnet_configs());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Node autoscaling (paper §V future work): the Registry's metrics drive an
+// AWS-F1-style provisioner. Load ramps up, the fleet grows; load stops, the
+// extra nodes are reclaimed.
+//
+//   ./example_autoscaling_demo
+#include <cstdio>
+#include <memory>
+
+#include "loadgen/loadgen.h"
+#include "registry/autoscaler.h"
+#include "testbed/testbed.h"
+#include "workloads/sobel.h"
+
+using namespace bf;
+
+namespace {
+
+class TestbedProvisioner final : public registry::NodeProvisioner {
+ public:
+  explicit TestbedProvisioner(testbed::Testbed* bed) : bed_(bed) {}
+  Result<std::string> provision() override {
+    const std::string name(1, static_cast<char>('D' + provisioned_++));
+    std::printf("  [provisioner] spinning up FPGA node %s...\n",
+                name.c_str());
+    return bed_->provision_node(name);
+  }
+  Status decommission(const std::string& device_id) override {
+    std::printf("  [provisioner] releasing %s...\n", device_id.c_str());
+    return bed_->decommission_node(device_id.substr(5));
+  }
+
+ private:
+  testbed::Testbed* bed_;
+  int provisioned_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  testbed::Testbed bed;
+  TestbedProvisioner provisioner(&bed);
+  registry::AutoscalerPolicy policy;
+  policy.scale_up_utilization = 0.40;
+  policy.scale_down_utilization = 0.05;
+  policy.hysteresis = 1;
+  registry::Autoscaler autoscaler(&bed.registry(), &provisioner, policy);
+
+  auto factory = [] {
+    return std::make_unique<workloads::SobelWorkload>(960, 540);
+  };
+  for (int i = 1; i <= 3; ++i) {
+    BF_CHECK(
+        bed.deploy_blastfunction("sobel-" + std::to_string(i), factory).ok());
+  }
+
+  auto drive_phase = [&](const char* label, double rps,
+                         vt::Duration duration) {
+    std::vector<loadgen::DriveSpec> specs;
+    for (int i = 1; i <= 3; ++i) {
+      loadgen::DriveSpec spec;
+      spec.function = "sobel-" + std::to_string(i);
+      spec.target_rps = rps;
+      spec.warmup = vt::Duration::seconds(2);
+      spec.duration = duration;
+      specs.push_back(spec);
+    }
+    auto results = loadgen::drive_all(bed.gateway(), specs);
+    double processed = 0;
+    for (const auto& r : results) processed += r.processed_rps;
+    std::printf("phase '%s': %.0f rq/s offered, %.1f rq/s served\n", label,
+                rps * 3, processed);
+  };
+
+  std::printf("== Phase 1: heavy load on 3 nodes ==\n");
+  drive_phase("heavy", 250, vt::Duration::seconds(8));
+  auto action = autoscaler.evaluate();
+  std::printf("autoscaler: mean utilization %.0f%% -> %s\n",
+              100 * autoscaler.last_mean_utilization(),
+              action == registry::Autoscaler::Action::kScaleUp
+                  ? "SCALE UP"
+                  : "no action");
+  std::printf("fleet size: %zu devices\n\n",
+              bed.registry().devices().size());
+
+  std::printf("== Phase 2: new capacity absorbs a fourth tenant ==\n");
+  BF_CHECK(bed.deploy_blastfunction("sobel-4", factory).ok());
+  auto pod = bed.cluster().get_pod("sobel-4-0");
+  std::printf("sobel-4 allocated to node %s (device %s)\n",
+              pod->spec.node.c_str(),
+              pod->spec.env.at(registry::Registry::kEnvDevice).c_str());
+  BF_CHECK(bed.gateway().invoke("sobel-4").ok());
+  bed.gateway().instance("sobel-4")->shutdown();
+
+  std::printf("\n== Phase 3: load drains; idle capacity reclaimed ==\n");
+  BF_CHECK(bed.gateway().remove("sobel-4").ok());
+  // A light phase moves the metrics window into quiet territory.
+  drive_phase("light", 1, vt::Duration::seconds(12));
+  for (int i = 0; i < 2; ++i) {
+    auto idle_action = autoscaler.evaluate();
+    std::printf("autoscaler: mean utilization %.1f%% -> %s\n",
+                100 * autoscaler.last_mean_utilization(),
+                idle_action == registry::Autoscaler::Action::kScaleDown
+                    ? "SCALE DOWN"
+                    : "no action");
+  }
+  std::printf("fleet size: %zu devices (scale-ups: %llu, scale-downs: %llu)\n",
+              bed.registry().devices().size(),
+              static_cast<unsigned long long>(autoscaler.scale_ups()),
+              static_cast<unsigned long long>(autoscaler.scale_downs()));
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+namespace bf::cluster {
+
+Cluster::Cluster(std::vector<NodeSpec> nodes) : nodes_(std::move(nodes)) {
+  BF_CHECK(!nodes_.empty());
+}
+
+std::vector<NodeSpec> Cluster::nodes() const {
+  std::lock_guard lock(mutex_);
+  return nodes_;
+}
+
+const NodeSpec* Cluster::find_node(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return find_node_locked(name);
+}
+
+const NodeSpec* Cluster::find_node_locked(const std::string& name) const {
+  auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                         [&](const NodeSpec& n) { return n.name == name; });
+  return it == nodes_.end() ? nullptr : &*it;
+}
+
+Status Cluster::add_node(NodeSpec node) {
+  std::lock_guard lock(mutex_);
+  for (const NodeSpec& existing : nodes_) {
+    if (existing.name == node.name) {
+      return AlreadyExists("node '" + node.name + "' already joined");
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return Status::Ok();
+}
+
+Status Cluster::remove_node(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [pod_name, pod] : pods_) {
+    if (pod.spec.node == name) {
+      return FailedPrecondition("node '" + name + "' still runs pod '" +
+                                pod_name + "'");
+    }
+  }
+  auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                         [&](const NodeSpec& n) { return n.name == name; });
+  if (it == nodes_.end()) return NotFound("node '" + name + "' not joined");
+  nodes_.erase(it);
+  return Status::Ok();
+}
+
+void Cluster::set_admission_hook(AdmissionHook hook) {
+  std::lock_guard lock(mutex_);
+  admission_ = std::move(hook);
+}
+
+void Cluster::add_watcher(Watcher watcher) {
+  std::lock_guard lock(mutex_);
+  watchers_.push_back(std::move(watcher));
+}
+
+Result<Pod> Cluster::create_pod(PodSpec spec) {
+  if (spec.name.empty()) return InvalidArgument("pod needs a name");
+  AdmissionHook admission;
+  {
+    std::lock_guard lock(mutex_);
+    if (pods_.contains(spec.name) &&
+        pods_.at(spec.name).phase == PodPhase::kRunning) {
+      return AlreadyExists("pod '" + spec.name + "' already running");
+    }
+    admission = admission_;
+  }
+  if (admission) {
+    if (Status s = admission(spec); !s.ok()) {
+      return Status(StatusCode::kFailedPrecondition,
+                    "admission rejected pod '" + spec.name +
+                        "': " + s.to_string());
+    }
+  }
+  Pod pod;
+  {
+    std::lock_guard lock(mutex_);
+    if (!spec.node.empty() && find_node_locked(spec.node) == nullptr) {
+      return NotFound("pod '" + spec.name + "' bound to unknown node '" +
+                      spec.node + "'");
+    }
+    if (spec.node.empty()) spec.node = default_schedule();
+    pod.spec = std::move(spec);
+    pod.phase = PodPhase::kRunning;
+    pod.uid = next_uid_++;
+    pods_[pod.spec.name] = pod;
+  }
+  emit(WatchEvent{WatchEvent::Type::kAdded, pod});
+  return pod;
+}
+
+Status Cluster::delete_pod(const std::string& name) {
+  Pod pod;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = pods_.find(name);
+    if (it == pods_.end() || it->second.phase != PodPhase::kRunning) {
+      return NotFound("pod '" + name + "' not running");
+    }
+    it->second.phase = PodPhase::kDeleted;
+    pod = it->second;
+    pods_.erase(it);
+  }
+  emit(WatchEvent{WatchEvent::Type::kDeleted, pod});
+  return Status::Ok();
+}
+
+Result<Pod> Cluster::replace_pod(const std::string& name) {
+  PodSpec fresh;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = pods_.find(name);
+    if (it == pods_.end() || it->second.phase != PodPhase::kRunning) {
+      return NotFound("pod '" + name + "' not running");
+    }
+    fresh = it->second.spec;
+  }
+  // The replacement is re-admitted from a clean slate: prior patches
+  // (device env, volumes, node pin) are stripped so the hook re-decides.
+  fresh.env.clear();
+  fresh.volumes.clear();
+  fresh.node.clear();
+  const std::string old_name = fresh.name;
+  fresh.name = old_name + "-r";
+  auto created = create_pod(std::move(fresh));
+  if (!created.ok()) return created.status();
+  if (Status s = delete_pod(old_name); !s.ok()) {
+    return s;  // replacement stays; caller sees the inconsistency
+  }
+  return created;
+}
+
+std::optional<Pod> Cluster::get_pod(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = pods_.find(name);
+  if (it == pods_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Pod> Cluster::list_pods() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Pod> out;
+  out.reserve(pods_.size());
+  for (const auto& [name, pod] : pods_) out.push_back(pod);
+  return out;
+}
+
+std::vector<Pod> Cluster::pods_of_function(const std::string& function) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Pod> out;
+  for (const auto& [name, pod] : pods_) {
+    if (pod.spec.function == function) out.push_back(pod);
+  }
+  return out;
+}
+
+std::size_t Cluster::pod_count() const {
+  std::lock_guard lock(mutex_);
+  return pods_.size();
+}
+
+void Cluster::emit(const WatchEvent& event) {
+  std::vector<Watcher> watchers;
+  {
+    std::lock_guard lock(mutex_);
+    watchers = watchers_;
+  }
+  for (const Watcher& watcher : watchers) watcher(event);
+}
+
+std::string Cluster::default_schedule() {
+  // Plain round-robin spread; the Registry normally forces the node before
+  // this runs (paper: the allocation "forces the host allocation").
+  const std::string& node = nodes_[round_robin_ % nodes_.size()].name;
+  ++round_robin_;
+  return node;
+}
+
+}  // namespace bf::cluster

@@ -1,0 +1,107 @@
+// Simulated Kubernetes control plane.
+//
+// The Accelerators Registry only uses a narrow API-server surface (paper
+// §III-C): watching function-instance creation/deletion, patching pods at
+// admission (env vars, shm volumes, forced host allocation) and
+// create-before-delete migration. This module implements exactly that
+// surface: nodes, pods, a mutating admission hook, watch events and
+// replace_pod().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/costmodel.h"
+
+namespace bf::cluster {
+
+struct NodeSpec {
+  std::string name;  // "A", "B", "C"
+  sim::NodeProfile profile;
+};
+
+struct PodSpec {
+  std::string name;      // instance name, e.g. "sobel-1-0"
+  std::string function;  // owning function, e.g. "sobel-1"
+  std::map<std::string, std::string> labels;
+  std::map<std::string, std::string> env;      // patched by the Registry
+  std::vector<std::string> volumes;            // shm volume mounts
+  std::string node;  // "" = let the scheduler (or an admission patch) choose
+};
+
+enum class PodPhase { kRunning, kDeleted };
+
+struct Pod {
+  PodSpec spec;
+  PodPhase phase = PodPhase::kRunning;
+  std::uint64_t uid = 0;
+};
+
+struct WatchEvent {
+  enum class Type { kAdded, kDeleted };
+  Type type = Type::kAdded;
+  Pod pod;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(std::vector<NodeSpec> nodes);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::vector<NodeSpec> nodes() const;
+  [[nodiscard]] const NodeSpec* find_node(const std::string& name) const;
+
+  // Joins a new node to the cluster (the autoscaling extension provisions
+  // FPGA nodes at runtime, paper §V future work).
+  Status add_node(NodeSpec node);
+  // Removes an empty node (no running pods).
+  Status remove_node(const std::string& name);
+
+  // Mutating admission: invoked before a pod is admitted; may patch env,
+  // volumes and force the node. Returning an error rejects the pod.
+  using AdmissionHook = std::function<Status(PodSpec&)>;
+  void set_admission_hook(AdmissionHook hook);
+
+  // Informer-style watch; fired after admission (Added) and on deletion.
+  using Watcher = std::function<void(const WatchEvent&)>;
+  void add_watcher(Watcher watcher);
+
+  Result<Pod> create_pod(PodSpec spec);
+  Status delete_pod(const std::string& name);
+  // Create-before-delete migration (paper: "Kubernetes creates new instances
+  // before deleting the previous ones"): admits a fresh replacement running
+  // through the admission hook again, then deletes the original. Env,
+  // volumes and node binding from the original admission are discarded so
+  // the hook can re-decide.
+  Result<Pod> replace_pod(const std::string& name);
+
+  [[nodiscard]] std::optional<Pod> get_pod(const std::string& name) const;
+  [[nodiscard]] std::vector<Pod> list_pods() const;
+  [[nodiscard]] std::vector<Pod> pods_of_function(
+      const std::string& function) const;
+  [[nodiscard]] std::size_t pod_count() const;
+
+ private:
+  void emit(const WatchEvent& event);
+  std::string default_schedule();
+  [[nodiscard]] const NodeSpec* find_node_locked(
+      const std::string& name) const;
+
+  std::vector<NodeSpec> nodes_;
+  mutable std::mutex mutex_;
+  AdmissionHook admission_;
+  std::vector<Watcher> watchers_;
+  std::map<std::string, Pod> pods_;
+  std::uint64_t next_uid_ = 1;
+  std::size_t round_robin_ = 0;
+};
+
+}  // namespace bf::cluster

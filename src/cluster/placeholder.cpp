@@ -1,0 +1,1 @@
+// placeholder to keep bf_cluster non-empty during scaffolding

@@ -1,0 +1,39 @@
+// Byte containers and views shared by the OpenCL buffer layer, the wire
+// format, and the shared-memory transport.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace bf {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+inline ByteSpan as_bytes(const void* data, std::size_t size) {
+  return {static_cast<const std::uint8_t*>(data), size};
+}
+
+inline MutableByteSpan as_writable_bytes(void* data, std::size_t size) {
+  return {static_cast<std::uint8_t*>(data), size};
+}
+
+// Deterministic, fast content fingerprint (FNV-1a 64) used by tests and the
+// data-integrity checks in the shared-memory path.
+inline std::uint64_t fingerprint(ByteSpan data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = 1024 * kKiB;
+constexpr std::size_t kGiB = 1024 * kMiB;
+
+}  // namespace bf

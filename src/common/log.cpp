@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace bf {
+namespace {
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(mutex_);
+  std::fprintf(stderr, "[%.*s] %-12.*s %.*s\n",
+               static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace bf

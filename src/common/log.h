@@ -1,0 +1,63 @@
+// Minimal leveled logger. Thread safe; level settable per process.
+// Benchmarks and tests set kWarn to keep output clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace bf {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace internal {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define BF_LOG(level, component)                       \
+  if (!::bf::Logger::instance().enabled(level)) {      \
+  } else                                               \
+    ::bf::internal::LogLine(level, component)
+
+#define BF_LOG_TRACE(component) BF_LOG(::bf::LogLevel::kTrace, component)
+#define BF_LOG_DEBUG(component) BF_LOG(::bf::LogLevel::kDebug, component)
+#define BF_LOG_INFO(component) BF_LOG(::bf::LogLevel::kInfo, component)
+#define BF_LOG_WARN(component) BF_LOG(::bf::LogLevel::kWarn, component)
+#define BF_LOG_ERROR(component) BF_LOG(::bf::LogLevel::kError, component)
+
+}  // namespace bf

@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace bf {
+
+void SampleStats::record(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+double SampleStats::mean() const {
+  BF_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const {
+  BF_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  BF_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::percentile(double q) const {
+  BF_CHECK(!samples_.empty());
+  BF_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleStats::stddev() const {
+  BF_CHECK(!samples_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double sample : samples_) {
+    acc += (sample - m) * (sample - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void SampleStats::merge(const SampleStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+void SampleStats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+}
+
+void SampleStats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+}  // namespace bf

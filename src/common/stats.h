@@ -1,0 +1,36 @@
+// Latency/throughput summary statistics used by the load generator and the
+// benchmark harnesses (mean, percentiles, min/max over recorded samples).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bf {
+
+class SampleStats {
+ public:
+  void record(double value);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // q in [0,1]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double stddev() const;
+
+  void merge(const SampleStats& other);
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace bf

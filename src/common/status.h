@@ -1,0 +1,133 @@
+// Status: error propagation across service boundaries.
+//
+// BlastFunction mirrors gRPC's model: control-plane and data-plane RPCs
+// return a Status (code + message) rather than throwing, because the failure
+// of a remote call is an expected outcome, not a programming error.
+// Programming/contract errors inside a process still throw (see BF_CHECK).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bf {
+
+enum class StatusCode {
+  kOk = 0,
+  kCancelled,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kAborted,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
+};
+
+std::string_view to_string(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  // Human readable "CODE: message" form used in logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Internal(std::string msg);
+Status Unavailable(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status Unimplemented(std::string msg);
+Status Aborted(std::string msg);
+Status DeadlineExceeded(std::string msg);
+
+// Thrown by BF_CHECK on contract violations and by Result::value() on
+// access-without-check. Indicates a bug in the caller, not an expected error.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+[[noreturn]] void contract_failure(const char* expr, const char* file,
+                                   int line);
+
+#define BF_CHECK(expr)                                   \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::bf::contract_failure(#expr, __FILE__, __LINE__); \
+    }                                                    \
+  } while (false)
+
+// Result<T>: a value or a Status. Used on service-boundary functions that
+// produce a value.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "Result constructed from OK status without a value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  T& value() & {
+    require_ok();
+    return value_;
+  }
+  const T& value() const& {
+    require_ok();
+    return value_;
+  }
+  T&& value() && {
+    require_ok();
+    return std::move(value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!status_.ok()) {
+      throw ContractViolation("Result::value() on error: " +
+                              status_.to_string());
+    }
+  }
+
+  T value_{};
+  Status status_;
+};
+
+}  // namespace bf

@@ -1,0 +1,750 @@
+#include "devmgr/device_manager.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "native/native_runtime.h"
+#include "proto/wire.h"
+#include "sim/bitstream.h"
+#include "sim/kernels.h"
+
+namespace bf::devmgr {
+namespace {
+
+proto::DeviceDescriptor describe(const sim::Board& board) {
+  const ocl::DeviceInfo info = native::describe_board(board);
+  proto::DeviceDescriptor descriptor;
+  descriptor.id = info.id;
+  descriptor.name = info.name;
+  descriptor.vendor = info.vendor;
+  descriptor.platform = info.platform;
+  descriptor.node = info.node;
+  descriptor.accelerator = info.accelerator;
+  descriptor.global_memory_bytes = info.global_memory_bytes;
+  return descriptor;
+}
+
+template <typename T>
+Bytes encode(const T& message) {
+  proto::Writer writer;
+  message.encode(writer);
+  return writer.take();
+}
+
+template <typename T>
+Result<T> decode(const net::Frame& frame) {
+  proto::Reader reader(ByteSpan{frame.payload});
+  return T::decode(reader);
+}
+
+}  // namespace
+
+DeviceManager::DeviceManager(DeviceManagerConfig config, sim::Board* board,
+                             shm::Namespace* node_shm)
+    : config_(std::move(config)),
+      board_(board),
+      node_shm_(node_shm),
+      endpoint_(config_.id) {
+  BF_CHECK(board_ != nullptr);
+  const metrics::Labels labels{{"device", board_->id()},
+                               {"manager", config_.id}};
+  tasks_counter_ = metrics_.counter("bf_devmgr_tasks_total", labels);
+  ops_counter_ = metrics_.counter("bf_devmgr_ops_total", labels);
+  reconfig_counter_ = metrics_.counter("bf_devmgr_reconfigurations_total",
+                                       labels);
+  busy_ms_gauge_ = metrics_.gauge("bf_devmgr_busy_ms", labels);
+  sessions_gauge_ = metrics_.gauge("bf_devmgr_sessions", labels);
+  task_span_ms_ = metrics_.histogram("bf_devmgr_task_span_ms", labels);
+
+  endpoint_.gate().set_stall_grace(config_.gate_stall_grace);
+  endpoint_.set_handler([this](std::shared_ptr<net::Connection> connection) {
+    std::lock_guard lock(threads_mutex_);
+    if (shutdown_.load()) {
+      connection->close();
+      return;
+    }
+    dispatchers_.emplace_back([this, connection = std::move(connection)] {
+      serve_connection(connection);
+    });
+  });
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+DeviceManager::~DeviceManager() { shutdown(); }
+
+void DeviceManager::shutdown() {
+  if (shutdown_.exchange(true)) return;
+  endpoint_.shutdown();  // closes connections and the gate
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+  std::vector<std::thread> dispatchers;
+  {
+    std::lock_guard lock(threads_mutex_);
+    dispatchers.swap(dispatchers_);
+  }
+  for (std::thread& thread : dispatchers) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+double DeviceManager::utilization(vt::Time from, vt::Time to) const {
+  if (to <= from) return 0.0;
+  const vt::Duration busy = board_->busy_between(from, to);
+  return busy.sec() / (to - from).sec();
+}
+
+std::size_t DeviceManager::session_count() const {
+  std::lock_guard lock(state_mutex_);
+  return sessions_.size();
+}
+
+std::uint64_t DeviceManager::tasks_executed() const {
+  std::lock_guard lock(state_mutex_);
+  return tasks_executed_;
+}
+
+std::uint64_t DeviceManager::ops_executed() const {
+  std::lock_guard lock(state_mutex_);
+  return ops_executed_;
+}
+
+vt::Duration DeviceManager::client_busy_between(const std::string& client_id,
+                                                vt::Time from,
+                                                vt::Time to) const {
+  std::lock_guard lock(state_mutex_);
+  vt::Duration total = vt::Duration::nanos(0);
+  for (const BusyRecord& record : busy_records_) {
+    if (record.client_id != client_id) continue;
+    const vt::Time lo = vt::max(record.interval.start, from);
+    const vt::Time hi = record.interval.end < to ? record.interval.end : to;
+    if (lo < hi) total += hi - lo;
+  }
+  return total;
+}
+
+std::vector<DeviceManager::ClientBusy> DeviceManager::busy_snapshot(
+    vt::Time from, vt::Time to) const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<ClientBusy> out;
+  for (const BusyRecord& record : busy_records_) {
+    if (record.interval.end <= from || record.interval.start >= to) continue;
+    out.push_back(ClientBusy{record.client_id, record.interval.start,
+                             record.interval.end});
+  }
+  return out;
+}
+
+std::string DeviceManager::segment_name(std::uint64_t session_id) const {
+  return config_.id + ":sess:" + std::to_string(session_id);
+}
+
+// --- Dispatcher ----------------------------------------------------------------
+
+void DeviceManager::serve_connection(
+    const std::shared_ptr<net::Connection>& connection) {
+  std::uint64_t session_id = 0;
+
+  while (auto frame = connection->next_request()) {
+    // Session must be opened first.
+    if (session_id == 0) {
+      if (frame->method != proto::Method::kOpenSession) {
+        proto::AckResp resp;
+        resp.status = proto::StatusMsg::from(
+            FailedPrecondition("session not opened"));
+        connection->reply(*frame, encode(resp),
+                          frame->arrival_time + config_.sync_handling);
+        continue;
+      }
+      auto request = decode<proto::OpenSessionReq>(*frame);
+      proto::OpenSessionResp resp;
+      if (!request.ok()) {
+        resp.status = proto::StatusMsg::from(request.status());
+        connection->reply(*frame, encode(resp),
+                          frame->arrival_time + config_.sync_handling);
+        continue;
+      }
+      Session session;
+      session.client_id = request.value().client_id;
+      session.connection = connection;
+      {
+        std::lock_guard lock(state_mutex_);
+        session.id = next_session_id_++;
+        session_id = session.id;
+      }
+      bool shm_granted = false;
+      if (request.value().use_shared_memory && config_.allow_shared_memory &&
+          node_shm_ != nullptr) {
+        auto segment =
+            node_shm_->create(segment_name(session_id),
+                              board_->host().memcpy_model,
+                              config_.shm_segment_bytes);
+        if (segment.ok()) {
+          session.segment = segment.value();
+          shm_granted = true;
+        } else {
+          BF_LOG_WARN("devmgr") << config_.id << ": shm denied for "
+                                << session.client_id << ": "
+                                << segment.status().to_string();
+        }
+      }
+      {
+        std::lock_guard lock(state_mutex_);
+        sessions_.emplace(session_id, std::move(session));
+        sessions_gauge_->set(static_cast<double>(sessions_.size()));
+      }
+      resp.session_id = session_id;
+      resp.shared_memory_granted = shm_granted;
+      resp.device = describe(*board_);
+      connection->reply(*frame, encode(resp),
+                        frame->arrival_time + config_.sync_handling);
+      continue;
+    }
+
+    if (proto::is_command_queue_method(frame->method)) {
+      handle_command(session_id, *frame);
+    } else {
+      handle_sync(session_id, *frame);
+    }
+  }
+
+  if (session_id != 0) cleanup_session(session_id);
+}
+
+void DeviceManager::handle_sync(std::uint64_t session_id,
+                                const net::Frame& frame) {
+  const vt::Time at = frame.arrival_time + config_.sync_handling;
+  std::unique_lock lock(state_mutex_);
+  auto session_it = sessions_.find(session_id);
+  if (session_it == sessions_.end()) return;
+  Session& session = session_it->second;
+  auto connection = session.connection;
+  switch (frame.method) {
+    case proto::Method::kGetDeviceInfo: {
+      proto::OpenSessionResp resp;
+      resp.session_id = session.id;
+      resp.shared_memory_granted = session.segment != nullptr;
+      resp.device = describe(*board_);
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
+    case proto::Method::kProgram: {
+      auto request = decode<proto::ProgramReq>(frame);
+      proto::ProgramResp resp;
+      if (!request.ok()) {
+        resp.status = proto::StatusMsg::from(request.status());
+        connection->reply(frame, encode(resp), at);
+        return;
+      }
+      const sim::Bitstream* bitstream =
+          sim::BitstreamLibrary::standard().find(request.value().bitstream_id);
+      if (bitstream == nullptr) {
+        resp.status = proto::StatusMsg::from(NotFound(
+            "unknown bitstream '" + request.value().bitstream_id + "'"));
+        connection->reply(frame, encode(resp), at);
+        return;
+      }
+      const auto resident = board_->resident_accelerators();
+      if (std::find(resident.begin(), resident.end(),
+                    bitstream->accelerator) != resident.end()) {
+        resp.reconfigured = false;  // already resident (region or full image)
+        connection->reply(frame, encode(resp), at);
+        return;
+      }
+      Task task;
+      task.is_program = true;
+      task.bitstream_id = bitstream->id;
+      task.session_id = session.id;
+      task.client_id = session.client_id;
+      task.ready = at;
+      task.program_waiter = std::make_shared<ProgramWaiter>();
+      task.seq = next_task_seq_++;
+      auto waiter = task.program_waiter;
+      queue_.push(std::move(task));
+      // Hand the frame's gate hold over to the queued task before blocking,
+      // otherwise the worker could never reach the task's stamp.
+      connection->done_processing();
+      lock.unlock();  // the worker needs state_mutex_ to wipe buffers
+      auto [status, end] = waiter->wait();
+      resp.status = proto::StatusMsg::from(status);
+      resp.reconfigured = status.ok();
+      connection->reply(frame, encode(resp), vt::max(end, at));
+      return;
+    }
+    case proto::Method::kCreateBuffer: {
+      auto request = decode<proto::CreateBufferReq>(frame);
+      proto::CreateBufferResp resp;
+      if (!request.ok()) {
+        resp.status = proto::StatusMsg::from(request.status());
+      } else {
+        auto handle = board_->allocate(request.value().size);
+        if (!handle.ok()) {
+          resp.status = proto::StatusMsg::from(handle.status());
+        } else {
+          const std::uint64_t id = session.next_buffer_id++;
+          session.buffers[id] = handle.value();
+          resp.buffer_id = id;
+        }
+      }
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
+    case proto::Method::kReleaseBuffer: {
+      auto request = decode<proto::ReleaseBufferReq>(frame);
+      proto::AckResp resp;
+      if (!request.ok()) {
+        resp.status = proto::StatusMsg::from(request.status());
+      } else {
+        auto it = session.buffers.find(request.value().buffer_id);
+        if (it == session.buffers.end()) {
+          resp.status = proto::StatusMsg::from(
+              NotFound("unknown buffer " +
+                       std::to_string(request.value().buffer_id)));
+        } else {
+          Status released = board_->release(it->second);
+          session.buffers.erase(it);
+          resp.status = proto::StatusMsg::from(released);
+        }
+      }
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
+    case proto::Method::kCreateKernel: {
+      auto request = decode<proto::CreateKernelReq>(frame);
+      proto::CreateKernelResp resp;
+      if (!request.ok()) {
+        resp.status = proto::StatusMsg::from(request.status());
+      } else if (!board_->has_kernel(request.value().name)) {
+        resp.status = proto::StatusMsg::from(NotFound(
+            "kernel '" + request.value().name + "' not in bitstream"));
+      } else {
+        const sim::KernelModel* model =
+            sim::KernelRegistry::standard().find(request.value().name);
+        BF_CHECK(model != nullptr);
+        const std::uint64_t id = session.next_kernel_id++;
+        session.kernels[id] = request.value().name;
+        resp.kernel_id = id;
+        resp.arity = model->arity();
+      }
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
+    case proto::Method::kCreateQueue: {
+      proto::CreateQueueResp resp;
+      const std::uint64_t id = session.next_queue_id++;
+      session.queues[id] = true;
+      resp.queue_id = id;
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
+    case proto::Method::kReleaseQueue: {
+      proto::AckResp resp;
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
+    default: {
+      proto::AckResp resp;
+      resp.status = proto::StatusMsg::from(
+          Unimplemented(std::string("method ") +
+                        std::string(proto::to_string(frame.method))));
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
+  }
+}
+
+void DeviceManager::handle_command(std::uint64_t session_id,
+                                   const net::Frame& frame) {
+  const vt::Time at = frame.arrival_time + config_.op_handling;
+  std::lock_guard lock(state_mutex_);
+  auto session_it = sessions_.find(session_id);
+  if (session_it == sessions_.end()) return;
+  Session& session = session_it->second;
+  auto connection = session.connection;
+  auto ack_enqueued = [&](std::uint64_t op_id) {
+    proto::OpEnqueued ack;
+    ack.op_id = op_id;
+    connection->notify(proto::Method::kOpEnqueued, op_id, encode(ack), at);
+  };
+
+  switch (frame.method) {
+    case proto::Method::kEnqueueWrite: {
+      auto request = decode<proto::EnqueueWriteReq>(frame);
+      if (!request.ok()) return;
+      Operation op;
+      op.kind = Operation::Kind::kWrite;
+      op.op_id = request.value().op_id;
+      op.queue_id = request.value().queue_id;
+      op.buffer_id = request.value().buffer_id;
+      op.offset = request.value().offset;
+      op.size = request.value().size;
+      op.wait_op_ids = std::move(request.value().wait_op_ids);
+      session.building[op.queue_id].ops.push_back(std::move(op));
+      ack_enqueued(request.value().op_id);
+      return;
+    }
+    case proto::Method::kWriteData: {
+      auto request = decode<proto::WriteData>(frame);
+      if (!request.ok()) return;
+      // Find the pending write op (BUFFER phase of its state machine).
+      for (auto& [queue_id, task] : session.building) {
+        for (Operation& op : task.ops) {
+          if (op.op_id == request.value().op_id &&
+              op.kind == Operation::Kind::kWrite && !op.data_ready) {
+            op.shm_slot = request.value().shm_slot;
+            op.inline_data = std::move(request.value().data);
+            op.use_shm = request.value().shm_slot >= 0;
+            op.data_ready = true;
+            return;
+          }
+        }
+      }
+      BF_LOG_WARN("devmgr") << config_.id << ": WriteData for unknown op "
+                            << request.value().op_id;
+      return;
+    }
+    case proto::Method::kEnqueueRead: {
+      auto request = decode<proto::EnqueueReadReq>(frame);
+      if (!request.ok()) return;
+      Operation op;
+      op.kind = Operation::Kind::kRead;
+      op.op_id = request.value().op_id;
+      op.queue_id = request.value().queue_id;
+      op.buffer_id = request.value().buffer_id;
+      op.offset = request.value().offset;
+      op.size = request.value().size;
+      op.use_shm = request.value().use_shared_memory;
+      op.wait_op_ids = std::move(request.value().wait_op_ids);
+      session.building[op.queue_id].ops.push_back(std::move(op));
+      ack_enqueued(request.value().op_id);
+      return;
+    }
+    case proto::Method::kEnqueueKernel: {
+      auto request = decode<proto::EnqueueKernelReq>(frame);
+      if (!request.ok()) return;
+      Operation op;
+      op.kind = Operation::Kind::kKernel;
+      op.op_id = request.value().op_id;
+      op.queue_id = request.value().queue_id;
+      op.kernel_id = request.value().kernel_id;
+      op.args = std::move(request.value().args);
+      op.global_size = request.value().global_size;
+      op.wait_op_ids = std::move(request.value().wait_op_ids);
+      session.building[op.queue_id].ops.push_back(std::move(op));
+      ack_enqueued(request.value().op_id);
+      return;
+    }
+    case proto::Method::kFlush: {
+      auto request = decode<proto::FlushReq>(frame);
+      if (!request.ok()) return;
+      seal_task(session, request.value().queue_id, at);
+      return;
+    }
+    case proto::Method::kFinish: {
+      auto request = decode<proto::FinishReq>(frame);
+      if (!request.ok()) return;
+      Operation marker;
+      marker.kind = Operation::Kind::kFinish;
+      marker.op_id = request.value().op_id;
+      marker.queue_id = request.value().queue_id;
+      session.building[request.value().queue_id].ops.push_back(
+          std::move(marker));
+      seal_task(session, request.value().queue_id, at);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// Called with state_mutex_ held.
+void DeviceManager::seal_task(Session& session, std::uint64_t queue_id,
+                              vt::Time ready) {
+  auto it = session.building.find(queue_id);
+  if (it == session.building.end() || it->second.empty()) return;
+  Task task = std::move(it->second);
+  session.building.erase(it);
+  task.session_id = session.id;
+  task.client_id = session.client_id;
+  task.queue_id = queue_id;
+  task.ready = ready;
+  task.seq = next_task_seq_++;
+  queue_.push(std::move(task));
+}
+
+// --- Worker ---------------------------------------------------------------------
+
+void DeviceManager::worker_loop() {
+  while (auto task = queue_.pop(endpoint_.gate())) {
+    execute_task(*task);
+  }
+}
+
+void DeviceManager::execute_task(const Task& task) {
+  if (task.is_program) {
+    const sim::Bitstream* bitstream =
+        sim::BitstreamLibrary::standard().find(task.bitstream_id);
+    if (bitstream == nullptr) {
+      task.program_waiter->complete(
+          NotFound("unknown bitstream '" + task.bitstream_id + "'"),
+          task.ready);
+      return;
+    }
+    // ensure_accelerator dedupes racing program requests (no-op when the
+    // image is already resident), uses a partial-reconfiguration region in
+    // space-sharing mode, and falls back to a full reprogram otherwise.
+    bool wiped_memory = false;
+    auto interval =
+        board_->ensure_accelerator(*bitstream, task.ready, &wiped_memory);
+    if (!interval.ok()) {
+      task.program_waiter->complete(interval.status(), task.ready);
+      return;
+    }
+    if (wiped_memory) {
+      // Full reconfiguration wiped DDR: every client's buffers are gone.
+      std::lock_guard lock(state_mutex_);
+      for (auto& [id, session] : sessions_) {
+        session.buffers.clear();
+      }
+    }
+    if (interval.value().end > interval.value().start) {
+      reconfig_counter_->increment();
+    }
+    task.program_waiter->complete(Status::Ok(), interval.value().end);
+    return;
+  }
+
+  std::string client_id;
+  {
+    std::lock_guard lock(state_mutex_);
+    auto session_it = sessions_.find(task.session_id);
+    if (session_it != sessions_.end()) {
+      client_id = session_it->second.client_id;
+    }
+  }
+  vt::Time cursor = task.ready;
+  for (const Operation& op : task.ops) {
+    proto::OpComplete completion;
+    completion.op_id = op.op_id;
+    // Event wait list: delay the op's readiness to its dependencies'
+    // completions. A dependency whose command was never flushed is a
+    // client-side ordering error (OpenCL would deadlock; we fail fast).
+    Status wait_status;
+    vt::Time op_ready = cursor;
+    if (!op.wait_op_ids.empty()) {
+      std::lock_guard lock(state_mutex_);
+      auto session_it = sessions_.find(task.session_id);
+      for (std::uint64_t wait_id : op.wait_op_ids) {
+        if (session_it == sessions_.end()) break;
+        auto done = session_it->second.completed_ops.find(wait_id);
+        if (done == session_it->second.completed_ops.end()) {
+          wait_status = FailedPrecondition(
+              "wait-list op " + std::to_string(wait_id) +
+              " has not completed (flush its queue first)");
+          break;
+        }
+        op_ready = vt::max(op_ready, done->second);
+      }
+    }
+    if (!wait_status.ok()) {
+      completion.status = proto::StatusMsg::from(wait_status);
+      notify_completion(task.session_id, op.op_id, completion, cursor);
+      {
+        std::lock_guard lock(state_mutex_);
+        ++ops_executed_;
+        if (&op == &task.ops.back()) ++tasks_executed_;
+      }
+      ops_counter_->increment();
+      if (&op == &task.ops.back()) tasks_counter_->increment();
+      continue;
+    }
+    auto interval =
+        execute_operation(task.session_id, op, op_ready, completion);
+    if (interval.ok()) {
+      cursor = interval.value().end;
+      completion.status = proto::StatusMsg::from(Status::Ok());
+      std::lock_guard lock(state_mutex_);
+      if (interval.value().end > interval.value().start) {
+        busy_records_.push_back(BusyRecord{client_id, interval.value()});
+      }
+      auto session_it = sessions_.find(task.session_id);
+      if (session_it != sessions_.end()) {
+        session_it->second.completed_ops[op.op_id] = interval.value().end;
+      }
+    } else {
+      completion.status = proto::StatusMsg::from(interval.status());
+    }
+    // Account before notifying: a client woken by the completion must
+    // observe the op as executed.
+    {
+      std::lock_guard lock(state_mutex_);
+      ++ops_executed_;
+      if (&op == &task.ops.back()) ++tasks_executed_;
+    }
+    ops_counter_->increment();
+    if (&op == &task.ops.back()) {
+      tasks_counter_->increment();
+      task_span_ms_->observe((cursor - task.ready).ms());
+      busy_ms_gauge_->set(board_->busy_total().ms());
+    }
+    notify_completion(task.session_id, op.op_id, completion, cursor);
+  }
+}
+
+Result<sim::Board::Interval> DeviceManager::execute_operation(
+    std::uint64_t session_id, const Operation& op, vt::Time ready,
+    proto::OpComplete& completion) {
+  // Snapshot the session resources we need under the lock.
+  sim::MemHandle buffer;
+  std::shared_ptr<shm::Segment> segment;
+  {
+    std::lock_guard lock(state_mutex_);
+    auto session_it = sessions_.find(session_id);
+    if (session_it == sessions_.end()) {
+      return NotFound("session " + std::to_string(session_id) + " is gone");
+    }
+    segment = session_it->second.segment;
+    if (op.kind == Operation::Kind::kWrite ||
+        op.kind == Operation::Kind::kRead) {
+      auto buffer_it = session_it->second.buffers.find(op.buffer_id);
+      if (buffer_it == session_it->second.buffers.end()) {
+        return NotFound("unknown buffer " + std::to_string(op.buffer_id));
+      }
+      buffer = buffer_it->second;
+    }
+  }
+
+  switch (op.kind) {
+    case Operation::Kind::kWrite: {
+      if (!op.data_ready) {
+        return FailedPrecondition("write op " + std::to_string(op.op_id) +
+                                  " flushed before its data arrived");
+      }
+      if (op.use_shm) {
+        if (segment == nullptr) {
+          return FailedPrecondition("shm write without segment");
+        }
+        auto view = segment->view(op.shm_slot);
+        if (!view.ok()) return view.status();
+        auto written = board_->write(buffer, op.offset, view.value(), ready);
+        (void)segment->release(op.shm_slot);
+        return written;
+      }
+      return board_->write(buffer, op.offset, ByteSpan{op.inline_data},
+                           ready);
+    }
+    case Operation::Kind::kRead: {
+      if (op.use_shm) {
+        if (segment == nullptr) {
+          return FailedPrecondition("shm read without segment");
+        }
+        auto slot = segment->allocate(op.size);
+        if (!slot.ok()) return slot.status();
+        auto view = segment->writable_view(slot.value());
+        if (!view.ok()) return view.status();
+        auto interval = board_->read(buffer, op.offset, view.value(), ready);
+        if (!interval.ok()) {
+          (void)segment->release(slot.value());
+          return interval.status();
+        }
+        completion.shm_slot = slot.value();
+        completion.size = op.size;
+        return interval;
+      }
+      Bytes out(op.size);
+      auto interval = board_->read(
+          buffer, op.offset, MutableByteSpan{out}, ready);
+      if (!interval.ok()) return interval;
+      completion.data = std::move(out);
+      completion.size = op.size;
+      return interval;
+    }
+    case Operation::Kind::kKernel: {
+      auto launch = resolve_kernel(session_id, op);
+      if (!launch.ok()) return launch.status();
+      return board_->run_kernel(launch.value(), ready);
+    }
+    case Operation::Kind::kFinish:
+      return sim::Board::Interval{ready, ready};
+  }
+  return Internal("unhandled operation kind");
+}
+
+Result<sim::KernelLaunch> DeviceManager::resolve_kernel(
+    std::uint64_t session_id, const Operation& op) {
+  std::lock_guard lock(state_mutex_);
+  auto session_it = sessions_.find(session_id);
+  if (session_it == sessions_.end()) {
+    return NotFound("session " + std::to_string(session_id) + " is gone");
+  }
+  Session& session = session_it->second;
+  auto kernel_it = session.kernels.find(op.kernel_id);
+  if (kernel_it == session.kernels.end()) {
+    return NotFound("unknown kernel " + std::to_string(op.kernel_id));
+  }
+  sim::KernelLaunch launch;
+  launch.kernel = kernel_it->second;
+  launch.global_size = op.global_size;
+  launch.args.reserve(op.args.size());
+  for (std::size_t i = 0; i < op.args.size(); ++i) {
+    const proto::KernelArgMsg& arg = op.args[i];
+    switch (arg.kind) {
+      case proto::KernelArgMsg::Kind::kBuffer: {
+        auto buffer_it = session.buffers.find(arg.buffer_id);
+        if (buffer_it == session.buffers.end()) {
+          return NotFound("kernel arg " + std::to_string(i) +
+                          " references unknown buffer " +
+                          std::to_string(arg.buffer_id));
+        }
+        launch.args.emplace_back(buffer_it->second);
+        break;
+      }
+      case proto::KernelArgMsg::Kind::kInt:
+        launch.args.emplace_back(arg.int_value);
+        break;
+      case proto::KernelArgMsg::Kind::kDouble:
+        launch.args.emplace_back(arg.double_value);
+        break;
+      case proto::KernelArgMsg::Kind::kUnset:
+        return InvalidArgument("kernel arg " + std::to_string(i) +
+                               " is unset");
+    }
+  }
+  return launch;
+}
+
+void DeviceManager::notify_completion(std::uint64_t session_id,
+                                      std::uint64_t op_id,
+                                      const proto::OpComplete& completion,
+                                      vt::Time at) {
+  std::shared_ptr<net::Connection> connection;
+  {
+    std::lock_guard lock(state_mutex_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    connection = it->second.connection;
+  }
+  if (connection != nullptr && !connection->closed()) {
+    connection->notify(proto::Method::kOpComplete, op_id, encode(completion),
+                       at);
+  }
+}
+
+void DeviceManager::cleanup_session(std::uint64_t session_id) {
+  std::shared_ptr<shm::Segment> segment;
+  {
+    std::lock_guard lock(state_mutex_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    for (const auto& [id, handle] : it->second.buffers) {
+      (void)board_->release(handle);
+    }
+    segment = it->second.segment;
+    sessions_.erase(it);
+    sessions_gauge_->set(static_cast<double>(sessions_.size()));
+  }
+  if (segment != nullptr && node_shm_ != nullptr) {
+    (void)node_shm_->unlink(segment_name(session_id));
+  }
+}
+
+}  // namespace bf::devmgr

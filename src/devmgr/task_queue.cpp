@@ -1,0 +1,55 @@
+#include "devmgr/task_queue.h"
+
+namespace bf::devmgr {
+
+void TaskQueue::push(Task task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;
+    tasks_.insert(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Task> TaskQueue::pop(vt::Gate& gate) {
+  for (;;) {
+    vt::Time ready;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+      if (tasks_.empty()) return std::nullopt;  // closed and drained
+      ready = tasks_.begin()->ready;
+    }
+    // Conservative gate: no client can still emit anything earlier. While we
+    // wait, only later-stamped tasks can be added, so the head is stable.
+    if (!gate.wait_safe(ready)) {
+      // Gate shutdown: drain remaining tasks without ordering guarantees so
+      // pending waiters (e.g. ProgramWaiter) are not stranded.
+      std::lock_guard lock(mutex_);
+      if (tasks_.empty()) return std::nullopt;
+      Task task = *tasks_.begin();
+      tasks_.erase(tasks_.begin());
+      return task;
+    }
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) continue;
+    Task task = *tasks_.begin();
+    tasks_.erase(tasks_.begin());
+    return task;
+  }
+}
+
+void TaskQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t TaskQueue::size() const {
+  std::lock_guard lock(mutex_);
+  return tasks_.size();
+}
+
+}  // namespace bf::devmgr

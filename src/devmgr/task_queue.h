@@ -1,0 +1,54 @@
+// Central task queue of a Device Manager.
+//
+// Tasks execute in First-In-First-Out order of *modeled* arrival: the queue
+// orders by (ready stamp, sequence) and the pop is gated conservatively —
+// a task is handed to the worker only once no connected client can still
+// produce an earlier-stamped task (vt::Gate::wait_safe).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "devmgr/task.h"
+#include "vt/gate.h"
+
+namespace bf::devmgr {
+
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  void push(Task task);
+
+  // Blocks until the earliest task is safe to execute (or the queue/gate is
+  // shut down, returning nullopt). Single-consumer.
+  std::optional<Task> pop(vt::Gate& gate);
+
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Order {
+    bool operator()(const Task& a, const Task& b) const {
+      if (a.ready != b.ready) return a.ready < b.ready;
+      // Equal modeled stamps: break the tie deterministically by client
+      // (pod name), never by real arrival order — run-to-run
+      // reproducibility depends on it. seq keeps one client's equal-stamp
+      // tasks in submission order.
+      if (a.client_id != b.client_id) return a.client_id < b.client_id;
+      return a.seq < b.seq;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multiset<Task, Order> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace bf::devmgr

@@ -1,0 +1,101 @@
+#include "faas/function.h"
+
+#include "common/log.h"
+
+namespace bf::faas {
+
+FunctionInstance::FunctionInstance(cluster::Pod pod,
+                                   const FunctionConfig& config,
+                                   BindingResolver resolver,
+                                   sim::NodeProfile node)
+    : pod_(std::move(pod)),
+      config_(config),
+      resolver_(std::move(resolver)),
+      node_(std::move(node)),
+      session_(pod_.spec.name),
+      workload_(config_.make_workload()) {
+  BF_CHECK(workload_ != nullptr);
+}
+
+FunctionInstance::~FunctionInstance() { shutdown(); }
+
+Status FunctionInstance::cold_start_locked() {
+  auto binding = resolver_(pod_);
+  if (!binding.ok()) return binding.status();
+  runtime_ = binding.value().runtime;
+  auto context = runtime_->create_context(binding.value().device_id,
+                                          session_);
+  if (!context.ok()) return context.status();
+  context_ = std::move(context.value());
+  return workload_->setup(*context_);
+}
+
+Result<InvokeResult> FunctionInstance::invoke() {
+  std::lock_guard lock(mutex_);
+  // Gateway hop + HTTP handling on the function side.
+  session_.compute(config_.gateway_overhead);
+  session_.compute(config_.handler_overhead);
+  const vt::Time start = session_.now();
+
+  Status handled;
+  if (config_.mode == ExecutionMode::kForkPerRequest) {
+    // Classic watchdog: fork a handler, attach a fresh OpenCL context, set
+    // up, serve, tear down.
+    session_.compute(node_.fork_request_overhead);
+    auto binding = resolver_(pod_);
+    if (!binding.ok()) {
+      ++errors_;
+      return binding.status();
+    }
+    auto context = binding.value().runtime->create_context(
+        binding.value().device_id, session_);
+    if (!context.ok()) {
+      ++errors_;
+      return context.status();
+    }
+    handled = workload_->setup(*context.value());
+    if (handled.ok()) handled = workload_->handle_request(*context.value());
+    workload_->teardown();
+  } else {
+    if (context_ == nullptr) {
+      if (Status s = cold_start_locked(); !s.ok()) {
+        ++errors_;
+        return s;
+      }
+    }
+    handled = workload_->handle_request(*context_);
+  }
+
+  if (!handled.ok()) {
+    ++errors_;
+    return handled;
+  }
+  ++served_;
+  return InvokeResult{session_.now() - start, session_.now()};
+}
+
+void FunctionInstance::advance_clock_to(vt::Time t) {
+  std::lock_guard lock(mutex_);
+  session_.clock().advance_to(t);
+}
+
+vt::Time FunctionInstance::now() {
+  std::lock_guard lock(mutex_);
+  return session_.now();
+}
+
+std::uint64_t FunctionInstance::requests_served() const { return served_; }
+
+std::uint64_t FunctionInstance::errors() const { return errors_; }
+
+bool FunctionInstance::cold() const { return context_ == nullptr; }
+
+void FunctionInstance::shutdown() {
+  std::lock_guard lock(mutex_);
+  if (context_ != nullptr || workload_ != nullptr) {
+    if (workload_ != nullptr) workload_->teardown();
+    context_.reset();
+  }
+}
+
+}  // namespace bf::faas

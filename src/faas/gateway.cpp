@@ -1,0 +1,162 @@
+#include "faas/gateway.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bf::faas {
+
+Gateway::Gateway(cluster::Cluster* cluster, BindingResolver resolver)
+    : cluster_(cluster), resolver_(std::move(resolver)) {
+  BF_CHECK(cluster_ != nullptr);
+  BF_CHECK(resolver_ != nullptr);
+  cluster_->add_watcher(
+      [this](const cluster::WatchEvent& event) { on_event(event); });
+}
+
+Status Gateway::deploy(FunctionConfig config, unsigned replicas,
+                       const std::string& node_pin) {
+  if (replicas == 0) return InvalidArgument("need at least one replica");
+  const std::string function = config.name;
+  {
+    std::lock_guard lock(mutex_);
+    if (configs_.contains(function)) {
+      return AlreadyExists("function '" + function + "' already deployed");
+    }
+    configs_.emplace(function, std::move(config));
+  }
+  for (unsigned i = 0; i < replicas; ++i) {
+    cluster::PodSpec spec;
+    spec.name = function + "-" + std::to_string(i);
+    spec.function = function;
+    spec.labels["faas_function"] = function;
+    spec.node = node_pin;
+    auto pod = cluster_->create_pod(std::move(spec));
+    if (!pod.ok()) {
+      return Status(pod.status().code(),
+                    "deploying '" + function + "': " +
+                        pod.status().message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status Gateway::remove(const std::string& function) {
+  {
+    std::lock_guard lock(mutex_);
+    if (configs_.erase(function) == 0) {
+      return NotFound("function '" + function + "' not deployed");
+    }
+  }
+  for (const cluster::Pod& pod : cluster_->pods_of_function(function)) {
+    (void)cluster_->delete_pod(pod.spec.name);
+  }
+  return Status::Ok();
+}
+
+Status Gateway::scale(const std::string& function, unsigned replicas) {
+  std::vector<cluster::Pod> pods = cluster_->pods_of_function(function);
+  {
+    std::lock_guard lock(mutex_);
+    if (!configs_.contains(function)) {
+      return NotFound("function '" + function + "' not deployed");
+    }
+  }
+  if (pods.size() < replicas) {
+    // Find unused indices for the new pods.
+    unsigned index = 0;
+    while (pods.size() < replicas) {
+      cluster::PodSpec spec;
+      spec.name = function + "-" + std::to_string(index++);
+      if (cluster_->get_pod(spec.name).has_value()) continue;
+      spec.function = function;
+      spec.labels["faas_function"] = function;
+      auto pod = cluster_->create_pod(std::move(spec));
+      if (!pod.ok()) return pod.status();
+      pods.push_back(pod.value());
+    }
+  } else {
+    while (pods.size() > replicas) {
+      (void)cluster_->delete_pod(pods.back().spec.name);
+      pods.pop_back();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<InvokeResult> Gateway::invoke(const std::string& function) {
+  std::shared_ptr<FunctionInstance> target;
+  {
+    std::lock_guard lock(mutex_);
+    std::vector<std::shared_ptr<FunctionInstance>> candidates;
+    for (const auto& [pod_name, instance] : pods_) {
+      if (instance->function() == function) candidates.push_back(instance);
+    }
+    if (candidates.empty()) {
+      return NotFound("no running instance of '" + function + "'");
+    }
+    const std::size_t index = round_robin_[function]++ % candidates.size();
+    target = candidates[index];
+  }
+  return target->invoke();
+}
+
+std::shared_ptr<FunctionInstance> Gateway::instance(
+    const std::string& function, std::size_t replica) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<FunctionInstance>> candidates;
+  for (const auto& [pod_name, instance] : pods_) {
+    if (instance->function() == function) candidates.push_back(instance);
+  }
+  if (replica >= candidates.size()) return nullptr;
+  return candidates[replica];
+}
+
+std::vector<std::shared_ptr<FunctionInstance>> Gateway::instances(
+    const std::string& function) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<FunctionInstance>> out;
+  for (const auto& [pod_name, instance] : pods_) {
+    if (instance->function() == function) out.push_back(instance);
+  }
+  return out;
+}
+
+std::size_t Gateway::instance_count() const {
+  std::lock_guard lock(mutex_);
+  return pods_.size();
+}
+
+void Gateway::shutdown_instances() {
+  std::map<std::string, std::shared_ptr<FunctionInstance>> pods;
+  {
+    std::lock_guard lock(mutex_);
+    pods = pods_;
+  }
+  for (auto& [name, instance] : pods) instance->shutdown();
+}
+
+void Gateway::on_event(const cluster::WatchEvent& event) {
+  std::lock_guard lock(mutex_);
+  const std::string& pod_name = event.pod.spec.name;
+  if (event.type == cluster::WatchEvent::Type::kDeleted) {
+    auto it = pods_.find(pod_name);
+    if (it != pods_.end()) {
+      it->second->shutdown();
+      pods_.erase(it);
+    }
+    return;
+  }
+  auto config = configs_.find(event.pod.spec.function);
+  if (config == configs_.end()) return;  // not a faas pod
+  const cluster::NodeSpec* node = cluster_->find_node(event.pod.spec.node);
+  if (node == nullptr) {
+    BF_LOG_WARN("faas") << "pod " << pod_name << " on unknown node '"
+                        << event.pod.spec.node << "'";
+    return;
+  }
+  pods_[pod_name] = std::make_shared<FunctionInstance>(
+      event.pod, config->second, resolver_, node->profile);
+}
+
+}  // namespace bf::faas

@@ -1,0 +1,62 @@
+// OpenFaaS-style gateway: deploys functions as pods, tracks their running
+// instances through cluster watch events (so Registry-driven migrations
+// transparently rebind instances to new devices), routes invocations and
+// offers simple replica scaling.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "faas/function.h"
+
+namespace bf::faas {
+
+class Gateway {
+ public:
+  Gateway(cluster::Cluster* cluster, BindingResolver resolver);
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  // Deploys `replicas` pods named "<function>-<i>". Instances appear via the
+  // cluster watch. `node_pin` forces the node (used by the native baseline,
+  // which binds each function to the node holding its board); empty lets the
+  // Registry/scheduler decide.
+  Status deploy(FunctionConfig config, unsigned replicas = 1,
+                const std::string& node_pin = "");
+  Status remove(const std::string& function);
+  Status scale(const std::string& function, unsigned replicas);
+
+  // Routes one request to an instance of the function (round robin across
+  // replicas). Runs on the caller's thread.
+  Result<InvokeResult> invoke(const std::string& function);
+
+  // Stable handle for load drivers that pin one connection per function.
+  [[nodiscard]] std::shared_ptr<FunctionInstance> instance(
+      const std::string& function, std::size_t replica = 0) const;
+
+  [[nodiscard]] std::vector<std::shared_ptr<FunctionInstance>> instances(
+      const std::string& function) const;
+  [[nodiscard]] std::size_t instance_count() const;
+
+  // Destroys every instance's OpenCL context (end of experiment).
+  void shutdown_instances();
+
+ private:
+  void on_event(const cluster::WatchEvent& event);
+
+  cluster::Cluster* cluster_;
+  BindingResolver resolver_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FunctionConfig> configs_;
+  // pod name -> instance
+  std::map<std::string, std::shared_ptr<FunctionInstance>> pods_;
+  std::map<std::string, std::size_t> round_robin_;
+};
+
+}  // namespace bf::faas

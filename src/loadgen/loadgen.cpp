@@ -1,0 +1,68 @@
+#include "loadgen/loadgen.h"
+
+#include <thread>
+
+#include "common/log.h"
+
+namespace bf::loadgen {
+
+DriveResult drive(faas::FunctionInstance& instance, const DriveSpec& spec) {
+  BF_CHECK(spec.target_rps > 0.0);
+  DriveResult result;
+  result.function = spec.function;
+  result.node = instance.pod().spec.node;
+  result.target_rps = spec.target_rps;
+
+  const vt::Duration period = vt::Duration::from_seconds_f(
+      1.0 / spec.target_rps);
+  const vt::Time t0 = instance.now();
+  result.measure_start = t0 + spec.warmup;
+  result.horizon = result.measure_start + spec.duration;
+
+  vt::Time next_send = t0;
+  while (next_send < result.horizon) {
+    instance.advance_clock_to(next_send);
+    const bool measured = next_send >= result.measure_start;
+    auto invoked = instance.invoke();
+    ++result.sent;
+    if (invoked.ok()) {
+      if (measured) {
+        ++result.ok;
+        result.latency_ms.record(invoked.value().latency.ms());
+      }
+    } else {
+      ++result.errors;
+      BF_LOG_DEBUG("loadgen") << spec.function << ": "
+                              << invoked.status().to_string();
+    }
+    next_send = vt::max(instance.now(), next_send + period);
+  }
+  result.processed_rps =
+      static_cast<double>(result.ok) / spec.duration.sec();
+  // Release the device so other tenants' later-stamped work can proceed.
+  instance.shutdown();
+  return result;
+}
+
+std::vector<DriveResult> drive_all(faas::Gateway& gateway,
+                                   const std::vector<DriveSpec>& specs) {
+  std::vector<DriveResult> results(specs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    threads.emplace_back([&gateway, &specs, &results, i] {
+      auto instance = gateway.instance(specs[i].function);
+      if (instance == nullptr) {
+        results[i].function = specs[i].function;
+        results[i].errors = 1;
+        BF_LOG_ERROR("loadgen") << "no instance for " << specs[i].function;
+        return;
+      }
+      results[i] = drive(*instance, specs[i]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return results;
+}
+
+}  // namespace bf::loadgen

@@ -1,0 +1,49 @@
+// Closed-loop load generation, modeled after the paper's methodology
+// (§IV-B): Hey with one connection per function and a target request rate.
+// A driver sends the next request at max(now, previous_send + 1/rate) and
+// never has more than one request outstanding — which is exactly why the
+// paper's "Processed" column saturates at 1/latency under overload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "faas/gateway.h"
+#include "vt/time.h"
+
+namespace bf::loadgen {
+
+struct DriveSpec {
+  std::string function;
+  double target_rps = 1.0;
+  vt::Duration duration = vt::Duration::seconds(60);
+  // Requests sent before the warmup elapses are excluded from the stats
+  // (cold start, queue fill).
+  vt::Duration warmup = vt::Duration::seconds(2);
+};
+
+struct DriveResult {
+  std::string function;
+  std::string node;  // where the instance ran
+  double target_rps = 0.0;
+  double processed_rps = 0.0;
+  SampleStats latency_ms;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  vt::Time measure_start;
+  vt::Time horizon;
+};
+
+// Drives one function instance closed-loop until the virtual horizon.
+// Shuts the instance down afterwards so its gate source stops holding the
+// Device Manager's worker.
+DriveResult drive(faas::FunctionInstance& instance, const DriveSpec& spec);
+
+// Runs all specs concurrently (one thread per function, as Hey runs one
+// connection per function) and collects the results in spec order.
+std::vector<DriveResult> drive_all(faas::Gateway& gateway,
+                                   const std::vector<DriveSpec>& specs);
+
+}  // namespace bf::loadgen

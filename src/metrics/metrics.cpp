@@ -1,0 +1,203 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace bf::metrics {
+
+void Counter::increment(double amount) {
+  BF_CHECK(amount >= 0.0);
+  std::lock_guard lock(mutex_);
+  value_ += amount;
+}
+
+double Counter::value() const {
+  std::lock_guard lock(mutex_);
+  return value_;
+}
+
+void Gauge::set(double value) {
+  std::lock_guard lock(mutex_);
+  value_ = value;
+}
+
+void Gauge::add(double amount) {
+  std::lock_guard lock(mutex_);
+  value_ += amount;
+}
+
+double Gauge::value() const {
+  std::lock_guard lock(mutex_);
+  return value_;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  BF_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard lock(mutex_);
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard lock(mutex_);
+  return sum_;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_buckets() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::uint64_t> out(counts_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  BF_CHECK(q >= 0.0 && q <= 1.0);
+  std::lock_guard lock(mutex_);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t next = running + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = i < bounds_.size() ? bounds_[i] : lower * 2.0;
+      if (counts_[i] == 0) return upper;
+      const double fraction =
+          (target - static_cast<double>(running)) /
+          static_cast<double>(counts_[i]);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    running = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::default_latency_buckets_ms() {
+  return {0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+std::shared_ptr<Counter> Registry::counter(const std::string& name,
+                                           const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Series& series = series_[series_key(name, labels)];
+  if (!series.counter) {
+    series.name = name;
+    series.labels = labels;
+    series.counter = std::make_shared<Counter>();
+  }
+  return series.counter;
+}
+
+std::shared_ptr<Gauge> Registry::gauge(const std::string& name,
+                                       const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Series& series = series_[series_key(name, labels)];
+  if (!series.gauge) {
+    series.name = name;
+    series.labels = labels;
+    series.gauge = std::make_shared<Gauge>();
+  }
+  return series.gauge;
+}
+
+std::shared_ptr<Histogram> Registry::histogram(const std::string& name,
+                                               const Labels& labels,
+                                               std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  Series& series = series_[series_key(name, labels)];
+  if (!series.histogram) {
+    series.name = name;
+    series.labels = labels;
+    series.histogram = std::make_shared<Histogram>(std::move(bounds));
+  }
+  return series.histogram;
+}
+
+std::string Registry::expose() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  char buf[64];
+  auto number = [&buf](double value) -> const char* {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+  };
+  for (const auto& [key, series] : series_) {
+    const std::string labels = format_labels(series.labels);
+    if (series.counter) {
+      out << series.name << labels << ' '
+          << number(series.counter->value()) << '\n';
+    }
+    if (series.gauge) {
+      out << series.name << labels << ' ' << number(series.gauge->value())
+          << '\n';
+    }
+    if (series.histogram) {
+      const auto& bounds = series.histogram->upper_bounds();
+      const auto buckets = series.histogram->cumulative_buckets();
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        Labels with_le = series.labels;
+        with_le["le"] =
+            i < bounds.size() ? std::string(number(bounds[i])) : "+Inf";
+        out << series.name << "_bucket" << format_labels(with_le) << ' '
+            << buckets[i] << '\n';
+      }
+      out << series.name << "_sum" << labels << ' '
+          << number(series.histogram->sum()) << '\n';
+      out << series.name << "_count" << labels << ' '
+          << series.histogram->count() << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard lock(mutex_);
+  return series_.size();
+}
+
+std::string Registry::series_key(const std::string& name,
+                                 const Labels& labels) {
+  return name + format_labels(labels);
+}
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace bf::metrics

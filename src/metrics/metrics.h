@@ -1,0 +1,102 @@
+// Prometheus-style metrics: counters, gauges, histograms, a registry and a
+// text exposition format.
+//
+// Device Managers export FPGA time-utilization and request counters through
+// this module; the Accelerators Registry's Metrics Gatherer scrapes them
+// (paper §III-C: "receives Device Managers performance metrics from a
+// Prometheus service").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bf::metrics {
+
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void increment(double amount = 1.0);
+  [[nodiscard]] double value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double value);
+  void add(double amount);
+  [[nodiscard]] double value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  // Bucket upper bounds (ascending); +Inf is implicit.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  // Cumulative count for bucket i (as exposed by Prometheus).
+  [[nodiscard]] std::vector<std::uint64_t> cumulative_buckets() const;
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  // Estimated quantile via linear interpolation within buckets.
+  [[nodiscard]] double quantile(double q) const;
+
+  // Default latency buckets: 0.5 ms .. 8 s, roughly exponential.
+  static std::vector<double> default_latency_buckets_ms();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;  // per-bucket, last = +Inf
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// A named, labelled metric family registry with text exposition.
+class Registry {
+ public:
+  std::shared_ptr<Counter> counter(const std::string& name,
+                                   const Labels& labels = {});
+  std::shared_ptr<Gauge> gauge(const std::string& name,
+                               const Labels& labels = {});
+  std::shared_ptr<Histogram> histogram(
+      const std::string& name, const Labels& labels = {},
+      std::vector<double> upper_bounds = Histogram::default_latency_buckets_ms());
+
+  // Prometheus text format (suitable for a /metrics endpoint).
+  [[nodiscard]] std::string expose() const;
+
+  [[nodiscard]] std::size_t series_count() const;
+
+ private:
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+
+  static std::string series_key(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;
+};
+
+std::string format_labels(const Labels& labels);
+
+}  // namespace bf::metrics

@@ -1,0 +1,337 @@
+#include "native/native_runtime.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "sim/bitstream.h"
+#include "sim/kernels.h"
+
+namespace bf::native {
+namespace {
+
+// Converts client-side kernel args to simulator args via the context's
+// buffer table.
+Result<sim::KernelLaunch> to_launch(
+    const ocl::Kernel& kernel, ocl::NdRange range,
+    const std::map<std::uint64_t, sim::MemHandle>& buffers) {
+  sim::KernelLaunch launch;
+  launch.kernel = kernel.name();
+  launch.global_size = {range.x, range.y, range.z};
+  launch.args.reserve(kernel.args().size());
+  for (std::size_t i = 0; i < kernel.args().size(); ++i) {
+    const ocl::KernelArgValue& arg = kernel.args()[i];
+    if (std::holds_alternative<std::monostate>(arg)) {
+      return InvalidArgument("kernel '" + kernel.name() + "': arg " +
+                             std::to_string(i) + " not set");
+    }
+    if (const auto* ref = std::get_if<ocl::BufferRef>(&arg)) {
+      auto it = buffers.find(ref->id);
+      if (it == buffers.end()) {
+        return InvalidArgument("kernel '" + kernel.name() + "': arg " +
+                               std::to_string(i) + " references unknown buffer");
+      }
+      launch.args.emplace_back(it->second);
+    } else if (const auto* iv = std::get_if<std::int64_t>(&arg)) {
+      launch.args.emplace_back(*iv);
+    } else {
+      launch.args.emplace_back(std::get<double>(arg));
+    }
+  }
+  return launch;
+}
+
+class NativeEvent final : public ocl::Event {
+ public:
+  NativeEvent(ocl::Session* session, vt::Time submitted, vt::Time start,
+              vt::Time completion)
+      : session_(session),
+        submitted_(submitted),
+        start_(start),
+        completion_(completion) {}
+
+  static std::shared_ptr<NativeEvent> failed(Status status) {
+    auto event = std::make_shared<NativeEvent>(nullptr, vt::Time::zero(),
+                                               vt::Time::zero(),
+                                               vt::Time::zero());
+    event->error_ = std::move(status);
+    return event;
+  }
+
+  [[nodiscard]] ocl::EventStatus status() const override {
+    if (!error_.ok()) return ocl::EventStatus::kError;
+    // Status is observed relative to the application's virtual clock: the
+    // operation appears running until its modeled completion time passes.
+    const vt::Time now = session_->now();
+    if (now >= completion_) return ocl::EventStatus::kComplete;
+    if (now >= start_) return ocl::EventStatus::kRunning;
+    if (now >= submitted_) return ocl::EventStatus::kSubmitted;
+    return ocl::EventStatus::kQueued;
+  }
+
+  Status wait() override {
+    if (!error_.ok()) return error_;
+    session_->clock().advance_to(completion_);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] vt::Time completion_time() const override {
+    return completion_;
+  }
+
+ private:
+  ocl::Session* session_;
+  vt::Time submitted_;
+  vt::Time start_;
+  vt::Time completion_;
+  Status error_;
+};
+
+class NativeContext;
+
+// In-order command queue mapped directly onto the board's busy timeline.
+class NativeQueue final : public ocl::CommandQueue {
+ public:
+  NativeQueue(NativeContext* context, sim::Board* board,
+              ocl::Session* session)
+      : context_(context), board_(board), session_(session) {}
+
+  Result<ocl::EventPtr> enqueue_write(const ocl::Buffer& buffer,
+                                      std::uint64_t offset, ByteSpan data,
+                                      bool blocking,
+                                      ocl::EventWaitList wait_list) override;
+  Result<ocl::EventPtr> enqueue_read(const ocl::Buffer& buffer,
+                                     std::uint64_t offset, MutableByteSpan out,
+                                     bool blocking,
+                                     ocl::EventWaitList wait_list) override;
+  Result<ocl::EventPtr> enqueue_kernel(const ocl::Kernel& kernel,
+                                       ocl::NdRange range,
+                                       ocl::EventWaitList wait_list) override;
+  Status flush() override { return Status::Ok(); }  // submits eagerly
+  Status finish() override {
+    session_->clock().advance_to(last_completion_);
+    return Status::Ok();
+  }
+
+ private:
+  // Ordering point for in-order queue semantics: an op may not start before
+  // the previous op on this queue completed, nor before its wait-list
+  // events.
+  [[nodiscard]] vt::Time ready_time(ocl::EventWaitList wait_list) const;
+  ocl::EventPtr make_event(vt::Time submitted, sim::Board::Interval interval,
+                           bool blocking);
+
+  NativeContext* context_;
+  sim::Board* board_;
+  ocl::Session* session_;
+  vt::Time last_completion_ = vt::Time::zero();
+};
+
+class NativeContext final : public ocl::Context {
+ public:
+  NativeContext(sim::Board* board, ocl::Session* session)
+      : board_(board), session_(session), info_(describe_board(*board)) {}
+
+  ~NativeContext() override {
+    for (const auto& [id, handle] : buffers_) {
+      (void)board_->release(handle);
+    }
+  }
+
+  NativeContext(const NativeContext&) = delete;
+  NativeContext& operator=(const NativeContext&) = delete;
+
+  [[nodiscard]] const ocl::DeviceInfo& device() const override {
+    return info_;
+  }
+  [[nodiscard]] ocl::Session& session() override { return *session_; }
+
+  Status program(const std::string& bitstream_id) override {
+    const sim::Bitstream* bitstream =
+        sim::BitstreamLibrary::standard().find(bitstream_id);
+    if (bitstream == nullptr) {
+      return NotFound("unknown bitstream '" + bitstream_id + "'");
+    }
+    // Reprogramming only happens when the board carries a different image;
+    // rebuilding against the already-loaded image is host-side work only.
+    auto current = board_->bitstream();
+    session_->clock().advance(board_->host().host_call_overhead);
+    if (current.has_value() && current->id == bitstream_id) {
+      return Status::Ok();
+    }
+    auto interval = board_->configure(*bitstream, session_->now());
+    if (!interval.ok()) return interval.status();
+    buffers_.clear();  // reconfiguration wiped DDR
+    session_->clock().advance_to(interval.value().end);
+    info_.accelerator = bitstream->accelerator;
+    return Status::Ok();
+  }
+
+  Result<ocl::Buffer> create_buffer(std::uint64_t size) override {
+    session_->clock().advance(board_->host().host_call_overhead);
+    auto handle = board_->allocate(size);
+    if (!handle.ok()) return handle.status();
+    const std::uint64_t id = next_buffer_id_++;
+    buffers_[id] = handle.value();
+    return ocl::Buffer{id, size};
+  }
+
+  Status release_buffer(const ocl::Buffer& buffer) override {
+    auto it = buffers_.find(buffer.id);
+    if (it == buffers_.end()) {
+      return NotFound("unknown buffer " + std::to_string(buffer.id));
+    }
+    Status s = board_->release(it->second);
+    buffers_.erase(it);
+    return s;
+  }
+
+  Result<ocl::Kernel> create_kernel(const std::string& name) override {
+    session_->clock().advance(board_->host().host_call_overhead);
+    if (!board_->has_kernel(name)) {
+      return NotFound("kernel '" + name + "' not in configured bitstream");
+    }
+    const sim::KernelModel* model = sim::KernelRegistry::standard().find(name);
+    BF_CHECK(model != nullptr);
+    return ocl::Kernel(next_kernel_id_++, name, model->arity());
+  }
+
+  Result<std::unique_ptr<ocl::CommandQueue>> create_queue() override {
+    session_->clock().advance(board_->host().host_call_overhead);
+    return std::unique_ptr<ocl::CommandQueue>(
+        std::make_unique<NativeQueue>(this, board_, session_));
+  }
+
+  [[nodiscard]] const std::map<std::uint64_t, sim::MemHandle>& buffers()
+      const {
+    return buffers_;
+  }
+
+ private:
+  sim::Board* board_;
+  ocl::Session* session_;
+  ocl::DeviceInfo info_;
+  std::map<std::uint64_t, sim::MemHandle> buffers_;
+  std::uint64_t next_buffer_id_ = 1;
+  std::uint64_t next_kernel_id_ = 1;
+};
+
+vt::Time NativeQueue::ready_time(ocl::EventWaitList wait_list) const {
+  vt::Time ready = vt::max(session_->now(), last_completion_);
+  for (const ocl::EventPtr& event : wait_list) {
+    if (event != nullptr) {
+      ready = vt::max(ready, event->completion_time());
+    }
+  }
+  return ready;
+}
+
+ocl::EventPtr NativeQueue::make_event(vt::Time submitted,
+                                      sim::Board::Interval interval,
+                                      bool blocking) {
+  last_completion_ = vt::max(last_completion_, interval.end);
+  auto event = std::make_shared<NativeEvent>(session_, submitted,
+                                             interval.start, interval.end);
+  if (blocking) (void)event->wait();
+  return event;
+}
+
+Result<ocl::EventPtr> NativeQueue::enqueue_write(const ocl::Buffer& buffer,
+                                                 std::uint64_t offset,
+                                                 ByteSpan data, bool blocking,
+                                                 ocl::EventWaitList wait_list) {
+  session_->clock().advance(board_->host().host_call_overhead);
+  auto it = context_->buffers().find(buffer.id);
+  if (it == context_->buffers().end()) {
+    return NotFound("unknown buffer " + std::to_string(buffer.id));
+  }
+  auto interval =
+      board_->write(it->second, offset, data, ready_time(wait_list));
+  if (!interval.ok()) return interval.status();
+  return make_event(session_->now(), interval.value(), blocking);
+}
+
+Result<ocl::EventPtr> NativeQueue::enqueue_read(const ocl::Buffer& buffer,
+                                                std::uint64_t offset,
+                                                MutableByteSpan out,
+                                                bool blocking,
+                                                ocl::EventWaitList wait_list) {
+  session_->clock().advance(board_->host().host_call_overhead);
+  auto it = context_->buffers().find(buffer.id);
+  if (it == context_->buffers().end()) {
+    return NotFound("unknown buffer " + std::to_string(buffer.id));
+  }
+  auto interval =
+      board_->read(it->second, offset, out, ready_time(wait_list));
+  if (!interval.ok()) return interval.status();
+  return make_event(session_->now(), interval.value(), blocking);
+}
+
+Result<ocl::EventPtr> NativeQueue::enqueue_kernel(const ocl::Kernel& kernel,
+                                                  ocl::NdRange range,
+                                                  ocl::EventWaitList wait_list) {
+  session_->clock().advance(board_->host().host_call_overhead);
+  auto launch = to_launch(kernel, range, context_->buffers());
+  if (!launch.ok()) return launch.status();
+  auto interval =
+      board_->run_kernel(launch.value(), ready_time(wait_list));
+  if (!interval.ok()) return interval.status();
+  return make_event(session_->now(), interval.value(), /*blocking=*/false);
+}
+
+}  // namespace
+
+ocl::DeviceInfo describe_board(const sim::Board& board) {
+  ocl::DeviceInfo info;
+  info.id = board.id();
+  info.name = "Terasic DE5a-Net (Arria 10 GX 1150)";
+  info.vendor = "Intel";
+  info.platform = "a10gx_de5a_net";
+  info.node = board.node();
+  auto bitstream = board.bitstream();
+  info.accelerator = bitstream.has_value() ? bitstream->accelerator : "";
+  info.global_memory_bytes = board.memory_capacity();
+  return info;
+}
+
+NativeRuntime::NativeRuntime(std::vector<sim::Board*> boards)
+    : boards_(std::move(boards)) {
+  for (sim::Board* board : boards_) BF_CHECK(board != nullptr);
+}
+
+Result<std::vector<ocl::PlatformInfo>> NativeRuntime::platforms() {
+  ocl::PlatformInfo platform;
+  platform.name = "Intel(R) FPGA SDK for OpenCL (simulated)";
+  platform.vendor = "Intel";
+  for (const sim::Board* board : boards_) {
+    platform.device_ids.push_back(board->id());
+  }
+  return std::vector<ocl::PlatformInfo>{platform};
+}
+
+Result<std::vector<ocl::DeviceInfo>> NativeRuntime::devices() {
+  std::vector<ocl::DeviceInfo> out;
+  out.reserve(boards_.size());
+  for (const sim::Board* board : boards_) {
+    out.push_back(describe_board(*board));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<ocl::Context>> NativeRuntime::create_context(
+    const std::string& device_id, ocl::Session& session) {
+  sim::Board* board = find_board(device_id);
+  if (board == nullptr) {
+    return NotFound("no local board with id '" + device_id + "'");
+  }
+  return std::unique_ptr<ocl::Context>(
+      std::make_unique<NativeContext>(board, &session));
+}
+
+sim::Board* NativeRuntime::find_board(const std::string& device_id) const {
+  auto it = std::find_if(
+      boards_.begin(), boards_.end(),
+      [&](const sim::Board* board) { return board->id() == device_id; });
+  return it == boards_.end() ? nullptr : *it;
+}
+
+}  // namespace bf::native

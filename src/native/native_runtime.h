@@ -1,0 +1,38 @@
+// Native OpenCL runtime: direct access to local boards over PCIe, no sharing
+// layer. This is the paper's "Native" baseline ("maximum theoretical
+// performance scenario represented by a native execution that has direct
+// access to the FPGAs", §IV).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ocl/runtime.h"
+#include "sim/board.h"
+
+namespace bf::native {
+
+class NativeRuntime final : public ocl::Runtime {
+ public:
+  // Boards are owned by the caller (typically the testbed) and must outlive
+  // the runtime and all contexts created from it.
+  explicit NativeRuntime(std::vector<sim::Board*> boards);
+
+  [[nodiscard]] std::string name() const override { return "native"; }
+  Result<std::vector<ocl::PlatformInfo>> platforms() override;
+  Result<std::vector<ocl::DeviceInfo>> devices() override;
+  Result<std::unique_ptr<ocl::Context>> create_context(
+      const std::string& device_id, ocl::Session& session) override;
+
+  [[nodiscard]] sim::Board* find_board(const std::string& device_id) const;
+
+ private:
+  std::vector<sim::Board*> boards_;
+};
+
+ocl::DeviceInfo describe_board(const sim::Board& board);
+
+}  // namespace bf::native

@@ -1,0 +1,286 @@
+#include "net/endpoint.h"
+
+#include "common/log.h"
+
+namespace bf::net {
+
+Connection::Connection(ServerEndpoint* endpoint, std::string peer,
+                       TransportCost cost, vt::Gate::Source source,
+                       vt::Time connect_time)
+    : endpoint_(endpoint),
+      peer_(std::move(peer)),
+      cost_(cost),
+      source_(std::move(source)),
+      client_bound_(connect_time),
+      last_arrival_(connect_time),
+      last_send_(connect_time) {}
+
+Connection::~Connection() { close(); }
+
+Frame Connection::make_request(proto::Method method, std::uint64_t correlation,
+                               Bytes payload, vt::Cursor& cursor) {
+  Frame frame;
+  frame.kind = Frame::Kind::kRequest;
+  frame.method = method;
+  frame.correlation = correlation;
+  frame.payload = std::move(payload);
+  cursor.advance(cost_.send_cost(frame.wire_size()));
+  frame.send_time = cursor.now();
+  frame.arrival_time =
+      frame.send_time + cost_.deliver_cost(frame.wire_size());
+  return frame;
+}
+
+Frame Connection::make_server_frame(Frame::Kind kind, proto::Method method,
+                                    std::uint64_t correlation, Bytes payload,
+                                    vt::Time server_time) {
+  Frame frame;
+  frame.kind = kind;
+  frame.method = method;
+  frame.correlation = correlation;
+  frame.payload = std::move(payload);
+  frame.send_time = server_time;
+  frame.arrival_time = server_time + cost_.deliver_cost(frame.wire_size());
+  return frame;
+}
+
+Result<Frame> Connection::call(proto::Method method, Bytes payload,
+                               vt::Cursor& cursor) {
+  if (closed_.load()) return Unavailable("connection closed");
+  std::uint64_t call_id = 0;
+  {
+    std::lock_guard lock(pending_mutex_);
+    call_id = next_call_id_++;
+    pending_replies_[call_id] = std::nullopt;
+  }
+
+  Frame frame = make_request(method, call_id, std::move(payload), cursor);
+  {
+    std::lock_guard lock(bound_mutex_);
+    frame.arrival_time = vt::max(frame.arrival_time, last_arrival_);
+    last_arrival_ = frame.arrival_time;
+    last_send_ = frame.send_time;
+    inflight_arrivals_.push_back(frame.arrival_time);
+    // Blocked until the reply: infinite bound, re-anchored by wake_announce
+    // when the reply lands. In-flight stamps keep the effective bound down
+    // until the dispatcher has admitted the request.
+    client_bound_ = vt::Time::infinite();
+    wait_tag_ = WaitTag::kReply;
+    wait_id_ = call_id;
+    publish_locked();
+  }
+  if (!inbox_.push(std::move(frame))) {
+    std::lock_guard lock(pending_mutex_);
+    pending_replies_.erase(call_id);
+    announce(cursor.now());
+    return Unavailable("connection closed");
+  }
+
+  Frame reply;
+  {
+    std::unique_lock lock(pending_mutex_);
+    pending_cv_.wait(lock, [&] {
+      auto it = pending_replies_.find(call_id);
+      return closed_.load() || it == pending_replies_.end() ||
+             it->second.has_value();
+    });
+    auto it = pending_replies_.find(call_id);
+    if (it == pending_replies_.end() || !it->second.has_value()) {
+      pending_replies_.erase(call_id);
+      announce(cursor.now());
+      return Unavailable("connection closed during call");
+    }
+    reply = std::move(*it->second);
+    pending_replies_.erase(it);
+  }
+  cursor.advance_to(reply.arrival_time);
+  // First action after waking: re-own the bound at our new position.
+  announce(cursor.now());
+  return reply;
+}
+
+Status Connection::send(proto::Method method, std::uint64_t correlation,
+                        Bytes payload, vt::Cursor& cursor) {
+  if (closed_.load()) return Unavailable("connection closed");
+  Frame frame = make_request(method, correlation, std::move(payload), cursor);
+  {
+    std::lock_guard lock(bound_mutex_);
+    frame.arrival_time = vt::max(frame.arrival_time, last_arrival_);
+    last_arrival_ = frame.arrival_time;
+    last_send_ = frame.send_time;
+    inflight_arrivals_.push_back(frame.arrival_time);
+    client_bound_ = frame.send_time;
+    wait_tag_ = WaitTag::kNone;
+    publish_locked();
+  }
+  if (!inbox_.push(std::move(frame))) {
+    return Unavailable("connection closed");
+  }
+  return Status::Ok();
+}
+
+void Connection::prepare_wait(WaitTag tag, std::uint64_t id) {
+  std::lock_guard lock(bound_mutex_);
+  client_bound_ = vt::Time::infinite();
+  wait_tag_ = tag;
+  wait_id_ = id;
+  publish_locked();
+}
+
+void Connection::wake_announce(WaitTag tag, std::uint64_t id, vt::Time at) {
+  std::lock_guard lock(bound_mutex_);
+  if (wait_tag_ != tag || wait_id_ != id) return;
+  // The sleeper's next emission follows this wake frame. Anchor the bound
+  // before the sleeper can resume.
+  client_bound_ = at;
+  wait_tag_ = WaitTag::kNone;
+  publish_locked();
+}
+
+void Connection::announce(vt::Time t) { client_announce(t); }
+
+void Connection::close() {
+  if (closed_.exchange(true)) return;
+  inbox_.close();
+  notifications_.close();
+  pending_cv_.notify_all();
+  // Unregister from the gate so the worker no longer waits on us.
+  source_ = vt::Gate::Source();
+}
+
+std::optional<Frame> Connection::next_request() {
+  on_processed();
+  auto frame = inbox_.pop();
+  if (!frame.has_value()) return std::nullopt;
+  on_pop(frame->arrival_time);
+  return frame;
+}
+
+void Connection::done_processing() { on_processed(); }
+
+void Connection::reply(const Frame& request, Bytes payload,
+                       vt::Time server_time) {
+  Frame frame = make_server_frame(Frame::Kind::kReply, request.method,
+                                  request.correlation, std::move(payload),
+                                  server_time);
+  wake_announce(WaitTag::kReply, frame.correlation, frame.arrival_time);
+  {
+    std::lock_guard lock(pending_mutex_);
+    auto it = pending_replies_.find(frame.correlation);
+    if (it != pending_replies_.end()) {
+      it->second = std::move(frame);
+      pending_cv_.notify_all();
+      return;
+    }
+  }
+  BF_LOG_WARN("net") << "dropping reply for unknown call "
+                     << frame.correlation << " on " << peer_;
+}
+
+void Connection::notify(proto::Method method, std::uint64_t correlation,
+                        Bytes payload, vt::Time server_time) {
+  Frame frame = make_server_frame(Frame::Kind::kNotify, method, correlation,
+                                  std::move(payload), server_time);
+  // Op completions wake event waiters. The bound must be re-anchored
+  // atomically with delivery — if it were left to the receiver's pump
+  // thread, the worker could race past and execute a later-stamped tenant's
+  // task before this client's next (earlier-stamped) request materializes.
+  if (method == proto::Method::kOpComplete) {
+    wake_announce(WaitTag::kEvent, correlation, frame.arrival_time);
+  }
+  notifications_.push(std::move(frame));
+}
+
+// ---- bound arbitration -------------------------------------------------------
+
+void Connection::client_announce(vt::Time t) {
+  std::lock_guard lock(bound_mutex_);
+  client_bound_ = t;
+  wait_tag_ = WaitTag::kNone;
+  publish_locked();
+}
+
+void Connection::on_pop(vt::Time arrival) {
+  std::lock_guard lock(bound_mutex_);
+  if (!inflight_arrivals_.empty()) inflight_arrivals_.pop_front();
+  processing_ = arrival;
+  publish_locked();
+}
+
+void Connection::on_processed() {
+  std::lock_guard lock(bound_mutex_);
+  processing_ = vt::Time::infinite();
+  publish_locked();
+}
+
+void Connection::publish_locked() {
+  vt::Time bound = client_bound_;
+  if (!inflight_arrivals_.empty() && inflight_arrivals_.front() < bound) {
+    bound = inflight_arrivals_.front();
+  }
+  if (processing_ < bound) bound = processing_;
+  source_.announce(bound);
+}
+
+// ---- ServerEndpoint -----------------------------------------------------------
+
+ServerEndpoint::ServerEndpoint(std::string address)
+    : address_(std::move(address)) {}
+
+ServerEndpoint::~ServerEndpoint() { shutdown(); }
+
+void ServerEndpoint::set_handler(
+    std::function<void(std::shared_ptr<Connection>)> handler) {
+  std::lock_guard lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+Result<std::shared_ptr<Connection>> ServerEndpoint::connect(
+    const std::string& peer, TransportCost cost, vt::Cursor& cursor) {
+  if (shutdown_.load()) {
+    return Unavailable("endpoint " + address_ + " is shut down");
+  }
+  std::function<void(std::shared_ptr<Connection>)> handler;
+  {
+    std::lock_guard lock(mutex_);
+    handler = handler_;
+  }
+  if (!handler) {
+    return FailedPrecondition("endpoint " + address_ + " has no handler");
+  }
+  // TCP + gRPC channel setup.
+  cursor.advance(vt::Duration::micros(400));
+  auto connection = std::make_shared<Connection>(
+      this, peer, cost, gate_.register_source(cursor.now()), cursor.now());
+  {
+    std::lock_guard lock(mutex_);
+    connections_.push_back(connection);
+  }
+  handler(connection);
+  return connection;
+}
+
+void ServerEndpoint::shutdown() {
+  if (shutdown_.exchange(true)) return;
+  std::vector<std::weak_ptr<Connection>> connections;
+  {
+    std::lock_guard lock(mutex_);
+    connections = connections_;
+  }
+  for (auto& weak : connections) {
+    if (auto connection = weak.lock()) connection->close();
+  }
+  gate_.shutdown();
+}
+
+std::size_t ServerEndpoint::connection_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& weak : connections_) {
+    auto connection = weak.lock();
+    if (connection && !connection->closed()) ++count;
+  }
+  return count;
+}
+
+}  // namespace bf::net

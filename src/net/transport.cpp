@@ -1,0 +1,44 @@
+#include "net/transport.h"
+
+namespace bf::net {
+namespace {
+
+constexpr double kGiBps = 1024.0 * 1024.0 * 1024.0;
+
+// One-way per-message latency of a local gRPC hop (HTTP/2 framing, loopback
+// TCP, event-loop handoffs). Calibrated so a 4-message op group costs ~2 ms
+// (Fig 4b/4c floor): grpc_control_rtt / 4 per direction, x2 directions.
+vt::Duration hop_latency(const sim::NodeProfile& node) {
+  return vt::Duration::nanos(node.grpc_control_rtt.ns() / 4);
+}
+
+}  // namespace
+
+TransportCost local_grpc(const sim::NodeProfile& node) {
+  // Loopback TCP bandwidth ~8 GiB/s; 3 extra data copies (paper §III-B:
+  // four copies total versus one for shm).
+  return TransportCost(node.serialization,
+                       sim::LinkModel(hop_latency(node), 8.0 * kGiBps),
+                       node.memcpy_model, /*extra_copies=*/3);
+}
+
+TransportCost local_control(const sim::NodeProfile& node) {
+  // Control frames only: same fixed hop latency; payloads are tiny but still
+  // pay serialization per byte so oversized control messages show up.
+  return TransportCost(node.serialization,
+                       sim::LinkModel(hop_latency(node), 8.0 * kGiBps),
+                       node.memcpy_model, /*extra_copies=*/0);
+}
+
+TransportCost remote_grpc(const sim::NodeProfile& sender,
+                          const sim::NodeProfile& receiver) {
+  // 1 Gb/s ethernet (~119 MiB/s) + switch latency; copies happen on the
+  // receiving host.
+  const vt::Duration latency =
+      hop_latency(sender) + vt::Duration::micros(300);
+  return TransportCost(sender.serialization,
+                       sim::LinkModel(latency, 119.0 * 1024 * 1024),
+                       receiver.memcpy_model, /*extra_copies=*/3);
+}
+
+}  // namespace bf::net

@@ -1,0 +1,65 @@
+// Transport cost models for the gRPC-analogue fabric.
+//
+// The paper's measurements (§IV-A) attribute the gRPC data-path penalty to
+// protobuf serialization plus three extra data copies versus one for the
+// shared-memory path. We charge exactly those components:
+//
+//   sender:   encode(bytes)                      (advances sender cursor)
+//   in-flight: link latency + bytes/bandwidth
+//   receiver: decode(bytes) + extra_copies * memcpy(bytes)
+//
+// Control frames are a few hundred bytes, so they pay essentially the fixed
+// per-message latency — the ~2 ms control floor of Figure 4.
+#pragma once
+
+#include "sim/costmodel.h"
+#include "vt/time.h"
+
+namespace bf::net {
+
+class TransportCost {
+ public:
+  TransportCost() = default;
+  TransportCost(sim::SerializationModel serialization, sim::LinkModel link,
+                sim::CopyModel copy, unsigned extra_copies)
+      : serialization_(serialization),
+        link_(link),
+        copy_(copy),
+        extra_copies_(extra_copies) {}
+
+  // Charged on the sending thread before the frame departs.
+  [[nodiscard]] vt::Duration send_cost(std::size_t bytes) const {
+    return serialization_.encode_time(bytes);
+  }
+
+  // Wire + receive-side costs; arrival = send_time + deliver_cost.
+  [[nodiscard]] vt::Duration deliver_cost(std::size_t bytes) const {
+    vt::Duration total = link_.transfer_time(bytes);
+    total += serialization_.encode_time(bytes);  // decode ~ encode
+    for (unsigned i = 0; i < extra_copies_; ++i) {
+      total += copy_.copy_time(bytes);
+    }
+    return total;
+  }
+
+ private:
+  sim::SerializationModel serialization_;
+  sim::LinkModel link_;
+  sim::CopyModel copy_;
+  unsigned extra_copies_ = 0;
+};
+
+// Local (same-node) gRPC over the container virtual network: the data path
+// the paper calls plain "BlastFunction".
+TransportCost local_grpc(const sim::NodeProfile& node);
+
+// Local control-plane-only transport used when payloads travel via shared
+// memory ("BlastFunction shm"): same message latency, no bulk costs charged
+// here (the single copy is charged by bf::shm).
+TransportCost local_control(const sim::NodeProfile& node);
+
+// Cross-node gRPC over the 1 Gb/s cluster ethernet.
+TransportCost remote_grpc(const sim::NodeProfile& sender,
+                          const sim::NodeProfile& receiver);
+
+}  // namespace bf::net

@@ -1,0 +1,523 @@
+#include "ocl/capi.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bf::ocl::capi {
+namespace {
+
+// Per-thread object tables (the ICD dispatch state). Thread-local keeps
+// independent tenants in one test process from seeing each other's handles,
+// mirroring per-process state in a real deployment.
+struct ObjectTable {
+  Binding binding;
+  std::vector<std::unique_ptr<PlatformHandle>> platforms;
+  std::vector<std::unique_ptr<DeviceHandle>> devices;
+  std::vector<std::unique_ptr<ContextHandle>> contexts;
+  std::vector<std::unique_ptr<QueueHandle>> queues;
+  std::vector<std::unique_ptr<MemHandleC>> mems;
+  std::vector<std::unique_ptr<KernelHandle>> kernels;
+  std::vector<std::unique_ptr<EventHandle>> events;
+};
+
+thread_local ObjectTable g_table;
+
+bfcl_int map_status(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return BFCL_SUCCESS;
+    case StatusCode::kNotFound: return BFCL_INVALID_KERNEL_NAME;
+    case StatusCode::kResourceExhausted:
+      return BFCL_MEM_OBJECT_ALLOCATION_FAILURE;
+    case StatusCode::kInvalidArgument: return BFCL_INVALID_VALUE;
+    case StatusCode::kFailedPrecondition: return BFCL_INVALID_OPERATION;
+    default: return BFCL_OUT_OF_RESOURCES;
+  }
+}
+
+template <typename T, typename Vec>
+bool known(const Vec& vec, const T* handle) {
+  for (const auto& owned : vec) {
+    if (owned.get() == handle) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+struct PlatformHandle {
+  PlatformInfo info;
+};
+
+struct DeviceHandle {
+  DeviceInfo info;
+};
+
+struct ContextHandle {
+  std::unique_ptr<Context> context;
+};
+
+struct QueueHandle {
+  ContextHandle* owner = nullptr;
+  std::unique_ptr<CommandQueue> queue;
+};
+
+struct MemHandleC {
+  ContextHandle* owner = nullptr;
+  Buffer buffer;
+};
+
+struct KernelHandle {
+  ContextHandle* owner = nullptr;
+  Kernel kernel;
+};
+
+struct EventHandle {
+  EventPtr event;
+  int refcount = 1;
+};
+
+Binding bind(Runtime* runtime, Session* session) {
+  Binding previous = g_table.binding;
+  g_table.binding = Binding{runtime, session};
+  return previous;
+}
+
+Binding current_binding() { return g_table.binding; }
+
+void reset_binding_objects() {
+  g_table.events.clear();
+  g_table.kernels.clear();
+  g_table.mems.clear();
+  g_table.queues.clear();
+  g_table.contexts.clear();
+  g_table.devices.clear();
+  g_table.platforms.clear();
+}
+
+bfcl_int bfclGetPlatformIDs(bfcl_uint num_entries,
+                            bfcl_platform_id* platforms,
+                            bfcl_uint* num_platforms) {
+  if (g_table.binding.runtime == nullptr) return BFCL_INVALID_PLATFORM;
+  if (platforms == nullptr && num_platforms == nullptr) {
+    return BFCL_INVALID_VALUE;
+  }
+  auto list = g_table.binding.runtime->platforms();
+  if (!list.ok()) return map_status(list.status());
+  if (num_platforms != nullptr) {
+    *num_platforms = static_cast<bfcl_uint>(list.value().size());
+  }
+  if (platforms != nullptr) {
+    if (num_entries == 0) return BFCL_INVALID_VALUE;
+    const bfcl_uint n =
+        std::min<bfcl_uint>(num_entries,
+                            static_cast<bfcl_uint>(list.value().size()));
+    for (bfcl_uint i = 0; i < n; ++i) {
+      auto handle = std::make_unique<PlatformHandle>();
+      handle->info = list.value()[i];
+      platforms[i] = handle.get();
+      g_table.platforms.push_back(std::move(handle));
+    }
+  }
+  return BFCL_SUCCESS;
+}
+
+bfcl_int bfclGetDeviceIDs(bfcl_platform_id platform, bfcl_uint num_entries,
+                          bfcl_device_id* devices, bfcl_uint* num_devices) {
+  if (g_table.binding.runtime == nullptr) return BFCL_INVALID_PLATFORM;
+  if (platform == nullptr || !known(g_table.platforms, platform)) {
+    return BFCL_INVALID_PLATFORM;
+  }
+  if (devices == nullptr && num_devices == nullptr) return BFCL_INVALID_VALUE;
+  auto all = g_table.binding.runtime->devices();
+  if (!all.ok()) return map_status(all.status());
+  // Restrict to the platform's device list.
+  std::vector<DeviceInfo> matching;
+  for (const DeviceInfo& info : all.value()) {
+    for (const std::string& id : platform->info.device_ids) {
+      if (id == info.id) matching.push_back(info);
+    }
+  }
+  if (matching.empty()) return BFCL_DEVICE_NOT_FOUND;
+  if (num_devices != nullptr) {
+    *num_devices = static_cast<bfcl_uint>(matching.size());
+  }
+  if (devices != nullptr) {
+    if (num_entries == 0) return BFCL_INVALID_VALUE;
+    const bfcl_uint n = std::min<bfcl_uint>(
+        num_entries, static_cast<bfcl_uint>(matching.size()));
+    for (bfcl_uint i = 0; i < n; ++i) {
+      auto handle = std::make_unique<DeviceHandle>();
+      handle->info = matching[i];
+      devices[i] = handle.get();
+      g_table.devices.push_back(std::move(handle));
+    }
+  }
+  return BFCL_SUCCESS;
+}
+
+bfcl_int bfclGetDeviceInfo(bfcl_device_id device, bfcl_uint param_name,
+                           std::size_t param_value_size, void* param_value,
+                           std::size_t* param_value_size_ret) {
+  if (device == nullptr || !known(g_table.devices, device)) {
+    return BFCL_INVALID_DEVICE;
+  }
+  auto write_string = [&](const std::string& value) -> bfcl_int {
+    const std::size_t needed = value.size() + 1;
+    if (param_value_size_ret != nullptr) *param_value_size_ret = needed;
+    if (param_value != nullptr) {
+      if (param_value_size < needed) return BFCL_INVALID_VALUE;
+      std::memcpy(param_value, value.c_str(), needed);
+    }
+    return BFCL_SUCCESS;
+  };
+  switch (param_name) {
+    case BFCL_DEVICE_NAME: return write_string(device->info.name);
+    case BFCL_DEVICE_VENDOR: return write_string(device->info.vendor);
+    case BFCL_DEVICE_GLOBAL_MEM_SIZE: {
+      if (param_value_size_ret != nullptr) {
+        *param_value_size_ret = sizeof(std::uint64_t);
+      }
+      if (param_value != nullptr) {
+        if (param_value_size < sizeof(std::uint64_t)) {
+          return BFCL_INVALID_VALUE;
+        }
+        std::memcpy(param_value, &device->info.global_memory_bytes,
+                    sizeof(std::uint64_t));
+      }
+      return BFCL_SUCCESS;
+    }
+    default:
+      return BFCL_INVALID_VALUE;
+  }
+}
+
+bfcl_context bfclCreateContext(const bfcl_device_id* devices,
+                               bfcl_uint num_devices, bfcl_int* errcode_ret) {
+  auto fail = [&](bfcl_int code) -> bfcl_context {
+    if (errcode_ret != nullptr) *errcode_ret = code;
+    return nullptr;
+  };
+  if (g_table.binding.runtime == nullptr ||
+      g_table.binding.session == nullptr) {
+    return fail(BFCL_INVALID_PLATFORM);
+  }
+  if (devices == nullptr || num_devices != 1) {
+    return fail(BFCL_INVALID_VALUE);
+  }
+  if (devices[0] == nullptr || !known(g_table.devices, devices[0])) {
+    return fail(BFCL_INVALID_DEVICE);
+  }
+  auto context = g_table.binding.runtime->create_context(
+      devices[0]->info.id, *g_table.binding.session);
+  if (!context.ok()) return fail(map_status(context.status()));
+  auto handle = std::make_unique<ContextHandle>();
+  handle->context = std::move(context.value());
+  bfcl_context out = handle.get();
+  g_table.contexts.push_back(std::move(handle));
+  if (errcode_ret != nullptr) *errcode_ret = BFCL_SUCCESS;
+  return out;
+}
+
+bfcl_int bfclReleaseContext(bfcl_context context) {
+  for (auto it = g_table.contexts.begin(); it != g_table.contexts.end();
+       ++it) {
+    if (it->get() == context) {
+      g_table.contexts.erase(it);
+      return BFCL_SUCCESS;
+    }
+  }
+  return BFCL_INVALID_CONTEXT;
+}
+
+bfcl_int bfclProgramWithBitstream(bfcl_context context,
+                                  const char* bitstream_id) {
+  if (context == nullptr || !known(g_table.contexts, context)) {
+    return BFCL_INVALID_CONTEXT;
+  }
+  if (bitstream_id == nullptr) return BFCL_INVALID_VALUE;
+  Status programmed = context->context->program(bitstream_id);
+  if (!programmed.ok()) {
+    return programmed.code() == StatusCode::kNotFound
+               ? BFCL_INVALID_PROGRAM
+               : map_status(programmed);
+  }
+  return BFCL_SUCCESS;
+}
+
+bfcl_command_queue bfclCreateCommandQueue(bfcl_context context,
+                                          bfcl_device_id device,
+                                          bfcl_int* errcode_ret) {
+  auto fail = [&](bfcl_int code) -> bfcl_command_queue {
+    if (errcode_ret != nullptr) *errcode_ret = code;
+    return nullptr;
+  };
+  if (context == nullptr || !known(g_table.contexts, context)) {
+    return fail(BFCL_INVALID_CONTEXT);
+  }
+  if (device != nullptr && !known(g_table.devices, device)) {
+    return fail(BFCL_INVALID_DEVICE);
+  }
+  auto queue = context->context->create_queue();
+  if (!queue.ok()) return fail(map_status(queue.status()));
+  auto handle = std::make_unique<QueueHandle>();
+  handle->owner = context;
+  handle->queue = std::move(queue.value());
+  bfcl_command_queue out = handle.get();
+  g_table.queues.push_back(std::move(handle));
+  if (errcode_ret != nullptr) *errcode_ret = BFCL_SUCCESS;
+  return out;
+}
+
+bfcl_int bfclReleaseCommandQueue(bfcl_command_queue queue) {
+  for (auto it = g_table.queues.begin(); it != g_table.queues.end(); ++it) {
+    if (it->get() == queue) {
+      g_table.queues.erase(it);
+      return BFCL_SUCCESS;
+    }
+  }
+  return BFCL_INVALID_COMMAND_QUEUE;
+}
+
+bfcl_mem bfclCreateBuffer(bfcl_context context, std::size_t size,
+                          bfcl_int* errcode_ret) {
+  auto fail = [&](bfcl_int code) -> bfcl_mem {
+    if (errcode_ret != nullptr) *errcode_ret = code;
+    return nullptr;
+  };
+  if (context == nullptr || !known(g_table.contexts, context)) {
+    return fail(BFCL_INVALID_CONTEXT);
+  }
+  if (size == 0) return fail(BFCL_INVALID_VALUE);
+  auto buffer = context->context->create_buffer(size);
+  if (!buffer.ok()) return fail(map_status(buffer.status()));
+  auto handle = std::make_unique<MemHandleC>();
+  handle->owner = context;
+  handle->buffer = buffer.value();
+  bfcl_mem out = handle.get();
+  g_table.mems.push_back(std::move(handle));
+  if (errcode_ret != nullptr) *errcode_ret = BFCL_SUCCESS;
+  return out;
+}
+
+bfcl_int bfclReleaseMemObject(bfcl_mem mem) {
+  for (auto it = g_table.mems.begin(); it != g_table.mems.end(); ++it) {
+    if (it->get() == mem) {
+      (void)(*it)->owner->context->release_buffer((*it)->buffer);
+      g_table.mems.erase(it);
+      return BFCL_SUCCESS;
+    }
+  }
+  return BFCL_INVALID_MEM_OBJECT;
+}
+
+bfcl_kernel bfclCreateKernel(bfcl_context context, const char* kernel_name,
+                             bfcl_int* errcode_ret) {
+  auto fail = [&](bfcl_int code) -> bfcl_kernel {
+    if (errcode_ret != nullptr) *errcode_ret = code;
+    return nullptr;
+  };
+  if (context == nullptr || !known(g_table.contexts, context)) {
+    return fail(BFCL_INVALID_CONTEXT);
+  }
+  if (kernel_name == nullptr) return fail(BFCL_INVALID_VALUE);
+  auto kernel = context->context->create_kernel(kernel_name);
+  if (!kernel.ok()) return fail(BFCL_INVALID_KERNEL_NAME);
+  auto handle = std::make_unique<KernelHandle>();
+  handle->owner = context;
+  handle->kernel = std::move(kernel.value());
+  bfcl_kernel out = handle.get();
+  g_table.kernels.push_back(std::move(handle));
+  if (errcode_ret != nullptr) *errcode_ret = BFCL_SUCCESS;
+  return out;
+}
+
+bfcl_int bfclReleaseKernel(bfcl_kernel kernel) {
+  for (auto it = g_table.kernels.begin(); it != g_table.kernels.end(); ++it) {
+    if (it->get() == kernel) {
+      g_table.kernels.erase(it);
+      return BFCL_SUCCESS;
+    }
+  }
+  return BFCL_INVALID_KERNEL;
+}
+
+bfcl_int bfclSetKernelArg(bfcl_kernel kernel, bfcl_uint arg_index,
+                          std::size_t arg_size, const void* arg_value) {
+  if (kernel == nullptr || !known(g_table.kernels, kernel)) {
+    return BFCL_INVALID_KERNEL;
+  }
+  if (arg_value == nullptr) return BFCL_INVALID_VALUE;
+  if (arg_size == sizeof(bfcl_mem)) {
+    // Could be a buffer handle — check against the table first (the spec
+    // passes cl_mem by pointer-to-handle).
+    bfcl_mem mem = nullptr;
+    std::memcpy(&mem, arg_value, sizeof(mem));
+    if (mem != nullptr && known(g_table.mems, mem)) {
+      kernel->kernel.set_arg(arg_index, mem->buffer);
+      return BFCL_SUCCESS;
+    }
+  }
+  switch (arg_size) {
+    case 4: {
+      std::int32_t value = 0;
+      std::memcpy(&value, arg_value, sizeof(value));
+      kernel->kernel.set_arg(arg_index, static_cast<std::int64_t>(value));
+      return BFCL_SUCCESS;
+    }
+    case 8: {
+      std::int64_t value = 0;
+      std::memcpy(&value, arg_value, sizeof(value));
+      kernel->kernel.set_arg(arg_index, value);
+      return BFCL_SUCCESS;
+    }
+    default:
+      return BFCL_INVALID_ARG_INDEX;
+  }
+}
+
+namespace {
+
+bfcl_int finish_enqueue(Result<EventPtr> result, bfcl_event* event_out) {
+  if (!result.ok()) return map_status(result.status());
+  if (event_out != nullptr) {
+    auto handle = std::make_unique<EventHandle>();
+    handle->event = result.value();
+    *event_out = handle.get();
+    g_table.events.push_back(std::move(handle));
+  }
+  return BFCL_SUCCESS;
+}
+
+}  // namespace
+
+bfcl_int bfclEnqueueWriteBuffer(bfcl_command_queue queue, bfcl_mem buffer,
+                                bfcl_bool blocking_write, std::size_t offset,
+                                std::size_t size, const void* ptr,
+                                bfcl_event* event) {
+  if (queue == nullptr || !known(g_table.queues, queue)) {
+    return BFCL_INVALID_COMMAND_QUEUE;
+  }
+  if (buffer == nullptr || !known(g_table.mems, buffer)) {
+    return BFCL_INVALID_MEM_OBJECT;
+  }
+  if (ptr == nullptr) return BFCL_INVALID_VALUE;
+  return finish_enqueue(
+      queue->queue->enqueue_write(buffer->buffer, offset,
+                                  as_bytes(ptr, size),
+                                  blocking_write == BFCL_TRUE),
+      event);
+}
+
+bfcl_int bfclEnqueueReadBuffer(bfcl_command_queue queue, bfcl_mem buffer,
+                               bfcl_bool blocking_read, std::size_t offset,
+                               std::size_t size, void* ptr,
+                               bfcl_event* event) {
+  if (queue == nullptr || !known(g_table.queues, queue)) {
+    return BFCL_INVALID_COMMAND_QUEUE;
+  }
+  if (buffer == nullptr || !known(g_table.mems, buffer)) {
+    return BFCL_INVALID_MEM_OBJECT;
+  }
+  if (ptr == nullptr) return BFCL_INVALID_VALUE;
+  return finish_enqueue(
+      queue->queue->enqueue_read(buffer->buffer, offset,
+                                 as_writable_bytes(ptr, size),
+                                 blocking_read == BFCL_TRUE),
+      event);
+}
+
+bfcl_int bfclEnqueueNDRangeKernel(bfcl_command_queue queue,
+                                  bfcl_kernel kernel, bfcl_uint work_dim,
+                                  const std::size_t* global_work_size,
+                                  bfcl_event* event) {
+  if (queue == nullptr || !known(g_table.queues, queue)) {
+    return BFCL_INVALID_COMMAND_QUEUE;
+  }
+  if (kernel == nullptr || !known(g_table.kernels, kernel)) {
+    return BFCL_INVALID_KERNEL;
+  }
+  if (work_dim < 1 || work_dim > 3 || global_work_size == nullptr) {
+    return BFCL_INVALID_VALUE;
+  }
+  NdRange range;
+  range.x = global_work_size[0];
+  range.y = work_dim > 1 ? global_work_size[1] : 1;
+  range.z = work_dim > 2 ? global_work_size[2] : 1;
+  return finish_enqueue(queue->queue->enqueue_kernel(kernel->kernel, range),
+                        event);
+}
+
+bfcl_int bfclFlush(bfcl_command_queue queue) {
+  if (queue == nullptr || !known(g_table.queues, queue)) {
+    return BFCL_INVALID_COMMAND_QUEUE;
+  }
+  return queue->queue->flush().ok() ? BFCL_SUCCESS : BFCL_OUT_OF_RESOURCES;
+}
+
+bfcl_int bfclFinish(bfcl_command_queue queue) {
+  if (queue == nullptr || !known(g_table.queues, queue)) {
+    return BFCL_INVALID_COMMAND_QUEUE;
+  }
+  return queue->queue->finish().ok() ? BFCL_SUCCESS : BFCL_OUT_OF_RESOURCES;
+}
+
+bfcl_int bfclWaitForEvents(bfcl_uint num_events, const bfcl_event* events) {
+  if (num_events == 0 || events == nullptr) return BFCL_INVALID_VALUE;
+  for (bfcl_uint i = 0; i < num_events; ++i) {
+    if (events[i] == nullptr || !known(g_table.events, events[i])) {
+      return BFCL_INVALID_EVENT;
+    }
+    if (!events[i]->event->wait().ok()) return BFCL_OUT_OF_RESOURCES;
+  }
+  return BFCL_SUCCESS;
+}
+
+bfcl_int bfclGetEventInfo(bfcl_event event, bfcl_uint param_name,
+                          std::size_t param_value_size, void* param_value,
+                          std::size_t* param_value_size_ret) {
+  if (event == nullptr || !known(g_table.events, event)) {
+    return BFCL_INVALID_EVENT;
+  }
+  if (param_name != BFCL_EVENT_COMMAND_EXECUTION_STATUS) {
+    return BFCL_INVALID_VALUE;
+  }
+  bfcl_int status = BFCL_QUEUED;
+  switch (event->event->status()) {
+    case EventStatus::kQueued: status = BFCL_QUEUED; break;
+    case EventStatus::kSubmitted: status = BFCL_SUBMITTED; break;
+    case EventStatus::kRunning: status = BFCL_RUNNING; break;
+    case EventStatus::kComplete: status = BFCL_COMPLETE; break;
+    case EventStatus::kError: status = -1; break;
+  }
+  if (param_value_size_ret != nullptr) {
+    *param_value_size_ret = sizeof(bfcl_int);
+  }
+  if (param_value != nullptr) {
+    if (param_value_size < sizeof(bfcl_int)) return BFCL_INVALID_VALUE;
+    std::memcpy(param_value, &status, sizeof(status));
+  }
+  return BFCL_SUCCESS;
+}
+
+bfcl_int bfclRetainEvent(bfcl_event event) {
+  if (event == nullptr || !known(g_table.events, event)) {
+    return BFCL_INVALID_EVENT;
+  }
+  ++event->refcount;
+  return BFCL_SUCCESS;
+}
+
+bfcl_int bfclReleaseEvent(bfcl_event event) {
+  for (auto it = g_table.events.begin(); it != g_table.events.end(); ++it) {
+    if (it->get() == event) {
+      if (--(*it)->refcount == 0) g_table.events.erase(it);
+      return BFCL_SUCCESS;
+    }
+  }
+  return BFCL_INVALID_EVENT;
+}
+
+}  // namespace bf::ocl::capi

@@ -1,0 +1,162 @@
+// C-style OpenCL API shim (the `bfcl` API).
+//
+// The paper's transparency claim is that existing OpenCL host code links
+// against BlastFunction's library "without code rewriting" (§I, §III-A).
+// This header provides the classic C API surface — bfclGetPlatformIDs,
+// bfclCreateBuffer, bfclEnqueueNDRangeKernel, ... — implemented on top of
+// bf::ocl::Runtime, so host code written in the familiar style compiles and
+// runs against either the Native runtime or the Remote OpenCL Library.
+//
+// Names carry a `bfcl` prefix instead of `cl` so the shim can coexist with a
+// real OpenCL installation in the same process; the signatures mirror the
+// OpenCL 1.2 entry points this reproduction uses.
+//
+// Handle model: opaque pointers backed by a per-binding object table, as in
+// a real ICD. Every object created through the shim must be released with
+// the matching bfclRelease* call (retain/release reference counting is
+// supported like the spec requires).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ocl/runtime.h"
+
+namespace bf::ocl::capi {
+
+// ---- types mirroring the OpenCL C API ----------------------------------------
+
+using bfcl_int = std::int32_t;
+using bfcl_uint = std::uint32_t;
+using bfcl_bool = std::uint32_t;
+
+struct PlatformHandle;
+struct DeviceHandle;
+struct ContextHandle;
+struct QueueHandle;
+struct MemHandleC;
+struct KernelHandle;
+struct EventHandle;
+
+using bfcl_platform_id = PlatformHandle*;
+using bfcl_device_id = DeviceHandle*;
+using bfcl_context = ContextHandle*;
+using bfcl_command_queue = QueueHandle*;
+using bfcl_mem = MemHandleC*;
+using bfcl_kernel = KernelHandle*;
+using bfcl_event = EventHandle*;
+
+// Error codes (subset, values as in CL/cl.h).
+inline constexpr bfcl_int BFCL_SUCCESS = 0;
+inline constexpr bfcl_int BFCL_DEVICE_NOT_FOUND = -1;
+inline constexpr bfcl_int BFCL_OUT_OF_RESOURCES = -5;
+inline constexpr bfcl_int BFCL_MEM_OBJECT_ALLOCATION_FAILURE = -4;
+inline constexpr bfcl_int BFCL_INVALID_VALUE = -30;
+inline constexpr bfcl_int BFCL_INVALID_PLATFORM = -32;
+inline constexpr bfcl_int BFCL_INVALID_DEVICE = -33;
+inline constexpr bfcl_int BFCL_INVALID_CONTEXT = -34;
+inline constexpr bfcl_int BFCL_INVALID_COMMAND_QUEUE = -36;
+inline constexpr bfcl_int BFCL_INVALID_MEM_OBJECT = -38;
+inline constexpr bfcl_int BFCL_INVALID_PROGRAM = -44;
+inline constexpr bfcl_int BFCL_INVALID_KERNEL_NAME = -46;
+inline constexpr bfcl_int BFCL_INVALID_KERNEL = -48;
+inline constexpr bfcl_int BFCL_INVALID_ARG_INDEX = -49;
+inline constexpr bfcl_int BFCL_INVALID_EVENT = -58;
+inline constexpr bfcl_int BFCL_INVALID_OPERATION = -59;
+
+inline constexpr bfcl_bool BFCL_TRUE = 1;
+inline constexpr bfcl_bool BFCL_FALSE = 0;
+
+// clGetDeviceInfo / clGetEventInfo param names (subset).
+inline constexpr bfcl_uint BFCL_DEVICE_NAME = 0x102B;
+inline constexpr bfcl_uint BFCL_DEVICE_VENDOR = 0x102C;
+inline constexpr bfcl_uint BFCL_DEVICE_GLOBAL_MEM_SIZE = 0x101F;
+inline constexpr bfcl_uint BFCL_EVENT_COMMAND_EXECUTION_STATUS = 0x11D3;
+inline constexpr bfcl_int BFCL_COMPLETE = 0x0;
+inline constexpr bfcl_int BFCL_RUNNING = 0x1;
+inline constexpr bfcl_int BFCL_SUBMITTED = 0x2;
+inline constexpr bfcl_int BFCL_QUEUED = 0x3;
+
+// ---- binding -------------------------------------------------------------------
+
+// Installs the runtime behind the C API for the calling thread (the ICD
+// dispatch analogue). The runtime and session must outlive the binding.
+// Returns the previous binding so scoped use can restore it.
+struct Binding {
+  Runtime* runtime = nullptr;
+  Session* session = nullptr;
+};
+Binding bind(Runtime* runtime, Session* session);
+Binding current_binding();
+
+// Releases every object table entry of the current thread's binding (test
+// hygiene; a process would just exit).
+void reset_binding_objects();
+
+// ---- the API --------------------------------------------------------------------
+
+bfcl_int bfclGetPlatformIDs(bfcl_uint num_entries,
+                            bfcl_platform_id* platforms,
+                            bfcl_uint* num_platforms);
+
+bfcl_int bfclGetDeviceIDs(bfcl_platform_id platform, bfcl_uint num_entries,
+                          bfcl_device_id* devices, bfcl_uint* num_devices);
+
+bfcl_int bfclGetDeviceInfo(bfcl_device_id device, bfcl_uint param_name,
+                           std::size_t param_value_size, void* param_value,
+                           std::size_t* param_value_size_ret);
+
+bfcl_context bfclCreateContext(const bfcl_device_id* devices,
+                               bfcl_uint num_devices, bfcl_int* errcode_ret);
+bfcl_int bfclReleaseContext(bfcl_context context);
+
+// clCreateProgramWithBinary + clBuildProgram collapsed: the "binary" is the
+// bitstream id, as with Intel's offline-compiled .aocx flow.
+bfcl_int bfclProgramWithBitstream(bfcl_context context,
+                                  const char* bitstream_id);
+
+bfcl_command_queue bfclCreateCommandQueue(bfcl_context context,
+                                          bfcl_device_id device,
+                                          bfcl_int* errcode_ret);
+bfcl_int bfclReleaseCommandQueue(bfcl_command_queue queue);
+
+bfcl_mem bfclCreateBuffer(bfcl_context context, std::size_t size,
+                          bfcl_int* errcode_ret);
+bfcl_int bfclReleaseMemObject(bfcl_mem mem);
+
+bfcl_kernel bfclCreateKernel(bfcl_context context, const char* kernel_name,
+                             bfcl_int* errcode_ret);
+bfcl_int bfclReleaseKernel(bfcl_kernel kernel);
+
+// Buffer args are set with arg_size == sizeof(bfcl_mem) and arg_value
+// pointing at the bfcl_mem; scalars with their native size (4 or 8 bytes,
+// integers; 8 bytes for double).
+bfcl_int bfclSetKernelArg(bfcl_kernel kernel, bfcl_uint arg_index,
+                          std::size_t arg_size, const void* arg_value);
+
+bfcl_int bfclEnqueueWriteBuffer(bfcl_command_queue queue, bfcl_mem buffer,
+                                bfcl_bool blocking_write, std::size_t offset,
+                                std::size_t size, const void* ptr,
+                                bfcl_event* event);
+
+bfcl_int bfclEnqueueReadBuffer(bfcl_command_queue queue, bfcl_mem buffer,
+                               bfcl_bool blocking_read, std::size_t offset,
+                               std::size_t size, void* ptr,
+                               bfcl_event* event);
+
+bfcl_int bfclEnqueueNDRangeKernel(bfcl_command_queue queue,
+                                  bfcl_kernel kernel, bfcl_uint work_dim,
+                                  const std::size_t* global_work_size,
+                                  bfcl_event* event);
+
+bfcl_int bfclFlush(bfcl_command_queue queue);
+bfcl_int bfclFinish(bfcl_command_queue queue);
+
+bfcl_int bfclWaitForEvents(bfcl_uint num_events, const bfcl_event* events);
+bfcl_int bfclGetEventInfo(bfcl_event event, bfcl_uint param_name,
+                          std::size_t param_value_size, void* param_value,
+                          std::size_t* param_value_size_ret);
+bfcl_int bfclRetainEvent(bfcl_event event);
+bfcl_int bfclReleaseEvent(bfcl_event event);
+
+}  // namespace bf::ocl::capi

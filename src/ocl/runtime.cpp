@@ -1,0 +1,26 @@
+#include "ocl/runtime.h"
+
+namespace bf::ocl {
+
+std::string_view to_string(EventStatus status) {
+  switch (status) {
+    case EventStatus::kQueued: return "QUEUED";
+    case EventStatus::kSubmitted: return "SUBMITTED";
+    case EventStatus::kRunning: return "RUNNING";
+    case EventStatus::kComplete: return "COMPLETE";
+    case EventStatus::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+Status wait_all(std::span<const EventPtr> events) {
+  Status first_error;
+  for (const EventPtr& event : events) {
+    if (event == nullptr) continue;
+    Status s = event->wait();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+}  // namespace bf::ocl

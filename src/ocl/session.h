@@ -1,0 +1,34 @@
+// Session: one application instance's connection to an OpenCL runtime.
+//
+// Owns the application's virtual clock. All blocking OpenCL calls made under
+// a session advance this cursor; the application's own modeled CPU work is
+// charged with Session::compute(). Thread ownership follows the OpenCL
+// host-thread model: a session is driven by one application thread.
+#pragma once
+
+#include <string>
+
+#include "vt/cursor.h"
+#include "vt/time.h"
+
+namespace bf::ocl {
+
+class Session {
+ public:
+  Session() = default;
+  explicit Session(std::string client_id) : client_id_(std::move(client_id)) {}
+
+  [[nodiscard]] const std::string& client_id() const { return client_id_; }
+
+  [[nodiscard]] vt::Time now() const { return cursor_.now(); }
+  [[nodiscard]] vt::Cursor& clock() { return cursor_; }
+
+  // Models application CPU work of duration d.
+  void compute(vt::Duration d) { cursor_.advance(d); }
+
+ private:
+  std::string client_id_ = "anonymous";
+  vt::Cursor cursor_;
+};
+
+}  // namespace bf::ocl

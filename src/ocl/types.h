@@ -1,0 +1,105 @@
+// Core value types of the OpenCL-style host API.
+//
+// BlastFunction's transparency claim (paper §I, §III-A) is that application
+// host code written against the OpenCL host API runs unchanged on a local
+// device or through the remote library. We express that API as a small C++
+// object model: bf::native::NativeRuntime and bf::remote::RemoteRuntime both
+// implement bf::ocl::Runtime, and every workload in src/workloads is written
+// once against this header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bf::ocl {
+
+// Matches the cl_event execution-status ladder.
+enum class EventStatus {
+  kQueued,     // CL_QUEUED: in the client-side command queue
+  kSubmitted,  // CL_SUBMITTED: handed to the device (manager)
+  kRunning,    // CL_RUNNING: executing on the device
+  kComplete,   // CL_COMPLETE
+  kError,      // negative status in OpenCL terms
+};
+
+std::string_view to_string(EventStatus status);
+
+struct PlatformInfo {
+  std::string name;    // e.g. "Intel(R) FPGA SDK for OpenCL" / "BlastFunction"
+  std::string vendor;
+  std::vector<std::string> device_ids;
+};
+
+struct DeviceInfo {
+  std::string id;           // stable device identifier
+  std::string name;         // marketing name
+  std::string vendor;       // "Intel"
+  std::string platform;     // board platform, e.g. "a10gx_de5a_net"
+  std::string node;         // hosting cluster node
+  std::string accelerator;  // currently configured accelerator ("" if none)
+  std::uint64_t global_memory_bytes = 0;
+};
+
+// Client-side buffer handle (cl_mem analogue). Value type; identity lives in
+// the owning Context.
+struct Buffer {
+  std::uint64_t id = 0;
+  std::uint64_t size = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+// A kernel argument as captured at enqueue time.
+struct BufferRef {
+  std::uint64_t id = 0;
+};
+using KernelArgValue = std::variant<std::monostate, BufferRef, std::int64_t,
+                                    double>;
+
+// Client-side kernel object (cl_kernel analogue). Stateful set_arg followed
+// by enqueue, as in the OpenCL specification.
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(std::uint64_t id, std::string name, std::size_t arity)
+      : id_(id), name_(std::move(name)), args_(arity) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+  void set_arg(std::size_t index, const Buffer& buffer) {
+    ensure(index);
+    args_[index] = BufferRef{buffer.id};
+  }
+  void set_arg(std::size_t index, std::int64_t value) {
+    ensure(index);
+    args_[index] = value;
+  }
+  void set_arg(std::size_t index, double value) {
+    ensure(index);
+    args_[index] = value;
+  }
+
+  [[nodiscard]] const std::vector<KernelArgValue>& args() const {
+    return args_;
+  }
+
+ private:
+  void ensure(std::size_t index) {
+    if (index >= args_.size()) args_.resize(index + 1);
+  }
+
+  std::uint64_t id_ = 0;
+  std::string name_;
+  std::vector<KernelArgValue> args_;
+};
+
+struct NdRange {
+  std::uint64_t x = 1;
+  std::uint64_t y = 1;
+  std::uint64_t z = 1;
+};
+
+}  // namespace bf::ocl

@@ -1,0 +1,686 @@
+#include "proto/messages.h"
+
+namespace bf::proto {
+namespace {
+
+// Decode-loop helper: returns error status on malformed input, otherwise
+// invokes `on_field` for every field and lets it consume the value.
+template <typename F>
+Status decode_fields(Reader& reader, F&& on_field) {
+  while (!reader.at_end()) {
+    auto header = reader.next_field();
+    if (!header.ok()) return header.status();
+    Status s = on_field(header.value());
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Status take_uint(Reader& reader, T& out) {
+  auto value = reader.read_varint();
+  if (!value.ok()) return value.status();
+  out = static_cast<T>(value.value());
+  return Status::Ok();
+}
+
+Status take_string(Reader& reader, std::string& out) {
+  auto value = reader.read_string();
+  if (!value.ok()) return value.status();
+  out = std::move(value.value());
+  return Status::Ok();
+}
+
+Status take_bytes(Reader& reader, Bytes& out) {
+  auto value = reader.read_bytes();
+  if (!value.ok()) return value.status();
+  out = std::move(value.value());
+  return Status::Ok();
+}
+
+Status take_bool(Reader& reader, bool& out) {
+  std::uint64_t raw = 0;
+  Status s = take_uint(reader, raw);
+  if (!s.ok()) return s;
+  out = raw != 0;
+  return Status::Ok();
+}
+
+Status take_zigzag(Reader& reader, std::int64_t& out) {
+  auto value = reader.read_zigzag();
+  if (!value.ok()) return value.status();
+  out = value.value();
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view to_string(Method method) {
+  switch (method) {
+    case Method::kOpenSession: return "OpenSession";
+    case Method::kGetDeviceInfo: return "GetDeviceInfo";
+    case Method::kProgram: return "Program";
+    case Method::kCreateBuffer: return "CreateBuffer";
+    case Method::kReleaseBuffer: return "ReleaseBuffer";
+    case Method::kCreateKernel: return "CreateKernel";
+    case Method::kCreateQueue: return "CreateQueue";
+    case Method::kReleaseQueue: return "ReleaseQueue";
+    case Method::kEnqueueWrite: return "EnqueueWrite";
+    case Method::kWriteData: return "WriteData";
+    case Method::kEnqueueRead: return "EnqueueRead";
+    case Method::kEnqueueKernel: return "EnqueueKernel";
+    case Method::kFlush: return "Flush";
+    case Method::kFinish: return "Finish";
+    case Method::kOpEnqueued: return "OpEnqueued";
+    case Method::kOpComplete: return "OpComplete";
+  }
+  return "Unknown";
+}
+
+bool is_command_queue_method(Method method) {
+  switch (method) {
+    case Method::kEnqueueWrite:
+    case Method::kWriteData:
+    case Method::kEnqueueRead:
+    case Method::kEnqueueKernel:
+    case Method::kFlush:
+    case Method::kFinish:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// --- StatusMsg ---------------------------------------------------------------
+
+StatusMsg StatusMsg::from(const Status& status) {
+  return StatusMsg{static_cast<std::uint32_t>(status.code()),
+                   status.message()};
+}
+
+Status StatusMsg::to_status() const {
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+void StatusMsg::encode(Writer& writer) const {
+  writer.field_uint(1, code);
+  if (!message.empty()) writer.field_string(2, message);
+}
+
+Result<StatusMsg> StatusMsg::decode(Reader& reader) {
+  StatusMsg out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.code);
+      case 2: return take_string(reader, out.message);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- DeviceDescriptor ----------------------------------------------------------
+
+void DeviceDescriptor::encode(Writer& writer) const {
+  writer.field_string(1, id);
+  writer.field_string(2, name);
+  writer.field_string(3, vendor);
+  writer.field_string(4, platform);
+  writer.field_string(5, node);
+  writer.field_string(6, accelerator);
+  writer.field_uint(7, global_memory_bytes);
+}
+
+Result<DeviceDescriptor> DeviceDescriptor::decode(Reader& reader) {
+  DeviceDescriptor out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_string(reader, out.id);
+      case 2: return take_string(reader, out.name);
+      case 3: return take_string(reader, out.vendor);
+      case 4: return take_string(reader, out.platform);
+      case 5: return take_string(reader, out.node);
+      case 6: return take_string(reader, out.accelerator);
+      case 7: return take_uint(reader, out.global_memory_bytes);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- KernelArgMsg --------------------------------------------------------------
+
+void KernelArgMsg::encode(Writer& writer) const {
+  writer.field_uint(1, static_cast<std::uint64_t>(kind));
+  switch (kind) {
+    case Kind::kBuffer: writer.field_uint(2, buffer_id); break;
+    case Kind::kInt: writer.field_int(3, int_value); break;
+    case Kind::kDouble: writer.field_double(4, double_value); break;
+    case Kind::kUnset: break;
+  }
+}
+
+Result<KernelArgMsg> KernelArgMsg::decode(Reader& reader) {
+  KernelArgMsg out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        std::uint64_t raw = 0;
+        Status st = take_uint(reader, raw);
+        if (!st.ok()) return st;
+        if (raw > 3) return InvalidArgument("bad kernel arg kind");
+        out.kind = static_cast<Kind>(raw);
+        return Status::Ok();
+      }
+      case 2: return take_uint(reader, out.buffer_id);
+      case 3: return take_zigzag(reader, out.int_value);
+      case 4: {
+        auto value = reader.read_double();
+        if (!value.ok()) return value.status();
+        out.double_value = value.value();
+        return Status::Ok();
+      }
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- OpenSession -----------------------------------------------------------------
+
+void OpenSessionReq::encode(Writer& writer) const {
+  writer.field_string(1, client_id);
+  writer.field_bool(2, use_shared_memory);
+}
+
+Result<OpenSessionReq> OpenSessionReq::decode(Reader& reader) {
+  OpenSessionReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_string(reader, out.client_id);
+      case 2: return take_bool(reader, out.use_shared_memory);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void OpenSessionResp::encode(Writer& writer) const {
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(1, ByteSpan{status_writer.bytes()});
+  writer.field_uint(2, session_id);
+  writer.field_bool(3, shared_memory_granted);
+  Writer device_writer;
+  device.encode(device_writer);
+  writer.field_bytes(4, ByteSpan{device_writer.bytes()});
+}
+
+Result<OpenSessionResp> OpenSessionResp::decode(Reader& reader) {
+  OpenSessionResp out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      case 2: return take_uint(reader, out.session_id);
+      case 3: return take_bool(reader, out.shared_memory_granted);
+      case 4: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = DeviceDescriptor::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.device = decoded.value();
+        return Status::Ok();
+      }
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- Program ----------------------------------------------------------------------
+
+void ProgramReq::encode(Writer& writer) const {
+  writer.field_string(1, bitstream_id);
+}
+
+Result<ProgramReq> ProgramReq::decode(Reader& reader) {
+  ProgramReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_string(reader, out.bitstream_id);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void ProgramResp::encode(Writer& writer) const {
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(1, ByteSpan{status_writer.bytes()});
+  writer.field_bool(2, reconfigured);
+}
+
+Result<ProgramResp> ProgramResp::decode(Reader& reader) {
+  ProgramResp out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      case 2: return take_bool(reader, out.reconfigured);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- Buffers / kernels / queues ---------------------------------------------------
+
+void CreateBufferReq::encode(Writer& writer) const {
+  writer.field_uint(1, size);
+}
+
+Result<CreateBufferReq> CreateBufferReq::decode(Reader& reader) {
+  CreateBufferReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.size);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void CreateBufferResp::encode(Writer& writer) const {
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(1, ByteSpan{status_writer.bytes()});
+  writer.field_uint(2, buffer_id);
+}
+
+Result<CreateBufferResp> CreateBufferResp::decode(Reader& reader) {
+  CreateBufferResp out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      case 2: return take_uint(reader, out.buffer_id);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void ReleaseBufferReq::encode(Writer& writer) const {
+  writer.field_uint(1, buffer_id);
+}
+
+Result<ReleaseBufferReq> ReleaseBufferReq::decode(Reader& reader) {
+  ReleaseBufferReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.buffer_id);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void CreateKernelReq::encode(Writer& writer) const {
+  writer.field_string(1, name);
+}
+
+Result<CreateKernelReq> CreateKernelReq::decode(Reader& reader) {
+  CreateKernelReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_string(reader, out.name);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void CreateKernelResp::encode(Writer& writer) const {
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(1, ByteSpan{status_writer.bytes()});
+  writer.field_uint(2, kernel_id);
+  writer.field_uint(3, arity);
+}
+
+Result<CreateKernelResp> CreateKernelResp::decode(Reader& reader) {
+  CreateKernelResp out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      case 2: return take_uint(reader, out.kernel_id);
+      case 3: return take_uint(reader, out.arity);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void CreateQueueResp::encode(Writer& writer) const {
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(1, ByteSpan{status_writer.bytes()});
+  writer.field_uint(2, queue_id);
+}
+
+Result<CreateQueueResp> CreateQueueResp::decode(Reader& reader) {
+  CreateQueueResp out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      case 2: return take_uint(reader, out.queue_id);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void AckResp::encode(Writer& writer) const {
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(1, ByteSpan{status_writer.bytes()});
+}
+
+Result<AckResp> AckResp::decode(Reader& reader) {
+  AckResp out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- Command-queue ops --------------------------------------------------------
+
+void EnqueueWriteReq::encode(Writer& writer) const {
+  writer.field_uint(1, op_id);
+  writer.field_uint(2, queue_id);
+  writer.field_uint(3, buffer_id);
+  writer.field_uint(4, offset);
+  writer.field_uint(5, size);
+  for (std::uint64_t wait : wait_op_ids) writer.field_uint(8, wait);
+}
+
+Result<EnqueueWriteReq> EnqueueWriteReq::decode(Reader& reader) {
+  EnqueueWriteReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.op_id);
+      case 2: return take_uint(reader, out.queue_id);
+      case 3: return take_uint(reader, out.buffer_id);
+      case 4: return take_uint(reader, out.offset);
+      case 5: return take_uint(reader, out.size);
+      case 8: {
+        std::uint64_t wait = 0;
+        Status st = take_uint(reader, wait);
+        if (!st.ok()) return st;
+        out.wait_op_ids.push_back(wait);
+        return Status::Ok();
+      }
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void WriteData::encode(Writer& writer) const {
+  writer.field_uint(1, op_id);
+  writer.field_uint(2, size);
+  writer.field_int(3, shm_slot);
+  if (!data.empty()) writer.field_bytes(4, ByteSpan{data});
+}
+
+Result<WriteData> WriteData::decode(Reader& reader) {
+  WriteData out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.op_id);
+      case 2: return take_uint(reader, out.size);
+      case 3: return take_zigzag(reader, out.shm_slot);
+      case 4: return take_bytes(reader, out.data);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void EnqueueReadReq::encode(Writer& writer) const {
+  writer.field_uint(1, op_id);
+  writer.field_uint(2, queue_id);
+  writer.field_uint(3, buffer_id);
+  writer.field_uint(4, offset);
+  writer.field_uint(5, size);
+  writer.field_bool(6, use_shared_memory);
+  for (std::uint64_t wait : wait_op_ids) writer.field_uint(8, wait);
+}
+
+Result<EnqueueReadReq> EnqueueReadReq::decode(Reader& reader) {
+  EnqueueReadReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.op_id);
+      case 2: return take_uint(reader, out.queue_id);
+      case 3: return take_uint(reader, out.buffer_id);
+      case 4: return take_uint(reader, out.offset);
+      case 5: return take_uint(reader, out.size);
+      case 6: return take_bool(reader, out.use_shared_memory);
+      case 8: {
+        std::uint64_t wait = 0;
+        Status st = take_uint(reader, wait);
+        if (!st.ok()) return st;
+        out.wait_op_ids.push_back(wait);
+        return Status::Ok();
+      }
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void EnqueueKernelReq::encode(Writer& writer) const {
+  writer.field_uint(1, op_id);
+  writer.field_uint(2, queue_id);
+  writer.field_uint(3, kernel_id);
+  for (const KernelArgMsg& arg : args) {
+    Writer arg_writer;
+    arg.encode(arg_writer);
+    writer.field_bytes(4, ByteSpan{arg_writer.bytes()});
+  }
+  writer.field_uint(5, global_size[0]);
+  writer.field_uint(6, global_size[1]);
+  writer.field_uint(7, global_size[2]);
+  for (std::uint64_t wait : wait_op_ids) writer.field_uint(8, wait);
+}
+
+Result<EnqueueKernelReq> EnqueueKernelReq::decode(Reader& reader) {
+  EnqueueKernelReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.op_id);
+      case 2: return take_uint(reader, out.queue_id);
+      case 3: return take_uint(reader, out.kernel_id);
+      case 4: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = KernelArgMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.args.push_back(decoded.value());
+        return Status::Ok();
+      }
+      case 5: return take_uint(reader, out.global_size[0]);
+      case 6: return take_uint(reader, out.global_size[1]);
+      case 7: return take_uint(reader, out.global_size[2]);
+      case 8: {
+        std::uint64_t wait = 0;
+        Status st = take_uint(reader, wait);
+        if (!st.ok()) return st;
+        out.wait_op_ids.push_back(wait);
+        return Status::Ok();
+      }
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void FlushReq::encode(Writer& writer) const {
+  writer.field_uint(1, queue_id);
+}
+
+Result<FlushReq> FlushReq::decode(Reader& reader) {
+  FlushReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.queue_id);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void FinishReq::encode(Writer& writer) const {
+  writer.field_uint(1, op_id);
+  writer.field_uint(2, queue_id);
+}
+
+Result<FinishReq> FinishReq::decode(Reader& reader) {
+  FinishReq out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.op_id);
+      case 2: return take_uint(reader, out.queue_id);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- Notifications -------------------------------------------------------------
+
+void OpEnqueued::encode(Writer& writer) const {
+  writer.field_uint(1, op_id);
+}
+
+Result<OpEnqueued> OpEnqueued::decode(Reader& reader) {
+  OpEnqueued out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.op_id);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void OpComplete::encode(Writer& writer) const {
+  writer.field_uint(1, op_id);
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(2, ByteSpan{status_writer.bytes()});
+  writer.field_int(3, shm_slot);
+  if (!data.empty()) writer.field_bytes(4, ByteSpan{data});
+  writer.field_uint(5, size);
+}
+
+Result<OpComplete> OpComplete::decode(Reader& reader) {
+  OpComplete out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: return take_uint(reader, out.op_id);
+      case 2: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      case 3: return take_zigzag(reader, out.shm_slot);
+      case 4: return take_bytes(reader, out.data);
+      case 5: return take_uint(reader, out.size);
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace bf::proto

@@ -1,0 +1,275 @@
+// Device Manager service protocol (the paper's gRPC service, §III-B).
+//
+// Two method families:
+//  * context & information methods — synchronous request/response
+//    (session open, device info, program/reconfigure, buffer and kernel and
+//    queue management);
+//  * command-queue methods — asynchronous, multi-phase. Each op carries a
+//    client-chosen op_id (the paper's "tag": a pointer to the client event).
+//    Phases mirror the remote library's event state machine:
+//      INIT  -> Enqueue*Req (metadata)
+//      FIRST <- OpEnqueued
+//      BUFFER-> WriteData / <- data inside OpComplete for reads
+//      COMPLETE <- OpComplete
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "proto/wire.h"
+
+namespace bf::proto {
+
+enum class Method : std::uint32_t {
+  kOpenSession = 1,
+  kGetDeviceInfo = 2,
+  kProgram = 3,
+  kCreateBuffer = 4,
+  kReleaseBuffer = 5,
+  kCreateKernel = 6,
+  kCreateQueue = 7,
+  kReleaseQueue = 8,
+  kEnqueueWrite = 16,
+  kWriteData = 17,
+  kEnqueueRead = 18,
+  kEnqueueKernel = 19,
+  kFlush = 20,
+  kFinish = 21,
+  // Server -> client notifications.
+  kOpEnqueued = 32,
+  kOpComplete = 33,
+};
+
+std::string_view to_string(Method method);
+[[nodiscard]] bool is_command_queue_method(Method method);
+
+// --- Shared submessages -----------------------------------------------------
+
+struct StatusMsg {
+  std::uint32_t code = 0;  // StatusCode as integer
+  std::string message;
+
+  static StatusMsg from(const Status& status);
+  [[nodiscard]] Status to_status() const;
+  void encode(Writer& writer) const;
+  static Result<StatusMsg> decode(Reader& reader);
+};
+
+struct DeviceDescriptor {
+  std::string id;
+  std::string name;
+  std::string vendor;
+  std::string platform;
+  std::string node;
+  std::string accelerator;
+  std::uint64_t global_memory_bytes = 0;
+
+  void encode(Writer& writer) const;
+  static Result<DeviceDescriptor> decode(Reader& reader);
+};
+
+struct KernelArgMsg {
+  enum class Kind : std::uint32_t { kUnset = 0, kBuffer = 1, kInt = 2, kDouble = 3 };
+  Kind kind = Kind::kUnset;
+  std::uint64_t buffer_id = 0;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+
+  void encode(Writer& writer) const;
+  static Result<KernelArgMsg> decode(Reader& reader);
+};
+
+// --- Context & information methods -------------------------------------------
+
+struct OpenSessionReq {
+  std::string client_id;
+  bool use_shared_memory = false;
+
+  void encode(Writer& writer) const;
+  static Result<OpenSessionReq> decode(Reader& reader);
+};
+
+struct OpenSessionResp {
+  StatusMsg status;
+  std::uint64_t session_id = 0;
+  bool shared_memory_granted = false;
+  DeviceDescriptor device;
+
+  void encode(Writer& writer) const;
+  static Result<OpenSessionResp> decode(Reader& reader);
+};
+
+struct ProgramReq {
+  std::string bitstream_id;
+
+  void encode(Writer& writer) const;
+  static Result<ProgramReq> decode(Reader& reader);
+};
+
+struct ProgramResp {
+  StatusMsg status;
+  bool reconfigured = false;
+
+  void encode(Writer& writer) const;
+  static Result<ProgramResp> decode(Reader& reader);
+};
+
+struct CreateBufferReq {
+  std::uint64_t size = 0;
+
+  void encode(Writer& writer) const;
+  static Result<CreateBufferReq> decode(Reader& reader);
+};
+
+struct CreateBufferResp {
+  StatusMsg status;
+  std::uint64_t buffer_id = 0;
+
+  void encode(Writer& writer) const;
+  static Result<CreateBufferResp> decode(Reader& reader);
+};
+
+struct ReleaseBufferReq {
+  std::uint64_t buffer_id = 0;
+
+  void encode(Writer& writer) const;
+  static Result<ReleaseBufferReq> decode(Reader& reader);
+};
+
+struct CreateKernelReq {
+  std::string name;
+
+  void encode(Writer& writer) const;
+  static Result<CreateKernelReq> decode(Reader& reader);
+};
+
+struct CreateKernelResp {
+  StatusMsg status;
+  std::uint64_t kernel_id = 0;
+  std::uint64_t arity = 0;
+
+  void encode(Writer& writer) const;
+  static Result<CreateKernelResp> decode(Reader& reader);
+};
+
+struct CreateQueueResp {
+  StatusMsg status;
+  std::uint64_t queue_id = 0;
+
+  void encode(Writer& writer) const;
+  static Result<CreateQueueResp> decode(Reader& reader);
+};
+
+// Generic status-only response (release buffer/queue, flush ack, ...).
+struct AckResp {
+  StatusMsg status;
+
+  void encode(Writer& writer) const;
+  static Result<AckResp> decode(Reader& reader);
+};
+
+// --- Command-queue methods ----------------------------------------------------
+
+struct EnqueueWriteReq {
+  std::uint64_t op_id = 0;
+  std::uint64_t queue_id = 0;
+  std::uint64_t buffer_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  // Event wait list: ops that must complete before this one starts.
+  std::vector<std::uint64_t> wait_op_ids;
+
+  void encode(Writer& writer) const;
+  static Result<EnqueueWriteReq> decode(Reader& reader);
+};
+
+// BUFFER phase of a write. Exactly one of `data` (gRPC path, bytes inline)
+// or `shm_slot` (shared-memory path) is used; `size` is always set so the
+// manager can charge transfer costs without touching the payload.
+struct WriteData {
+  std::uint64_t op_id = 0;
+  std::uint64_t size = 0;
+  std::int64_t shm_slot = -1;
+  Bytes data;
+
+  void encode(Writer& writer) const;
+  static Result<WriteData> decode(Reader& reader);
+};
+
+struct EnqueueReadReq {
+  std::uint64_t op_id = 0;
+  std::uint64_t queue_id = 0;
+  std::uint64_t buffer_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  bool use_shared_memory = false;
+  std::vector<std::uint64_t> wait_op_ids;
+
+  void encode(Writer& writer) const;
+  static Result<EnqueueReadReq> decode(Reader& reader);
+};
+
+struct EnqueueKernelReq {
+  std::uint64_t op_id = 0;
+  std::uint64_t queue_id = 0;
+  std::uint64_t kernel_id = 0;
+  std::vector<KernelArgMsg> args;
+  std::array<std::uint64_t, 3> global_size = {1, 1, 1};
+  std::vector<std::uint64_t> wait_op_ids;
+
+  void encode(Writer& writer) const;
+  static Result<EnqueueKernelReq> decode(Reader& reader);
+};
+
+struct FlushReq {
+  std::uint64_t queue_id = 0;
+
+  void encode(Writer& writer) const;
+  static Result<FlushReq> decode(Reader& reader);
+};
+
+// Finish = flush + completion notification carrying this op_id.
+struct FinishReq {
+  std::uint64_t op_id = 0;
+  std::uint64_t queue_id = 0;
+
+  void encode(Writer& writer) const;
+  static Result<FinishReq> decode(Reader& reader);
+};
+
+// --- Server -> client notifications ------------------------------------------
+
+struct OpEnqueued {
+  std::uint64_t op_id = 0;
+
+  void encode(Writer& writer) const;
+  static Result<OpEnqueued> decode(Reader& reader);
+};
+
+struct OpComplete {
+  std::uint64_t op_id = 0;
+  StatusMsg status;
+  // Read results: inline bytes (gRPC) or an shm slot reference.
+  std::int64_t shm_slot = -1;
+  Bytes data;
+  std::uint64_t size = 0;
+
+  void encode(Writer& writer) const;
+  static Result<OpComplete> decode(Reader& reader);
+};
+
+// Round-trips any message type through its wire encoding (test helper).
+template <typename T>
+Result<T> reencode(const T& message) {
+  Writer writer;
+  message.encode(writer);
+  Reader reader(ByteSpan{writer.bytes()});
+  return T::decode(reader);
+}
+
+}  // namespace bf::proto

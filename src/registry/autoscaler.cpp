@@ -1,0 +1,75 @@
+#include "registry/autoscaler.h"
+
+#include "common/log.h"
+
+namespace bf::registry {
+
+Autoscaler::Autoscaler(Registry* registry, NodeProvisioner* provisioner,
+                       AutoscalerPolicy policy)
+    : registry_(registry), provisioner_(provisioner), policy_(policy) {
+  BF_CHECK(registry_ != nullptr);
+  BF_CHECK(provisioner_ != nullptr);
+  BF_CHECK(policy_.min_devices >= 1);
+  BF_CHECK(policy_.max_devices >= policy_.min_devices);
+}
+
+Autoscaler::Action Autoscaler::evaluate() {
+  const std::vector<DeviceRecord> devices = registry_->devices();
+  if (devices.empty()) return Action::kNone;
+
+  double total = 0.0;
+  std::string idle_device;  // candidate for decommissioning
+  for (const DeviceRecord& device : devices) {
+    auto sample = registry_->sample_device(device.id);
+    if (!sample.ok()) continue;
+    total += sample.value().utilization;
+    if (sample.value().connected_instances == 0 && idle_device.empty()) {
+      idle_device = device.id;
+    }
+  }
+  last_mean_utilization_ = total / static_cast<double>(devices.size());
+
+  if (last_mean_utilization_ > policy_.scale_up_utilization) {
+    ++above_streak_;
+    below_streak_ = 0;
+  } else if (last_mean_utilization_ < policy_.scale_down_utilization) {
+    ++below_streak_;
+    above_streak_ = 0;
+  } else {
+    above_streak_ = 0;
+    below_streak_ = 0;
+  }
+
+  if (above_streak_ >= policy_.hysteresis &&
+      devices.size() < policy_.max_devices) {
+    above_streak_ = 0;
+    auto provisioned = provisioner_->provision();
+    if (!provisioned.ok()) {
+      BF_LOG_WARN("autoscaler") << "provision failed: "
+                                << provisioned.status().to_string();
+      return Action::kNone;
+    }
+    ++scale_ups_;
+    BF_LOG_INFO("autoscaler") << "scaled up: " << provisioned.value()
+                              << " (mean util "
+                              << last_mean_utilization_ << ")";
+    return Action::kScaleUp;
+  }
+
+  if (below_streak_ >= policy_.hysteresis &&
+      devices.size() > policy_.min_devices && !idle_device.empty()) {
+    below_streak_ = 0;
+    Status removed = provisioner_->decommission(idle_device);
+    if (!removed.ok()) {
+      BF_LOG_WARN("autoscaler") << "decommission failed: "
+                                << removed.to_string();
+      return Action::kNone;
+    }
+    ++scale_downs_;
+    BF_LOG_INFO("autoscaler") << "scaled down: " << idle_device;
+    return Action::kScaleDown;
+  }
+  return Action::kNone;
+}
+
+}  // namespace bf::registry

@@ -1,0 +1,70 @@
+// Node autoscaling (paper §V future work: "integration with AWS F1 for
+// nodes autoscaling").
+//
+// A control loop over the Registry's device metrics: when mean FPGA time
+// utilization across the fleet exceeds the scale-up threshold, a new FPGA
+// node is provisioned through the NodeProvisioner (the AWS-F1 / cloud-API
+// stand-in); when the fleet runs mostly idle, an unused device is
+// decommissioned. The Registry's allocation then naturally spreads new
+// function instances onto the added capacity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "registry/registry.h"
+
+namespace bf::registry {
+
+// The cloud-provider surface: provisioning returns the new device id.
+class NodeProvisioner {
+ public:
+  virtual ~NodeProvisioner() = default;
+  virtual Result<std::string> provision() = 0;
+  virtual Status decommission(const std::string& device_id) = 0;
+};
+
+struct AutoscalerPolicy {
+  double scale_up_utilization = 0.75;   // mean across devices
+  double scale_down_utilization = 0.15;
+  std::size_t min_devices = 3;
+  std::size_t max_devices = 8;
+  // Consecutive evaluations a threshold must hold before acting (debounce).
+  unsigned hysteresis = 2;
+};
+
+class Autoscaler {
+ public:
+  enum class Action { kNone, kScaleUp, kScaleDown };
+
+  Autoscaler(Registry* registry, NodeProvisioner* provisioner,
+             AutoscalerPolicy policy);
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  // One control-loop tick: samples every registered device, applies the
+  // thresholds with hysteresis, acts at most once.
+  Action evaluate();
+
+  [[nodiscard]] double last_mean_utilization() const {
+    return last_mean_utilization_;
+  }
+  [[nodiscard]] std::uint64_t scale_ups() const { return scale_ups_; }
+  [[nodiscard]] std::uint64_t scale_downs() const { return scale_downs_; }
+
+ private:
+  Registry* registry_;
+  NodeProvisioner* provisioner_;
+  AutoscalerPolicy policy_;
+
+  double last_mean_utilization_ = 0.0;
+  unsigned above_streak_ = 0;
+  unsigned below_streak_ = 0;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+};
+
+}  // namespace bf::registry

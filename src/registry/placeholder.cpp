@@ -1,0 +1,1 @@
+// placeholder to keep bf_registry non-empty during scaffolding

@@ -1,0 +1,394 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bf::registry {
+
+Registry::Registry(cluster::Cluster* cluster, AllocationPolicy policy,
+                   std::function<vt::Time()> clock)
+    : cluster_(cluster), policy_(std::move(policy)), clock_(std::move(clock)) {
+  BF_CHECK(cluster_ != nullptr);
+  BF_CHECK(clock_ != nullptr);
+}
+
+// --- Devices Service ------------------------------------------------------------
+
+Status Registry::register_device(DeviceRecord record) {
+  if (record.manager == nullptr) {
+    return InvalidArgument("device record needs a manager handle");
+  }
+  std::lock_guard lock(mutex_);
+  if (devices_.contains(record.id)) {
+    return AlreadyExists("device '" + record.id + "' already registered");
+  }
+  DeviceState state;
+  state.record = std::move(record);
+  devices_.emplace(state.record.id, std::move(state));
+  return Status::Ok();
+}
+
+Status Registry::deregister_device(const std::string& device_id) {
+  std::lock_guard lock(mutex_);
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFound("device '" + device_id + "' not registered");
+  }
+  for (const auto& [instance, dev] : instance_device_) {
+    if (dev == device_id) {
+      return FailedPrecondition("device '" + device_id +
+                                "' still serves instance '" + instance + "'");
+    }
+  }
+  devices_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<DeviceRecord> Registry::devices() const {
+  std::lock_guard lock(mutex_);
+  std::vector<DeviceRecord> out;
+  out.reserve(devices_.size());
+  for (const auto& [id, state] : devices_) out.push_back(state.record);
+  return out;
+}
+
+Result<DeviceSample> Registry::sample_device(
+    const std::string& device_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFound("device '" + device_id + "' not registered");
+  }
+  return sample_locked(it->second);
+}
+
+DeviceSample Registry::sample_locked(const DeviceState& device) const {
+  DeviceSample sample;
+  auto bitstream = device.record.manager->board().bitstream();
+  sample.configured_accelerator =
+      bitstream.has_value() ? bitstream->accelerator : "";
+  sample.resident_accelerators =
+      device.record.manager->board().resident_accelerators();
+  sample.free_regions = device.record.manager->board().free_region_count();
+  sample.expected_accelerator = device.expected_accelerator.empty()
+                                    ? sample.configured_accelerator
+                                    : device.expected_accelerator;
+  const vt::Time now = clock_();
+  const vt::Time from =
+      now.ns() > policy_.utilization_window.ns()
+          ? vt::Time::nanos(now.ns() - policy_.utilization_window.ns())
+          : vt::Time::zero();
+  sample.utilization = device.record.manager->utilization(from, now);
+  std::size_t connected = 0;
+  for (const auto& [instance, dev] : instance_device_) {
+    if (dev == device.record.id) ++connected;
+  }
+  sample.connected_instances = connected;
+  return sample;
+}
+
+// --- Functions Service ----------------------------------------------------------
+
+Status Registry::register_function(const std::string& name,
+                                   DeviceQuery query) {
+  std::lock_guard lock(mutex_);
+  if (functions_.contains(name)) {
+    return AlreadyExists("function '" + name + "' already registered");
+  }
+  functions_.emplace(name, std::move(query));
+  return Status::Ok();
+}
+
+Status Registry::deregister_function(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (functions_.erase(name) == 0) {
+    return NotFound("function '" + name + "' not registered");
+  }
+  return Status::Ok();
+}
+
+std::optional<DeviceQuery> Registry::function_query(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = functions_.find(name);
+  if (it == functions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Registry::attach_to_cluster() {
+  cluster_->set_admission_hook([this](cluster::PodSpec& spec) -> Status {
+    std::optional<DeviceQuery> query;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = functions_.find(spec.function);
+      if (it != functions_.end()) query = it->second;
+    }
+    if (!query.has_value()) return Status::Ok();  // not ours: pass through
+
+    auto allocation = allocate(spec.name, *query);
+    if (!allocation.ok()) return allocation.status();
+    // Patch the pod: device env vars, shm volume, forced host allocation
+    // (paper: "the allocation algorithm patches the notified operation").
+    spec.env[kEnvManager] = allocation.value().manager_address;
+    spec.env[kEnvDevice] = allocation.value().device_id;
+    spec.env[kEnvBitstream] = query->bitstream;
+    if (std::find(spec.volumes.begin(), spec.volumes.end(), kShmVolume) ==
+        spec.volumes.end()) {
+      spec.volumes.push_back(kShmVolume);
+    }
+    if (spec.node.empty()) spec.node = allocation.value().node;
+    return Status::Ok();
+  });
+
+  cluster_->add_watcher([this](const cluster::WatchEvent& event) {
+    if (event.type == cluster::WatchEvent::Type::kDeleted) {
+      std::lock_guard lock(mutex_);
+      instance_device_.erase(event.pod.spec.name);
+    }
+  });
+}
+
+// --- Allocation (paper Algorithm 1) ------------------------------------------------
+
+bool Registry::compatible_hardware(const DeviceState& device,
+                                   const DeviceQuery& query) const {
+  if (!query.vendor.empty() && device.record.vendor != query.vendor) {
+    return false;
+  }
+  if (!query.platform.empty() && device.record.platform != query.platform) {
+    return false;
+  }
+  return true;
+}
+
+bool Registry::compatible_accelerator(const DeviceSample& sample,
+                                      const DeviceQuery& query) const {
+  if (query.accelerator.empty()) return false;
+  if (sample.expected_accelerator == query.accelerator) return true;
+  // Space-sharing: any resident region with the accelerator is compatible.
+  return std::find(sample.resident_accelerators.begin(),
+                   sample.resident_accelerators.end(),
+                   query.accelerator) != sample.resident_accelerators.end();
+}
+
+Result<Allocation> Registry::allocate(
+    const std::string& instance, const DeviceQuery& query,
+    const std::vector<std::string>& excluded) {
+  std::lock_guard lock(mutex_);
+
+  struct Candidate {
+    DeviceState* state;
+    DeviceSample sample;
+  };
+  std::vector<Candidate> candidates;
+
+  // Line 2: filterby_compatibility (vendor / platform).
+  for (auto& [id, state] : devices_) {
+    if (std::find(excluded.begin(), excluded.end(), id) != excluded.end()) {
+      continue;
+    }
+    if (!compatible_hardware(state, query)) continue;
+    DeviceSample sample = sample_locked(state);
+    // A device flagged for (or expecting) a different accelerator is not a
+    // candidate: it is mid-reconfiguration for another tenant group.
+    if (state.flagged_for_reconfiguration &&
+        sample.expected_accelerator != query.accelerator) {
+      continue;
+    }
+    candidates.push_back(Candidate{&state, std::move(sample)});
+  }
+
+  // Line 3: filterby_metrics (drop overloaded devices).
+  std::erase_if(candidates, [&](const Candidate& candidate) {
+    return candidate.sample.utilization > policy_.max_utilization;
+  });
+  if (candidates.empty()) {
+    return NotFound("device not found for instance '" + instance +
+                    "' (accelerator '" + query.accelerator + "')");
+  }
+
+  // Line 4: orderby_metrics_and_acc. Metrics-major order (policy-chosen
+  // priority), accelerator compatibility and id as deterministic tiebreaks.
+  auto metric_of = [](const Candidate& candidate, MetricKey key) -> double {
+    switch (key) {
+      case MetricKey::kUtilization:
+        return candidate.sample.utilization;
+      case MetricKey::kConnectedInstances:
+        return static_cast<double>(candidate.sample.connected_instances);
+    }
+    return 0.0;
+  };
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              for (MetricKey key : policy_.metrics_order) {
+                const double va = metric_of(a, key);
+                const double vb = metric_of(b, key);
+                if (va != vb) {
+                  return policy_.pack_tenants ? va > vb : va < vb;
+                }
+              }
+              const bool ca = compatible_accelerator(a.sample, query);
+              const bool cb = compatible_accelerator(b.sample, query);
+              if (ca != cb) return ca;  // compatible first
+              return a.state->record.id < b.state->record.id;
+            });
+
+  // Lines 5-12: walk to the first device that is accelerator-compatible,
+  // has a free PR region (space-sharing: no one has to move), or whose
+  // tenants can all be redistributed elsewhere.
+  Candidate* chosen = nullptr;
+  for (Candidate& candidate : candidates) {
+    if (compatible_accelerator(candidate.sample, query) ||
+        candidate.sample.free_regions > 0 ||
+        redistributable_locked(candidate.state->record.id)) {
+      chosen = &candidate;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    return NotFound("device not found: no compatible or redistributable "
+                    "device for '" + instance + "'");
+  }
+
+  Allocation allocation;
+  allocation.device_id = chosen->state->record.id;
+  allocation.manager_address = chosen->state->record.manager_address;
+  allocation.node = chosen->state->record.node;
+  allocation.reconfigure =
+      !compatible_accelerator(chosen->sample, query);
+
+  if (allocation.reconfigure) {
+    if (chosen->sample.free_regions > 0) {
+      // Space-sharing: a free partial-reconfiguration region hosts the new
+      // accelerator; resident tenants keep running, no migration needed.
+      // (expected_accelerator tracks only the newest pending image; the
+      // resident list carries the rest.)
+      chosen->state->expected_accelerator = query.accelerator;
+    } else {
+      chosen->state->flagged_for_reconfiguration = true;
+      chosen->state->expected_accelerator = query.accelerator;
+      Status migrated =
+          migrate_instances_away(chosen->state->record.id, instance);
+      chosen->state->flagged_for_reconfiguration = false;
+      if (!migrated.ok()) {
+        BF_LOG_WARN("registry") << "migration incomplete for device "
+                                << allocation.device_id << ": "
+                                << migrated.to_string();
+      }
+    }
+  }
+
+  instance_device_[instance] = allocation.device_id;
+  return allocation;
+}
+
+bool Registry::redistributable_locked(const std::string& device_id) {
+  // Every instance currently on the device must have another device that is
+  // hardware compatible, accelerator compatible and under the utilization
+  // threshold.
+  for (const auto& [instance, dev] : instance_device_) {
+    if (dev != device_id) continue;
+    // Find this instance's function query via its pod.
+    auto pod = cluster_->get_pod(instance);
+    if (!pod.has_value()) continue;  // stale assignment
+    auto fn = functions_.find(pod->spec.function);
+    if (fn == functions_.end()) continue;
+    bool movable = false;
+    for (auto& [other_id, other] : devices_) {
+      if (other_id == device_id) continue;
+      if (!compatible_hardware(other, fn->second)) continue;
+      DeviceSample sample = sample_locked(other);
+      if (sample.utilization > policy_.max_utilization) continue;
+      if (compatible_accelerator(sample, fn->second) ||
+          sample.free_regions > 0 ||
+          (sample.expected_accelerator.empty() &&
+           instances_on_device(other_id).empty())) {
+        movable = true;
+        break;
+      }
+    }
+    if (!movable) return false;
+  }
+  return true;
+}
+
+Status Registry::migrate_instances_away(const std::string& device_id,
+                                        const std::string& except_instance) {
+  std::vector<std::string> to_move;
+  for (const auto& [instance, dev] : instance_device_) {
+    if (dev == device_id && instance != except_instance) {
+      to_move.push_back(instance);
+    }
+  }
+  Status first_error;
+  for (const std::string& instance : to_move) {
+    // Create-before-delete: the replacement is admitted (and re-allocated by
+    // our hook, which now sees this device as flagged) before the old pod
+    // dies.
+    instance_device_.erase(instance);
+    auto replaced = cluster_->replace_pod(instance);
+    if (!replaced.ok() && first_error.ok()) {
+      first_error = replaced.status();
+    }
+  }
+  return first_error;
+}
+
+// --- Reconfiguration validation ------------------------------------------------------
+
+Status Registry::request_reconfiguration(const std::string& instance,
+                                         const std::string& bitstream_id) {
+  std::lock_guard lock(mutex_);
+  auto assigned = instance_device_.find(instance);
+  if (assigned == instance_device_.end()) {
+    return FailedPrecondition("instance '" + instance +
+                              "' has no allocated device");
+  }
+  auto device_it = devices_.find(assigned->second);
+  if (device_it == devices_.end()) {
+    return Internal("instance '" + instance + "' assigned to unknown device");
+  }
+  DeviceState& device = device_it->second;
+  const sim::Bitstream* bitstream =
+      sim::BitstreamLibrary::standard().find(bitstream_id);
+  if (bitstream == nullptr) {
+    return NotFound("unknown bitstream '" + bitstream_id + "'");
+  }
+  DeviceSample sample = sample_locked(device);
+  if (sample.expected_accelerator == bitstream->accelerator) {
+    return Status::Ok();  // no reconfiguration needed
+  }
+  device.flagged_for_reconfiguration = true;
+  device.expected_accelerator = bitstream->accelerator;
+  Status migrated = migrate_instances_away(device.record.id, instance);
+  device.flagged_for_reconfiguration = false;
+  return migrated;
+}
+
+// --- Introspection ---------------------------------------------------------------------
+
+std::optional<std::string> Registry::device_of_instance(
+    const std::string& instance) const {
+  std::lock_guard lock(mutex_);
+  auto it = instance_device_.find(instance);
+  if (it == instance_device_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Registry::instances_on_device(
+    const std::string& device_id) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [instance, dev] : instance_device_) {
+    if (dev == device_id) out.push_back(instance);
+  }
+  return out;
+}
+
+std::size_t Registry::assignment_count() const {
+  std::lock_guard lock(mutex_);
+  return instance_device_.size();
+}
+
+}  // namespace bf::registry

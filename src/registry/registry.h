@@ -1,0 +1,169 @@
+// Accelerators Registry: the master component (paper §III-C).
+//
+//  * Devices Service  — registers boards/managers, tracks configured and
+//    expected accelerators, flags reconfigurations.
+//  * Functions Service — registers serverless functions with their device
+//    queries, tracks instance->device assignments.
+//  * Metrics Gatherer — samples per-device runtime metrics (FPGA time
+//    utilization, connected instances) from the Device Managers; this is the
+//    Prometheus-scrape stand-in.
+//  * Allocation        — paper Algorithm 1, run at function-instance
+//    admission: filter by compatibility, filter by metrics, order by metrics
+//    and accelerator compatibility, fall through to redistributable devices,
+//    flag reconfiguration, force host allocation.
+//  * Migration         — create-before-delete via the cluster when a device
+//    must be reconfigured under live tenants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "devmgr/device_manager.h"
+#include "vt/time.h"
+
+namespace bf::registry {
+
+// What a function requires from a device (paper: vendor, platform,
+// accelerator compatibility).
+struct DeviceQuery {
+  std::string vendor;       // "" = any
+  std::string platform;     // "" = any
+  std::string accelerator;  // required accelerator name
+  std::string bitstream;    // bitstream id that provides it
+};
+
+struct DeviceRecord {
+  std::string id;
+  std::string vendor;
+  std::string platform;
+  std::string node;
+  std::string manager_address;
+  // Direct handle used by the Metrics Gatherer (Prometheus stand-in) and
+  // for configured-bitstream introspection.
+  devmgr::DeviceManager* manager = nullptr;
+};
+
+struct DeviceSample {
+  std::string configured_accelerator;  // region 0 (classic mode)
+  std::string expected_accelerator;    // after pending reconfigurations
+  // All accelerators resident on the board (> 1 in space-sharing mode).
+  std::vector<std::string> resident_accelerators;
+  // Free partial-reconfiguration regions (0 in classic mode when
+  // configured): a free region admits a new accelerator without migration.
+  unsigned free_regions = 0;
+  double utilization = 0.0;            // over the gatherer window
+  std::size_t connected_instances = 0;
+};
+
+enum class MetricKey { kUtilization, kConnectedInstances };
+
+struct AllocationPolicy {
+  // filterby_metrics: drop devices above this utilization.
+  double max_utilization = 0.95;
+  // orderby_metrics: sort priority (paper: "chosen depending on the system
+  // and applications SLA").
+  std::vector<MetricKey> metrics_order = {MetricKey::kUtilization,
+                                          MetricKey::kConnectedInstances};
+  // Metrics-gathering window for utilization.
+  vt::Duration utilization_window = vt::Duration::seconds(10);
+  // Spread (ascending metrics, the default) or pack (descending) tenants.
+  // Packing is the ablation baseline showing why least-loaded-first matters.
+  bool pack_tenants = false;
+};
+
+struct Allocation {
+  std::string device_id;
+  std::string manager_address;
+  std::string node;
+  bool reconfigure = false;  // device flagged for reconfiguration
+};
+
+class Registry {
+ public:
+  // `clock` supplies the current modeled time for metric windows (the
+  // experiment fabric wires it to the load clock).
+  Registry(cluster::Cluster* cluster, AllocationPolicy policy,
+           std::function<vt::Time()> clock);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- Devices Service --------------------------------------------------------
+  Status register_device(DeviceRecord record);
+  // Refused while instances are still assigned to the device.
+  Status deregister_device(const std::string& device_id);
+  [[nodiscard]] std::vector<DeviceRecord> devices() const;
+  [[nodiscard]] Result<DeviceSample> sample_device(
+      const std::string& device_id) const;
+
+  // --- Functions Service ------------------------------------------------------
+  Status register_function(const std::string& name, DeviceQuery query);
+  Status deregister_function(const std::string& name);
+  [[nodiscard]] std::optional<DeviceQuery> function_query(
+      const std::string& name) const;
+
+  // Installs the admission hook + watcher on the cluster. Pods belonging to
+  // registered functions get allocated, patched (env/volumes) and pinned to
+  // the chosen device's node; others pass through untouched.
+  void attach_to_cluster();
+
+  // --- Allocation (Algorithm 1) -------------------------------------------------
+  Result<Allocation> allocate(const std::string& instance,
+                              const DeviceQuery& query,
+                              const std::vector<std::string>& excluded = {});
+
+  // --- Reconfiguration validation + migration -----------------------------------
+  // A running instance asks to load a different bitstream on its device.
+  // The Registry verifies the caller's allocation, migrates every other
+  // connected instance away (create-before-delete) and approves.
+  Status request_reconfiguration(const std::string& instance,
+                                 const std::string& bitstream_id);
+
+  // --- Introspection --------------------------------------------------------------
+  [[nodiscard]] std::optional<std::string> device_of_instance(
+      const std::string& instance) const;
+  [[nodiscard]] std::vector<std::string> instances_on_device(
+      const std::string& device_id) const;
+  [[nodiscard]] std::size_t assignment_count() const;
+
+  // Env keys written into pod specs by the admission patch.
+  static constexpr const char* kEnvManager = "BF_MANAGER";
+  static constexpr const char* kEnvDevice = "BF_DEVICE";
+  static constexpr const char* kEnvBitstream = "BF_BITSTREAM";
+  static constexpr const char* kShmVolume = "bf-shm";
+
+ private:
+  struct DeviceState {
+    DeviceRecord record;
+    std::string expected_accelerator;  // set by allocations that reconfigure
+    bool flagged_for_reconfiguration = false;
+  };
+
+  [[nodiscard]] DeviceSample sample_locked(const DeviceState& device) const;
+  [[nodiscard]] bool compatible_hardware(const DeviceState& device,
+                                         const DeviceQuery& query) const;
+  [[nodiscard]] bool compatible_accelerator(const DeviceSample& sample,
+                                            const DeviceQuery& query) const;
+  // Can every instance on `device` move to some other device?
+  [[nodiscard]] bool redistributable_locked(const std::string& device_id);
+  Status migrate_instances_away(const std::string& device_id,
+                                const std::string& except_instance);
+
+  cluster::Cluster* cluster_;
+  AllocationPolicy policy_;
+  std::function<vt::Time()> clock_;
+
+  mutable std::recursive_mutex mutex_;
+  std::map<std::string, DeviceState> devices_;
+  std::map<std::string, DeviceQuery> functions_;
+  std::map<std::string, std::string> instance_device_;  // instance -> device
+};
+
+}  // namespace bf::registry

@@ -1,0 +1,659 @@
+#include "remote/remote_runtime.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "proto/wire.h"
+
+namespace bf::remote {
+namespace {
+
+template <typename T>
+Bytes encode(const T& message) {
+  proto::Writer writer;
+  message.encode(writer);
+  return writer.take();
+}
+
+template <typename T>
+Result<T> decode_payload(const net::Frame& frame) {
+  proto::Reader reader(ByteSpan{frame.payload});
+  return T::decode(reader);
+}
+
+ocl::DeviceInfo to_device_info(const proto::DeviceDescriptor& descriptor) {
+  ocl::DeviceInfo info;
+  info.id = descriptor.id;
+  info.name = descriptor.name;
+  info.vendor = descriptor.vendor;
+  info.platform = descriptor.platform;
+  info.node = descriptor.node;
+  info.accelerator = descriptor.accelerator;
+  info.global_memory_bytes = descriptor.global_memory_bytes;
+  return info;
+}
+
+}  // namespace
+
+// --- RemoteEvent ----------------------------------------------------------------
+
+class RemoteQueue;
+
+// The paper's 4-state event machine. States only move forward.
+class RemoteEvent final : public ocl::Event {
+ public:
+  enum class State { kInit, kFirst, kBuffer, kComplete };
+
+  RemoteEvent(std::uint64_t op_id, ocl::Session* session,
+              net::Connection* connection, RemoteQueue* queue)
+      : op_id_(op_id),
+        session_(session),
+        connection_(connection),
+        queue_(queue) {}
+
+  [[nodiscard]] std::uint64_t op_id() const { return op_id_; }
+
+  [[nodiscard]] ocl::EventStatus status() const override {
+    std::lock_guard lock(mutex_);
+    if (!op_status_.ok()) return ocl::EventStatus::kError;
+    switch (state_) {
+      case State::kInit: return ocl::EventStatus::kQueued;
+      case State::kFirst: return ocl::EventStatus::kSubmitted;
+      case State::kBuffer: return ocl::EventStatus::kRunning;
+      case State::kComplete:
+        // Completion becomes observable once the application's virtual
+        // clock passes the completion stamp (polling costs the app time).
+        return completion_ <= session_->now() ? ocl::EventStatus::kComplete
+                                              : ocl::EventStatus::kRunning;
+    }
+    return ocl::EventStatus::kError;
+  }
+
+  Status wait() override;
+
+  [[nodiscard]] vt::Time completion_time() const override {
+    std::lock_guard lock(mutex_);
+    return completion_;
+  }
+
+  // --- driven by the connection thread --------------------------------------
+
+  void on_enqueued() {
+    std::lock_guard lock(mutex_);
+    if (state_ == State::kInit) state_ = State::kFirst;
+  }
+
+  void mark_buffer_staged() {
+    std::lock_guard lock(mutex_);
+    if (state_ != State::kComplete) state_ = State::kBuffer;
+  }
+
+  void complete(Status status, vt::Time at) {
+    {
+      std::lock_guard lock(mutex_);
+      state_ = State::kComplete;
+      op_status_ = std::move(status);
+      completion_ = at;
+    }
+    cv_.notify_all();
+  }
+
+  // Read destination plumbing (set at enqueue time).
+  void set_read_target(MutableByteSpan target,
+                       std::shared_ptr<shm::Segment> segment) {
+    target_ = target;
+    segment_ = std::move(segment);
+  }
+  [[nodiscard]] MutableByteSpan read_target() const { return target_; }
+  [[nodiscard]] const std::shared_ptr<shm::Segment>& segment() const {
+    return segment_;
+  }
+
+ private:
+  std::uint64_t op_id_;
+  ocl::Session* session_;
+  net::Connection* connection_;
+  RemoteQueue* queue_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  State state_ = State::kInit;
+  Status op_status_;
+  vt::Time completion_;
+
+  MutableByteSpan target_;
+  std::shared_ptr<shm::Segment> segment_;
+};
+
+// --- RemoteContext ----------------------------------------------------------------
+
+class RemoteContext final : public ocl::Context {
+ public:
+  RemoteContext(std::shared_ptr<net::Connection> connection,
+                ocl::Session* session, std::uint64_t session_id,
+                ocl::DeviceInfo device,
+                std::shared_ptr<shm::Segment> segment)
+      : connection_(std::move(connection)),
+        session_(session),
+        session_id_(session_id),
+        device_(std::move(device)),
+        segment_(std::move(segment)) {
+    pump_ = std::thread([this] { pump_loop(); });
+  }
+
+  ~RemoteContext() override {
+    connection_->close();
+    if (pump_.joinable()) pump_.join();
+    fail_pending(Unavailable("context destroyed"));
+  }
+
+  RemoteContext(const RemoteContext&) = delete;
+  RemoteContext& operator=(const RemoteContext&) = delete;
+
+  [[nodiscard]] const ocl::DeviceInfo& device() const override {
+    return device_;
+  }
+  [[nodiscard]] ocl::Session& session() override { return *session_; }
+
+  Status program(const std::string& bitstream_id) override {
+    proto::ProgramReq request;
+    request.bitstream_id = bitstream_id;
+    auto reply = connection_->call(proto::Method::kProgram, encode(request),
+                                   session_->clock());
+    if (!reply.ok()) return reply.status();
+    auto resp = decode_payload<proto::ProgramResp>(reply.value());
+    if (!resp.ok()) return resp.status();
+    if (resp.value().reconfigured) device_.accelerator = "";  // refreshed lazily
+    return resp.value().status.to_status();
+  }
+
+  Result<ocl::Buffer> create_buffer(std::uint64_t size) override {
+    proto::CreateBufferReq request;
+    request.size = size;
+    auto reply = connection_->call(proto::Method::kCreateBuffer,
+                                   encode(request), session_->clock());
+    if (!reply.ok()) return reply.status();
+    auto resp = decode_payload<proto::CreateBufferResp>(reply.value());
+    if (!resp.ok()) return resp.status();
+    if (Status s = resp.value().status.to_status(); !s.ok()) return s;
+    return ocl::Buffer{resp.value().buffer_id, size};
+  }
+
+  Status release_buffer(const ocl::Buffer& buffer) override {
+    proto::ReleaseBufferReq request;
+    request.buffer_id = buffer.id;
+    auto reply = connection_->call(proto::Method::kReleaseBuffer,
+                                   encode(request), session_->clock());
+    if (!reply.ok()) return reply.status();
+    auto resp = decode_payload<proto::AckResp>(reply.value());
+    if (!resp.ok()) return resp.status();
+    return resp.value().status.to_status();
+  }
+
+  Result<ocl::Kernel> create_kernel(const std::string& name) override {
+    proto::CreateKernelReq request;
+    request.name = name;
+    auto reply = connection_->call(proto::Method::kCreateKernel,
+                                   encode(request), session_->clock());
+    if (!reply.ok()) return reply.status();
+    auto resp = decode_payload<proto::CreateKernelResp>(reply.value());
+    if (!resp.ok()) return resp.status();
+    if (Status s = resp.value().status.to_status(); !s.ok()) return s;
+    return ocl::Kernel(resp.value().kernel_id, name, resp.value().arity);
+  }
+
+  Result<std::unique_ptr<ocl::CommandQueue>> create_queue() override;
+
+  // --- used by RemoteQueue ----------------------------------------------------
+
+  [[nodiscard]] net::Connection& connection() { return *connection_; }
+  [[nodiscard]] const std::shared_ptr<shm::Segment>& segment() const {
+    return segment_;
+  }
+  [[nodiscard]] bool shm_enabled() const { return segment_ != nullptr; }
+
+  std::uint64_t next_op_id() { return op_counter_.fetch_add(1) + 1; }
+
+  void register_event(std::uint64_t op_id, std::shared_ptr<RemoteEvent> ev) {
+    std::lock_guard lock(events_mutex_);
+    events_[op_id] = std::move(ev);
+  }
+
+ private:
+  void pump_loop();
+  void fail_pending(const Status& status);
+  std::shared_ptr<RemoteEvent> take_event(std::uint64_t op_id);
+  std::shared_ptr<RemoteEvent> peek_event(std::uint64_t op_id);
+
+  std::shared_ptr<net::Connection> connection_;
+  ocl::Session* session_;
+  std::uint64_t session_id_;
+  ocl::DeviceInfo device_;
+  std::shared_ptr<shm::Segment> segment_;
+
+  std::atomic<std::uint64_t> op_counter_{0};
+  std::mutex events_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<RemoteEvent>> events_;
+
+  std::thread pump_;
+};
+
+// --- RemoteQueue -----------------------------------------------------------------
+
+// Converts an event wait list into the server-side op-id dependency list.
+// Only events produced by this runtime carry op ids.
+Result<std::vector<std::uint64_t>> to_wait_ids(ocl::EventWaitList wait_list) {
+  std::vector<std::uint64_t> out;
+  out.reserve(wait_list.size());
+  for (const ocl::EventPtr& event : wait_list) {
+    if (event == nullptr) continue;
+    auto* remote_event = dynamic_cast<RemoteEvent*>(event.get());
+    if (remote_event == nullptr) {
+      return InvalidArgument(
+          "wait-list event was not created by this remote runtime");
+    }
+    out.push_back(remote_event->op_id());
+  }
+  return out;
+}
+
+class RemoteQueue final : public ocl::CommandQueue {
+ public:
+  RemoteQueue(RemoteContext* context, std::uint64_t queue_id)
+      : context_(context), queue_id_(queue_id) {}
+
+  Result<ocl::EventPtr> enqueue_write(const ocl::Buffer& buffer,
+                                      std::uint64_t offset, ByteSpan data,
+                                      bool blocking,
+                                      ocl::EventWaitList wait_list) override {
+    auto& session = context_->session();
+    const std::uint64_t op_id = context_->next_op_id();
+    auto event = std::make_shared<RemoteEvent>(op_id, &session,
+                                               &context_->connection(), this);
+    context_->register_event(op_id, event);
+
+    auto wait_ids = to_wait_ids(wait_list);
+    if (!wait_ids.ok()) return wait_ids.status();
+    // INIT: call metadata (buffer id, size, offset).
+    proto::EnqueueWriteReq request;
+    request.op_id = op_id;
+    request.queue_id = queue_id_;
+    request.buffer_id = buffer.id;
+    request.offset = offset;
+    request.size = data.size();
+    request.wait_op_ids = std::move(wait_ids.value());
+    Status sent = context_->connection().send(
+        proto::Method::kEnqueueWrite, op_id, encode(request), session.clock());
+    if (!sent.ok()) return sent;
+
+    // BUFFER: stage the payload. Shared memory when granted (one copy,
+    // charged to our clock); otherwise inline protobuf bytes.
+    proto::WriteData payload;
+    payload.op_id = op_id;
+    payload.size = data.size();
+    if (context_->shm_enabled()) {
+      auto slot = context_->segment()->stage(data, session.clock());
+      if (!slot.ok()) return slot.status();
+      payload.shm_slot = slot.value();
+    } else {
+      payload.data.assign(data.begin(), data.end());
+    }
+    sent = context_->connection().send(proto::Method::kWriteData, op_id,
+                                       encode(payload), session.clock());
+    if (!sent.ok()) return sent;
+    event->mark_buffer_staged();
+    dirty_ = true;
+
+    if (blocking) {
+      if (Status s = flush(); !s.ok()) return s;
+      if (Status s = event->wait(); !s.ok()) return s;
+    }
+    return ocl::EventPtr(event);
+  }
+
+  Result<ocl::EventPtr> enqueue_read(const ocl::Buffer& buffer,
+                                     std::uint64_t offset, MutableByteSpan out,
+                                     bool blocking,
+                                     ocl::EventWaitList wait_list) override {
+    auto& session = context_->session();
+    const std::uint64_t op_id = context_->next_op_id();
+    auto event = std::make_shared<RemoteEvent>(op_id, &session,
+                                               &context_->connection(), this);
+    event->set_read_target(out, context_->segment());
+    context_->register_event(op_id, event);
+
+    auto wait_ids = to_wait_ids(wait_list);
+    if (!wait_ids.ok()) return wait_ids.status();
+    proto::EnqueueReadReq request;
+    request.op_id = op_id;
+    request.queue_id = queue_id_;
+    request.buffer_id = buffer.id;
+    request.offset = offset;
+    request.size = out.size();
+    request.use_shared_memory = context_->shm_enabled();
+    request.wait_op_ids = std::move(wait_ids.value());
+    Status sent = context_->connection().send(
+        proto::Method::kEnqueueRead, op_id, encode(request), session.clock());
+    if (!sent.ok()) return sent;
+    dirty_ = true;
+
+    if (blocking) {
+      if (Status s = flush(); !s.ok()) return s;
+      if (Status s = event->wait(); !s.ok()) return s;
+    }
+    return ocl::EventPtr(event);
+  }
+
+  Result<ocl::EventPtr> enqueue_kernel(const ocl::Kernel& kernel,
+                                       ocl::NdRange range,
+                                       ocl::EventWaitList wait_list) override {
+    auto& session = context_->session();
+    const std::uint64_t op_id = context_->next_op_id();
+    auto event = std::make_shared<RemoteEvent>(op_id, &session,
+                                               &context_->connection(), this);
+    context_->register_event(op_id, event);
+
+    auto wait_ids = to_wait_ids(wait_list);
+    if (!wait_ids.ok()) return wait_ids.status();
+    proto::EnqueueKernelReq request;
+    request.op_id = op_id;
+    request.queue_id = queue_id_;
+    request.kernel_id = kernel.id();
+    request.global_size = {range.x, range.y, range.z};
+    request.wait_op_ids = std::move(wait_ids.value());
+    request.args.reserve(kernel.args().size());
+    for (const ocl::KernelArgValue& arg : kernel.args()) {
+      proto::KernelArgMsg msg;
+      if (const auto* ref = std::get_if<ocl::BufferRef>(&arg)) {
+        msg.kind = proto::KernelArgMsg::Kind::kBuffer;
+        msg.buffer_id = ref->id;
+      } else if (const auto* iv = std::get_if<std::int64_t>(&arg)) {
+        msg.kind = proto::KernelArgMsg::Kind::kInt;
+        msg.int_value = *iv;
+      } else if (const auto* dv = std::get_if<double>(&arg)) {
+        msg.kind = proto::KernelArgMsg::Kind::kDouble;
+        msg.double_value = *dv;
+      } else {
+        return InvalidArgument("kernel '" + kernel.name() + "' has unset arg");
+      }
+      request.args.push_back(msg);
+    }
+    Status sent = context_->connection().send(
+        proto::Method::kEnqueueKernel, op_id, encode(request),
+        session.clock());
+    if (!sent.ok()) return sent;
+    dirty_ = true;
+    return ocl::EventPtr(event);
+  }
+
+  Status flush() override {
+    if (!dirty_) return Status::Ok();
+    proto::FlushReq request;
+    request.queue_id = queue_id_;
+    Status sent =
+        context_->connection().send(proto::Method::kFlush, /*correlation=*/0,
+                                    encode(request),
+                                    context_->session().clock());
+    if (sent.ok()) dirty_ = false;
+    return sent;
+  }
+
+  Status finish() override {
+    auto& session = context_->session();
+    const std::uint64_t op_id = context_->next_op_id();
+    auto event = std::make_shared<RemoteEvent>(op_id, &session,
+                                               &context_->connection(), this);
+    context_->register_event(op_id, event);
+    proto::FinishReq request;
+    request.op_id = op_id;
+    request.queue_id = queue_id_;
+    Status sent = context_->connection().send(
+        proto::Method::kFinish, op_id, encode(request), session.clock());
+    if (!sent.ok()) return sent;
+    dirty_ = false;  // Finish seals the task server-side
+    return event->wait();
+  }
+
+  // clWaitForEvents implies a flush of the queue that generated the event.
+  Status flush_for_wait() { return flush(); }
+
+ private:
+  RemoteContext* context_;
+  std::uint64_t queue_id_;
+  bool dirty_ = false;  // ops enqueued since last flush
+};
+
+Status RemoteEvent::wait() {
+  if (queue_ != nullptr) {
+    if (Status s = queue_->flush_for_wait(); !s.ok()) return s;
+  }
+  {
+    std::unique_lock lock(mutex_);
+    if (state_ != State::kComplete) {
+      // Register the wake tag so the connection thread re-anchors our gate
+      // bound atomically with the completion that wakes us.
+      connection_->prepare_wait(net::Connection::WaitTag::kEvent, op_id_);
+      cv_.wait(lock, [&] { return state_ == State::kComplete; });
+    }
+  }
+  vt::Time completion;
+  Status status;
+  {
+    std::lock_guard lock(mutex_);
+    completion = completion_;
+    status = op_status_;
+  }
+  session_->clock().advance_to(completion);
+  connection_->announce(session_->now());
+  return status;
+}
+
+Result<std::unique_ptr<ocl::CommandQueue>> RemoteContext::create_queue() {
+  auto reply = connection_->call(proto::Method::kCreateQueue, Bytes{},
+                                 session_->clock());
+  if (!reply.ok()) return reply.status();
+  auto resp = decode_payload<proto::CreateQueueResp>(reply.value());
+  if (!resp.ok()) return resp.status();
+  if (Status s = resp.value().status.to_status(); !s.ok()) return s;
+  return std::unique_ptr<ocl::CommandQueue>(
+      std::make_unique<RemoteQueue>(this, resp.value().queue_id));
+}
+
+void RemoteContext::pump_loop() {
+  while (auto frame = connection_->notifications().pop()) {
+    switch (frame->method) {
+      case proto::Method::kOpEnqueued: {
+        auto note = decode_payload<proto::OpEnqueued>(*frame);
+        if (!note.ok()) break;
+        auto event = peek_event(note.value().op_id);
+        if (event != nullptr) event->on_enqueued();
+        break;
+      }
+      case proto::Method::kOpComplete: {
+        auto note = decode_payload<proto::OpComplete>(*frame);
+        if (!note.ok()) break;
+        auto event = take_event(note.value().op_id);
+        if (event == nullptr) break;
+        Status status = note.value().status.to_status();
+        vt::Time completion = frame->arrival_time;
+        if (status.ok() && !event->read_target().empty()) {
+          // Deliver read data into the application buffer.
+          if (note.value().shm_slot >= 0 && event->segment() != nullptr) {
+            vt::Cursor copy_clock(frame->arrival_time);
+            status = event->segment()->fetch(note.value().shm_slot,
+                                             event->read_target(), copy_clock);
+            completion = copy_clock.now();
+          } else if (note.value().data.size() == event->read_target().size()) {
+            std::copy(note.value().data.begin(), note.value().data.end(),
+                      event->read_target().begin());
+          } else {
+            status = Internal("read completion size mismatch: got " +
+                              std::to_string(note.value().data.size()) +
+                              "B, want " +
+                              std::to_string(event->read_target().size()) +
+                              "B");
+          }
+        }
+        event->complete(std::move(status), completion);
+        break;
+      }
+      default:
+        BF_LOG_WARN("remote") << "unexpected notification "
+                              << proto::to_string(frame->method);
+        break;
+    }
+  }
+  fail_pending(Unavailable("connection to device manager lost"));
+}
+
+void RemoteContext::fail_pending(const Status& status) {
+  std::map<std::uint64_t, std::shared_ptr<RemoteEvent>> pending;
+  {
+    std::lock_guard lock(events_mutex_);
+    pending.swap(events_);
+  }
+  for (auto& [op_id, event] : pending) {
+    event->complete(status, session_->now());
+  }
+}
+
+std::shared_ptr<RemoteEvent> RemoteContext::take_event(std::uint64_t op_id) {
+  std::lock_guard lock(events_mutex_);
+  auto it = events_.find(op_id);
+  if (it == events_.end()) return nullptr;
+  auto event = it->second;
+  events_.erase(it);
+  return event;
+}
+
+std::shared_ptr<RemoteEvent> RemoteContext::peek_event(std::uint64_t op_id) {
+  std::lock_guard lock(events_mutex_);
+  auto it = events_.find(op_id);
+  return it == events_.end() ? nullptr : it->second;
+}
+
+// --- RemoteRuntime ----------------------------------------------------------------
+
+RemoteRuntime::RemoteRuntime(std::vector<ManagerAddress> managers)
+    : managers_(std::move(managers)) {
+  for (const ManagerAddress& manager : managers_) {
+    BF_CHECK(manager.endpoint != nullptr);
+  }
+}
+
+Result<std::vector<ocl::PlatformInfo>> RemoteRuntime::platforms() {
+  std::vector<ocl::PlatformInfo> out;
+  out.reserve(managers_.size());
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    ocl::PlatformInfo platform;
+    platform.name = "BlastFunction Remote OpenCL";
+    platform.vendor = "BlastFunction";
+    // Resolve the managed device's real id (short probe session, cached).
+    ocl::Session probe_session("bf-probe");
+    auto info = probe(managers_[i], probe_session);
+    if (info.ok()) {
+      platform.device_ids = {info.value().id};
+      std::lock_guard lock(cache_mutex_);
+      device_to_manager_[info.value().id] = i;
+    }
+    out.push_back(std::move(platform));
+  }
+  return out;
+}
+
+Result<std::vector<ocl::DeviceInfo>> RemoteRuntime::devices() {
+  std::vector<ocl::DeviceInfo> out;
+  for (std::size_t i = 0; i < managers_.size(); ++i) {
+    ocl::Session probe_session("bf-probe");
+    auto info = probe(managers_[i], probe_session);
+    if (!info.ok()) return info.status();
+    {
+      std::lock_guard lock(cache_mutex_);
+      device_to_manager_[info.value().id] = i;
+    }
+    out.push_back(std::move(info.value()));
+  }
+  return out;
+}
+
+Result<ocl::DeviceInfo> RemoteRuntime::probe(const ManagerAddress& manager,
+                                             ocl::Session& session) {
+  auto connection = manager.endpoint->connect(session.client_id(),
+                                              manager.transport,
+                                              session.clock());
+  if (!connection.ok()) return connection.status();
+  proto::OpenSessionReq request;
+  request.client_id = session.client_id();
+  request.use_shared_memory = false;
+  auto reply = connection.value()->call(proto::Method::kOpenSession,
+                                        encode(request), session.clock());
+  connection.value()->close();
+  if (!reply.ok()) return reply.status();
+  auto resp = decode_payload<proto::OpenSessionResp>(reply.value());
+  if (!resp.ok()) return resp.status();
+  if (Status s = resp.value().status.to_status(); !s.ok()) return s;
+  return to_device_info(resp.value().device);
+}
+
+Result<std::unique_ptr<ocl::Context>> RemoteRuntime::create_context(
+    const std::string& device_id, ocl::Session& session) {
+  // The router: find the manager owning this device (cached from devices(),
+  // probing on miss).
+  std::optional<std::size_t> index;
+  {
+    std::lock_guard lock(cache_mutex_);
+    auto it = device_to_manager_.find(device_id);
+    if (it != device_to_manager_.end()) index = it->second;
+  }
+  if (!index.has_value()) {
+    for (std::size_t i = 0; i < managers_.size() && !index.has_value(); ++i) {
+      ocl::Session probe_session("bf-probe");
+      auto info = probe(managers_[i], probe_session);
+      if (info.ok() && info.value().id == device_id) {
+        std::lock_guard lock(cache_mutex_);
+        device_to_manager_[device_id] = i;
+        index = i;
+      }
+    }
+  }
+  if (!index.has_value()) {
+    return NotFound("no device manager exposes device '" + device_id + "'");
+  }
+  const ManagerAddress& manager = managers_[*index];
+
+  auto connection = manager.endpoint->connect(session.client_id(),
+                                              manager.transport,
+                                              session.clock());
+  if (!connection.ok()) return connection.status();
+
+  proto::OpenSessionReq request;
+  request.client_id = session.client_id();
+  request.use_shared_memory =
+      manager.prefer_shared_memory && manager.node_shm != nullptr;
+  auto reply = connection.value()->call(proto::Method::kOpenSession,
+                                        encode(request), session.clock());
+  if (!reply.ok()) return reply.status();
+  auto resp = decode_payload<proto::OpenSessionResp>(reply.value());
+  if (!resp.ok()) return resp.status();
+  if (Status s = resp.value().status.to_status(); !s.ok()) return s;
+
+  std::shared_ptr<shm::Segment> segment;
+  if (resp.value().shared_memory_granted && manager.node_shm != nullptr) {
+    const std::string name = manager.endpoint->address() + ":sess:" +
+                             std::to_string(resp.value().session_id);
+    auto opened = manager.node_shm->open(name);
+    if (opened.ok()) {
+      segment = opened.value();
+    } else {
+      BF_LOG_WARN("remote") << "shm granted but segment missing: "
+                            << opened.status().to_string()
+                            << " — falling back to gRPC data path";
+    }
+  }
+
+  return std::unique_ptr<ocl::Context>(std::make_unique<RemoteContext>(
+      connection.value(), &session, resp.value().session_id,
+      to_device_info(resp.value().device), std::move(segment)));
+}
+
+}  // namespace bf::remote

@@ -1,0 +1,73 @@
+// Remote OpenCL Library (paper §III-A, Figure 2).
+//
+// A drop-in implementation of the bf::ocl host API that forwards every call
+// to a Device Manager. Synchronous (context & information) methods are unary
+// RPCs; command-queue methods are asynchronous events:
+//
+//   1. the application calls e.g. enqueue_read;
+//   2. the library creates an event (state machine INIT/FIRST/BUFFER/
+//      COMPLETE) and sends the call metadata, tagged with the event id;
+//   3. the Device Manager acks admission (OpEnqueued -> FIRST) and later
+//      completion (OpComplete -> COMPLETE);
+//   4. a dedicated *connection thread* drains the completion queue, looks up
+//      the tagged event, steps its state machine and updates its OpenCL
+//      status; the application observes it via polling or wait().
+//
+// Data rides shared memory when the Device Manager granted a segment
+// (co-located deployment), otherwise inline protobuf bytes over the gRPC
+// analogue. Host code is identical either way — and identical to what runs
+// against bf::native::NativeRuntime. That is the system's transparency
+// claim.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "ocl/runtime.h"
+#include "shm/namespace.h"
+
+namespace bf::remote {
+
+// One entry in the router's platform list: how to reach a Device Manager.
+struct ManagerAddress {
+  net::ServerEndpoint* endpoint = nullptr;
+  net::TransportCost transport;        // control/data cost model
+  shm::Namespace* node_shm = nullptr;  // non-null when co-located
+  bool prefer_shared_memory = true;
+};
+
+class RemoteContext;
+
+class RemoteRuntime final : public ocl::Runtime {
+ public:
+  // The router component: keeps the list of available platforms (one per
+  // Device Manager address).
+  explicit RemoteRuntime(std::vector<ManagerAddress> managers);
+
+  [[nodiscard]] std::string name() const override { return "blastfunction"; }
+  Result<std::vector<ocl::PlatformInfo>> platforms() override;
+  Result<std::vector<ocl::DeviceInfo>> devices() override;
+  Result<std::unique_ptr<ocl::Context>> create_context(
+      const std::string& device_id, ocl::Session& session) override;
+
+ private:
+  friend class RemoteContext;
+
+  // Probes a manager for its device descriptor (short-lived session).
+  Result<ocl::DeviceInfo> probe(const ManagerAddress& manager,
+                                ocl::Session& session);
+
+  std::vector<ManagerAddress> managers_;
+  std::mutex cache_mutex_;
+  std::map<std::string, std::size_t> device_to_manager_;
+};
+
+}  // namespace bf::remote

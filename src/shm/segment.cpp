@@ -1,0 +1,118 @@
+#include "shm/segment.h"
+
+#include <algorithm>
+
+namespace bf::shm {
+
+Segment::Segment(sim::CopyModel copy_model, std::uint64_t capacity_bytes)
+    : copy_model_(copy_model), capacity_(capacity_bytes) {
+  BF_CHECK(capacity_bytes > 0);
+}
+
+Result<std::int64_t> Segment::stage(ByteSpan data, vt::Cursor& cursor) {
+  std::int64_t slot = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto allocated = allocate_locked(data.size());
+    if (!allocated.ok()) return allocated.status();
+    slot = allocated.value();
+    Bytes& storage = slots_[slot];
+    std::copy(data.begin(), data.end(), storage.begin());
+    bytes_copied_ += data.size();
+    ++copies_;
+  }
+  cursor.advance(copy_model_.copy_time(data.size()));
+  return slot;
+}
+
+Status Segment::fetch(std::int64_t slot, MutableByteSpan out,
+                      vt::Cursor& cursor) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = slots_.find(slot);
+    if (it == slots_.end()) {
+      return NotFound("unknown shm slot " + std::to_string(slot));
+    }
+    if (it->second.size() != out.size()) {
+      return InvalidArgument("shm fetch size mismatch: slot holds " +
+                             std::to_string(it->second.size()) +
+                             "B, caller expects " +
+                             std::to_string(out.size()) + "B");
+    }
+    std::copy(it->second.begin(), it->second.end(), out.begin());
+    bytes_copied_ += out.size();
+    ++copies_;
+    used_ -= it->second.size();
+    slots_.erase(it);
+  }
+  cursor.advance(copy_model_.copy_time(out.size()));
+  return Status::Ok();
+}
+
+Result<ByteSpan> Segment::view(std::int64_t slot) const {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    return NotFound("unknown shm slot " + std::to_string(slot));
+  }
+  return ByteSpan{it->second};
+}
+
+Result<std::int64_t> Segment::allocate(std::uint64_t size) {
+  std::lock_guard lock(mutex_);
+  return allocate_locked(size);
+}
+
+Result<MutableByteSpan> Segment::writable_view(std::int64_t slot) {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    return NotFound("unknown shm slot " + std::to_string(slot));
+  }
+  return MutableByteSpan{it->second};
+}
+
+Status Segment::release(std::int64_t slot) {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    return NotFound("unknown shm slot " + std::to_string(slot));
+  }
+  used_ -= it->second.size();
+  slots_.erase(it);
+  return Status::Ok();
+}
+
+std::uint64_t Segment::used() const {
+  std::lock_guard lock(mutex_);
+  return used_;
+}
+
+std::uint64_t Segment::total_bytes_copied() const {
+  std::lock_guard lock(mutex_);
+  return bytes_copied_;
+}
+
+std::uint64_t Segment::copy_count() const {
+  std::lock_guard lock(mutex_);
+  return copies_;
+}
+
+std::size_t Segment::slot_count() const {
+  std::lock_guard lock(mutex_);
+  return slots_.size();
+}
+
+Result<std::int64_t> Segment::allocate_locked(std::uint64_t size) {
+  if (size == 0) return InvalidArgument("zero-size shm slot");
+  if (used_ + size > capacity_) {
+    return ResourceExhausted("shm segment full: " + std::to_string(used_) +
+                             "B used of " + std::to_string(capacity_) + "B");
+  }
+  const std::int64_t slot = next_slot_++;
+  slots_[slot] = Bytes(size);
+  used_ += size;
+  return slot;
+}
+
+}  // namespace bf::shm

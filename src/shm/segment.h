@@ -1,0 +1,75 @@
+// Shared-memory data plane.
+//
+// When a function is co-located with its Device Manager, BlastFunction moves
+// buffer payloads through a shared memory area instead of gRPC, cutting the
+// data copies from four to one (paper §III-B). The one remaining copy — kept
+// for OpenCL compatibility — is the application-buffer <-> shared-slot copy
+// on the client side; it is performed for real (so data integrity is
+// testable) and charged to the client's cursor via the node's memcpy model.
+//
+// The Device Manager side hands slots to the board's DMA engine directly
+// (PCIe cost charged by the board, no host copy).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sim/costmodel.h"
+#include "vt/cursor.h"
+
+namespace bf::shm {
+
+// One client<->manager shared memory area (a POSIX shm mapping in the real
+// system, mounted into both containers by the Registry's pod patch).
+class Segment {
+ public:
+  Segment(sim::CopyModel copy_model, std::uint64_t capacity_bytes);
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  // --- client side ----------------------------------------------------------
+
+  // Copies application data into a fresh slot (the single modeled copy).
+  Result<std::int64_t> stage(ByteSpan data, vt::Cursor& cursor);
+
+  // Copies a slot's contents out into an application buffer (the single
+  // modeled copy on the read path) and releases the slot.
+  Status fetch(std::int64_t slot, MutableByteSpan out, vt::Cursor& cursor);
+
+  // --- manager side ---------------------------------------------------------
+
+  // Zero-copy view of a staged slot for board DMA. Valid until release().
+  Result<ByteSpan> view(std::int64_t slot) const;
+
+  // Allocates an uninitialized slot the board DMA will fill (read path).
+  Result<std::int64_t> allocate(std::uint64_t size);
+  Result<MutableByteSpan> writable_view(std::int64_t slot);
+
+  Status release(std::int64_t slot);
+
+  // --- introspection ---------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const;
+  [[nodiscard]] std::uint64_t total_bytes_copied() const;
+  [[nodiscard]] std::uint64_t copy_count() const;
+  [[nodiscard]] std::size_t slot_count() const;
+
+ private:
+  Result<std::int64_t> allocate_locked(std::uint64_t size);
+
+  sim::CopyModel copy_model_;
+  std::uint64_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, Bytes> slots_;
+  std::uint64_t used_ = 0;
+  std::int64_t next_slot_ = 1;
+  std::uint64_t bytes_copied_ = 0;
+  std::uint64_t copies_ = 0;
+};
+
+}  // namespace bf::shm

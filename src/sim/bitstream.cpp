@@ -1,0 +1,94 @@
+#include "sim/bitstream.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace bf::sim {
+
+bool Bitstream::has_kernel(const std::string& name) const {
+  return std::find(kernels.begin(), kernels.end(), name) != kernels.end();
+}
+
+vt::Duration Bitstream::reconfiguration_time() const {
+  constexpr double kConfigBytesPerSecond = 64.0 * 1024 * 1024;
+  return vt::Duration::millis(900) +
+         vt::Duration::from_seconds_f(static_cast<double>(size_bytes) /
+                                      kConfigBytesPerSecond);
+}
+
+const BitstreamLibrary& BitstreamLibrary::standard() {
+  static const BitstreamLibrary library;
+  return library;
+}
+
+BitstreamLibrary::BitstreamLibrary() {
+  // Spector Sobel: 32x8 blocks, 4x1 window, no SIMD, 1 CU (paper §IV).
+  items_.push_back(Bitstream{
+      .id = kSobel,
+      .vendor = "Intel",
+      .platform = "a10gx_de5a_net",
+      .accelerator = "sobel",
+      .kernels = {"sobel"},
+      .size_bytes = 44 * kMiB,
+  });
+  // Spector MM: 1 CU, 8 work-items, fully unrolled 16x16 block (paper §IV).
+  items_.push_back(Bitstream{
+      .id = kMatMul,
+      .vendor = "Intel",
+      .platform = "a10gx_de5a_net",
+      .accelerator = "mm",
+      .kernels = {"mm"},
+      .size_bytes = 52 * kMiB,
+  });
+  // PipeCNN synthesized for AlexNet (paper §IV / [18]).
+  items_.push_back(Bitstream{
+      .id = kAlexNet,
+      .vendor = "Intel",
+      .platform = "a10gx_de5a_net",
+      .accelerator = "pipecnn_alexnet",
+      .kernels = {"conv", "pool", "lrn", "fc"},
+      .size_bytes = 96 * kMiB,
+  });
+  // Spector FIR filter and histogram (suite members beyond the paper's
+  // evaluation; used by the extended examples/tests).
+  items_.push_back(Bitstream{
+      .id = kFir,
+      .vendor = "Intel",
+      .platform = "a10gx_de5a_net",
+      .accelerator = "fir",
+      .kernels = {"fir"},
+      .size_bytes = 36 * kMiB,
+  });
+  items_.push_back(Bitstream{
+      .id = kHistogram,
+      .vendor = "Intel",
+      .platform = "a10gx_de5a_net",
+      .accelerator = "histogram",
+      .kernels = {"histogram"},
+      .size_bytes = 30 * kMiB,
+  });
+  items_.push_back(Bitstream{
+      .id = kVadd,
+      .vendor = "Intel",
+      .platform = "a10gx_de5a_net",
+      .accelerator = "vadd",
+      .kernels = {"vadd"},
+      .size_bytes = 24 * kMiB,
+  });
+}
+
+const Bitstream* BitstreamLibrary::find(const std::string& id) const {
+  for (const Bitstream& b : items_) {
+    if (b.id == id) return &b;
+  }
+  return nullptr;
+}
+
+std::optional<Bitstream> BitstreamLibrary::get(const std::string& id) const {
+  const Bitstream* b = find(id);
+  if (b == nullptr) return std::nullopt;
+  return *b;
+}
+
+}  // namespace bf::sim

@@ -1,0 +1,58 @@
+// Bitstreams: what a board can be configured with.
+//
+// A bitstream carries identity (vendor / platform / accelerator) used by the
+// Registry's compatibility filter (paper Algorithm 1) and the set of kernels
+// it exposes. Reconfiguration wipes DDR and takes modeled time proportional
+// to the bitstream size (paper §III-B: reconfiguration blocks the device).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vt/time.h"
+
+namespace bf::sim {
+
+struct Bitstream {
+  std::string id;           // e.g. "spector_sobel_v1"
+  std::string vendor;       // e.g. "Intel"
+  std::string platform;     // e.g. "a10gx_de5a_net"
+  std::string accelerator;  // logical accelerator name, e.g. "sobel"
+  std::vector<std::string> kernels;
+  std::uint64_t size_bytes = 0;
+
+  [[nodiscard]] bool has_kernel(const std::string& name) const;
+
+  // Full-device Arria-10 programming: fixed setup plus size-proportional
+  // streaming over PCIe config path (~64 MiB/s effective).
+  [[nodiscard]] vt::Duration reconfiguration_time() const;
+};
+
+// The accelerators used in the paper's evaluation plus a vadd demo
+// bitstream used by the quickstart and tests.
+class BitstreamLibrary {
+ public:
+  static const BitstreamLibrary& standard();
+
+  [[nodiscard]] const Bitstream* find(const std::string& id) const;
+  [[nodiscard]] std::optional<Bitstream> get(const std::string& id) const;
+  [[nodiscard]] const std::vector<Bitstream>& all() const { return items_; }
+
+  // Paper benchmark bitstream ids.
+  static constexpr const char* kSobel = "spector_sobel_v1";
+  static constexpr const char* kMatMul = "spector_mm_v1";
+  static constexpr const char* kAlexNet = "pipecnn_alexnet_v1";
+  static constexpr const char* kVadd = "vadd_demo_v1";
+  // Additional Spector-suite accelerators (beyond the paper's three).
+  static constexpr const char* kFir = "spector_fir_v1";
+  static constexpr const char* kHistogram = "spector_hist_v1";
+
+ private:
+  BitstreamLibrary();
+  std::vector<Bitstream> items_;
+};
+
+}  // namespace bf::sim

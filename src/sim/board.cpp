@@ -1,0 +1,291 @@
+#include "sim/board.h"
+
+#include <algorithm>
+
+namespace bf::sim {
+namespace {
+
+// Partial-reconfiguration streaming rate (config port) and fixed setup.
+constexpr double kPrBytesPerSecond = 100.0 * 1024 * 1024;
+constexpr vt::Duration kPrSetup = vt::Duration::millis(250);
+
+}  // namespace
+
+Board::Board(BoardConfig config)
+    : config_(std::move(config)), memory_(config_.memory_bytes) {
+  BF_CHECK(config_.pr_regions >= 1);
+  regions_.resize(config_.pr_regions);
+}
+
+Result<Board::Interval> Board::configure(const Bitstream& bitstream,
+                                         vt::Time ready) {
+  std::lock_guard lock(mutex_);
+  memory_.reset();
+  for (Region& region : regions_) region.bitstream.reset();
+  regions_[0].bitstream = bitstream;
+  ++reconfigurations_;
+  const Interval interval = schedule_locked(
+      ready, bitstream.reconfiguration_time(), /*count_busy=*/false);
+  // Full programming stalls every region.
+  for (Region& region : regions_) {
+    region.busy_until = vt::max(region.busy_until, interval.end);
+  }
+  return interval;
+}
+
+Result<Board::Interval> Board::configure_region(unsigned region_index,
+                                                const Bitstream& bitstream,
+                                                vt::Time ready) {
+  std::lock_guard lock(mutex_);
+  if (config_.pr_regions == 1) {
+    return FailedPrecondition("board " + config_.id +
+                              " is not in space-sharing (shell) mode");
+  }
+  if (region_index >= regions_.size()) {
+    return InvalidArgument("region " + std::to_string(region_index) +
+                           " out of range");
+  }
+  Region& region = regions_[region_index];
+  // PR bitstreams cover one region: size scales down with the region count.
+  const double bytes =
+      static_cast<double>(bitstream.size_bytes) / config_.pr_regions;
+  const vt::Duration pr_time =
+      kPrSetup + vt::Duration::from_seconds_f(bytes / kPrBytesPerSecond);
+  const vt::Time start = vt::max(ready, region.busy_until);
+  const vt::Time end = start + pr_time;
+  region.busy_until = end;
+  region.bitstream = bitstream;
+  ++reconfigurations_;
+  return Interval{start, end};
+}
+
+Result<Board::Interval> Board::ensure_accelerator(const Bitstream& bitstream,
+                                                  vt::Time ready,
+                                                  bool* wiped_memory) {
+  if (wiped_memory != nullptr) *wiped_memory = false;
+  bool full_reconfigure = false;
+  unsigned target_region = 0;
+  {
+    std::lock_guard lock(mutex_);
+    for (const Region& region : regions_) {
+      if (region.bitstream.has_value() &&
+          region.bitstream->id == bitstream.id) {
+        return Interval{ready, ready};  // already resident
+      }
+    }
+    if (config_.pr_regions == 1) {
+      full_reconfigure = true;
+    } else {
+      // A free region if one exists, otherwise the round-robin victim.
+      target_region = next_victim_region_ % config_.pr_regions;
+      for (unsigned i = 0; i < regions_.size(); ++i) {
+        if (!regions_[i].bitstream.has_value()) {
+          target_region = i;
+          break;
+        }
+      }
+      next_victim_region_ = (target_region + 1) % config_.pr_regions;
+    }
+  }
+  if (full_reconfigure) {
+    if (wiped_memory != nullptr) *wiped_memory = true;
+    return configure(bitstream, ready);
+  }
+  return configure_region(target_region, bitstream, ready);
+}
+
+std::optional<Bitstream> Board::bitstream() const {
+  std::lock_guard lock(mutex_);
+  return regions_[0].bitstream;
+}
+
+bool Board::has_kernel(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return region_with_kernel_locked(name) != nullptr;
+}
+
+std::vector<std::string> Board::resident_accelerators() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const Region& region : regions_) {
+    if (!region.bitstream.has_value()) continue;
+    if (std::find(out.begin(), out.end(), region.bitstream->accelerator) ==
+        out.end()) {
+      out.push_back(region.bitstream->accelerator);
+    }
+  }
+  return out;
+}
+
+unsigned Board::free_region_count() const {
+  std::lock_guard lock(mutex_);
+  unsigned free = 0;
+  for (const Region& region : regions_) {
+    if (!region.bitstream.has_value()) ++free;
+  }
+  return free;
+}
+
+const Board::Region* Board::region_with_kernel_locked(
+    const std::string& name) const {
+  for (const Region& region : regions_) {
+    if (region.bitstream.has_value() && region.bitstream->has_kernel(name)) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+Result<MemHandle> Board::allocate(std::uint64_t size) {
+  std::lock_guard lock(mutex_);
+  return memory_.allocate(size);
+}
+
+Status Board::release(MemHandle handle) {
+  std::lock_guard lock(mutex_);
+  return memory_.release(handle);
+}
+
+Result<Board::Interval> Board::write(MemHandle handle, std::uint64_t offset,
+                                     ByteSpan data, vt::Time ready) {
+  std::lock_guard lock(mutex_);
+  if (config_.functional) {
+    if (Status s = memory_.write(handle, offset, data); !s.ok()) return s;
+  } else {
+    // Timing-only mode: charge the transfer without materializing contents
+    // (large load experiments would otherwise hold every tenant's weights).
+    auto size = memory_.allocation_size(handle);
+    if (!size.ok()) return size.status();
+    if (offset + data.size() > size.value()) {
+      return InvalidArgument("device write out of bounds");
+    }
+  }
+  return schedule_locked(ready, config_.host.pcie.transfer_time(data.size()));
+}
+
+Result<Board::Interval> Board::read(MemHandle handle, std::uint64_t offset,
+                                    MutableByteSpan out, vt::Time ready) {
+  std::lock_guard lock(mutex_);
+  if (config_.functional) {
+    if (Status s = memory_.read(handle, offset, out); !s.ok()) return s;
+  } else {
+    auto size = memory_.allocation_size(handle);
+    if (!size.ok()) return size.status();
+    if (offset + out.size() > size.value()) {
+      return InvalidArgument("device read out of bounds");
+    }
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+  }
+  return schedule_locked(ready, config_.host.pcie.transfer_time(out.size()));
+}
+
+Result<Board::Interval> Board::run_kernel(const KernelLaunch& launch,
+                                          vt::Time ready) {
+  std::lock_guard lock(mutex_);
+  bool any_configured = false;
+  for (const Region& region : regions_) {
+    any_configured |= region.bitstream.has_value();
+  }
+  if (!any_configured) {
+    return FailedPrecondition("board " + config_.id + " is not configured");
+  }
+  const Region* region = region_with_kernel_locked(launch.kernel);
+  if (region == nullptr) {
+    return NotFound("kernel '" + launch.kernel +
+                    "' not resident on board '" + config_.id + "'");
+  }
+  const KernelModel* model = KernelRegistry::standard().find(launch.kernel);
+  if (model == nullptr) {
+    return Internal("no model for kernel '" + launch.kernel + "'");
+  }
+  if (Status s = model->validate(launch); !s.ok()) return s;
+  auto exec_time = model->execution_time(launch);
+  if (!exec_time.ok()) return exec_time.status();
+  if (config_.functional) {
+    if (Status s = model->execute(launch, memory_); !s.ok()) return s;
+  }
+  ++kernel_launches_;
+  const auto region_index =
+      static_cast<unsigned>(region - regions_.data());
+  return schedule_kernel_locked(region_index, ready, exec_time.value());
+}
+
+std::uint64_t Board::memory_capacity() const {
+  std::lock_guard lock(mutex_);
+  return memory_.capacity();
+}
+
+std::uint64_t Board::memory_used() const {
+  std::lock_guard lock(mutex_);
+  return memory_.used();
+}
+
+vt::Time Board::busy_until() const {
+  std::lock_guard lock(mutex_);
+  vt::Time latest = busy_until_;
+  for (const Region& region : regions_) {
+    latest = vt::max(latest, region.busy_until);
+  }
+  return latest;
+}
+
+vt::Duration Board::busy_total() const {
+  std::lock_guard lock(mutex_);
+  return busy_total_;
+}
+
+vt::Duration Board::busy_between(vt::Time from, vt::Time to) const {
+  std::lock_guard lock(mutex_);
+  vt::Duration total = vt::Duration::nanos(0);
+  for (const Interval& interval : busy_log_) {
+    const vt::Time lo = vt::max(interval.start, from);
+    const vt::Time hi = interval.end < to ? interval.end : to;
+    if (lo < hi) total += hi - lo;
+  }
+  return total;
+}
+
+std::uint64_t Board::reconfiguration_count() const {
+  std::lock_guard lock(mutex_);
+  return reconfigurations_;
+}
+
+std::uint64_t Board::kernel_launch_count() const {
+  std::lock_guard lock(mutex_);
+  return kernel_launches_;
+}
+
+Board::Interval Board::schedule_locked(vt::Time ready, vt::Duration exec,
+                                       bool count_busy) {
+  const vt::Time start = vt::max(ready, busy_until_);
+  const vt::Time end = start + exec;
+  busy_until_ = end;
+  if (count_busy) {
+    busy_total_ += exec;
+    // Coalesce back-to-back intervals to bound the log size.
+    if (!busy_log_.empty() && busy_log_.back().end == start) {
+      busy_log_.back().end = end;
+    } else {
+      busy_log_.push_back(Interval{start, end});
+    }
+  }
+  return Interval{start, end};
+}
+
+Board::Interval Board::schedule_kernel_locked(unsigned region_index,
+                                              vt::Time ready,
+                                              vt::Duration exec) {
+  if (config_.pr_regions == 1) {
+    // Classic mode: kernels and DMA share the one exclusive timeline.
+    return schedule_locked(ready, exec);
+  }
+  Region& region = regions_[region_index];
+  const vt::Time start = vt::max(ready, region.busy_until);
+  const vt::Time end = start + exec;
+  region.busy_until = end;
+  busy_total_ += exec;
+  busy_log_.push_back(Interval{start, end});
+  return Interval{start, end};
+}
+
+}  // namespace bf::sim

@@ -1,0 +1,50 @@
+#include "sim/costmodel.h"
+
+namespace bf::sim {
+namespace {
+
+constexpr double kGiBps = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace
+
+// Calibration sources (DESIGN.md §3):
+//  - Fig 4a: shm overhead 155 ms @ 2 GiB total moved  => memcpy ~13 GiB/s.
+//  - Fig 4a: gRPC path ~4x native                     => 3 copies + protobuf.
+//  - Fig 4b/4c: ~2 ms control floor                   => grpc_control_rtt.
+//  - Table II: node A latencies ~5 ms above B/C       => fork/call overheads.
+NodeProfile make_node_a() {
+  NodeProfile p;
+  p.name = "A";
+  // PCIe gen2 x8 effective.
+  p.pcie = LinkModel(vt::Duration::micros(180), 3.0 * kGiBps);
+  p.memcpy_model = CopyModel(10.0 * kGiBps);
+  p.serialization = SerializationModel(vt::Duration::micros(40), 8.0 * kGiBps);
+  p.fork_request_overhead = vt::Duration::micros(13500);
+  p.host_call_overhead = vt::Duration::micros(90);
+  p.grpc_control_rtt = vt::Duration::micros(2600);
+  return p;
+}
+
+NodeProfile make_node_b() {
+  NodeProfile p;
+  p.name = "B";
+  // PCIe gen3 x8 effective.
+  p.pcie = LinkModel(vt::Duration::micros(120), 6.0 * kGiBps);
+  p.memcpy_model = CopyModel(13.0 * kGiBps);
+  p.serialization = SerializationModel(vt::Duration::micros(25), 10.0 * kGiBps);
+  p.fork_request_overhead = vt::Duration::micros(9500);
+  p.host_call_overhead = vt::Duration::micros(30);
+  p.grpc_control_rtt = vt::Duration::micros(1900);
+  return p;
+}
+
+NodeProfile make_node_c() {
+  NodeProfile p = make_node_b();
+  p.name = "C";
+  // Same hardware as B; tiny deterministic skew so the two nodes are
+  // distinguishable in traces.
+  p.grpc_control_rtt = vt::Duration::micros(1950);
+  return p;
+}
+
+}  // namespace bf::sim

@@ -1,0 +1,106 @@
+// Analytic cost models calibrated against the paper's measurements
+// (DESIGN.md §3). All models are pure functions from sizes to modeled
+// Durations so they are trivially testable and the calibration is auditable
+// in one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "vt/time.h"
+
+namespace bf::sim {
+
+// A point-to-point link: fixed per-message latency plus size/bandwidth.
+// Used for PCIe (host <-> board) and for the node-local virtual network.
+class LinkModel {
+ public:
+  LinkModel() = default;
+  LinkModel(vt::Duration latency, double bytes_per_second)
+      : latency_(latency), bytes_per_second_(bytes_per_second) {}
+
+  [[nodiscard]] vt::Duration transfer_time(std::size_t bytes) const {
+    const double secs =
+        bytes_per_second_ > 0.0
+            ? static_cast<double>(bytes) / bytes_per_second_
+            : 0.0;
+    return latency_ + vt::Duration::from_seconds_f(secs);
+  }
+
+  [[nodiscard]] vt::Duration latency() const { return latency_; }
+  [[nodiscard]] double bytes_per_second() const { return bytes_per_second_; }
+
+ private:
+  vt::Duration latency_ = vt::Duration::nanos(0);
+  double bytes_per_second_ = 0.0;
+};
+
+// Host memcpy cost (the single data copy the shared-memory path keeps to
+// remain OpenCL-compatible; paper §III-B).
+class CopyModel {
+ public:
+  CopyModel() = default;
+  explicit CopyModel(double bytes_per_second)
+      : bytes_per_second_(bytes_per_second) {}
+
+  [[nodiscard]] vt::Duration copy_time(std::size_t bytes) const {
+    if (bytes_per_second_ <= 0.0) return vt::Duration::nanos(0);
+    return vt::Duration::from_seconds_f(static_cast<double>(bytes) /
+                                        bytes_per_second_);
+  }
+
+ private:
+  double bytes_per_second_ = 0.0;
+};
+
+// Protobuf-style serialization: per-message fixed cost plus per-byte
+// encode/decode cost. The gRPC data path pays this twice (encode + decode)
+// per hop on top of its extra copies; the shm path pays it only for the tiny
+// control messages.
+class SerializationModel {
+ public:
+  SerializationModel() = default;
+  SerializationModel(vt::Duration per_message, double bytes_per_second)
+      : per_message_(per_message), bytes_per_second_(bytes_per_second) {}
+
+  [[nodiscard]] vt::Duration encode_time(std::size_t bytes) const {
+    if (bytes_per_second_ <= 0.0) return per_message_;
+    return per_message_ + vt::Duration::from_seconds_f(
+                              static_cast<double>(bytes) / bytes_per_second_);
+  }
+
+ private:
+  vt::Duration per_message_ = vt::Duration::nanos(0);
+  double bytes_per_second_ = 0.0;
+};
+
+// Everything node-dependent in one place: CPU-speed-driven host overheads,
+// the PCIe generation of the board slot, memcpy bandwidth.
+struct NodeProfile {
+  std::string name;
+  // PCIe link between host memory and the FPGA board (effective).
+  LinkModel pcie;
+  // Host memory copy bandwidth (shm single copy).
+  CopyModel memcpy_model;
+  // Per-RPC protobuf cost on this host.
+  SerializationModel serialization;
+  // Fixed host-side overhead added to every serverless request handled by a
+  // fork-per-request (OpenFaaS classic watchdog) function: process fork +
+  // OpenCL context attach. BlastFunction functions run persistent processes
+  // and do not pay this.
+  vt::Duration fork_request_overhead = vt::Duration::millis(10);
+  // Host-side per-OpenCL-call bookkeeping (driver call, page pinning, ...).
+  vt::Duration host_call_overhead = vt::Duration::micros(30);
+  // gRPC control round trip cost on the local virtual network (the ~2 ms
+  // floor visible across all of Figure 4).
+  vt::Duration grpc_control_rtt = vt::Duration::micros(2000);
+};
+
+// The paper's testbed (§IV): master node A (Xeon W3530, PCIe gen2) and
+// worker nodes B, C (i7-6700, PCIe gen3).
+NodeProfile make_node_a();
+NodeProfile make_node_b();
+NodeProfile make_node_c();
+
+}  // namespace bf::sim

@@ -1,0 +1,235 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+
+#include "native/native_runtime.h"
+#include "remote/remote_runtime.h"
+
+namespace bf::testbed {
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  const std::array<sim::NodeProfile, kNodeCount> initial = {
+      sim::make_node_a(), sim::make_node_b(), sim::make_node_c()};
+
+  std::vector<cluster::NodeSpec> node_specs;
+  for (std::size_t i = 0; i < kNodeCount; ++i) {
+    add_node_stack(kNodeNames[i], initial[i]);
+    node_specs.push_back(cluster::NodeSpec{kNodeNames[i], initial[i]});
+  }
+
+  cluster_ = std::make_unique<cluster::Cluster>(std::move(node_specs));
+  registry_ = std::make_unique<registry::Registry>(
+      cluster_.get(), config_.policy, [this] { return clock(); });
+  registry_->attach_to_cluster();
+  for (std::size_t i = 0; i < kNodeCount; ++i) {
+    registry::DeviceRecord record;
+    record.id = boards_[i]->id();
+    record.vendor = "Intel";
+    record.platform = "a10gx_de5a_net";
+    record.node = node_names_[i];
+    record.manager_address = managers_[i]->endpoint().address();
+    record.manager = managers_[i].get();
+    BF_CHECK(registry_->register_device(std::move(record)).ok());
+  }
+
+  // The binding resolver: BlastFunction pods carry the Registry-patched
+  // manager address; everything else binds natively to its node's board.
+  auto resolver =
+      [this](const cluster::Pod& pod) -> Result<faas::RuntimeBinding> {
+    auto env = pod.spec.env.find(registry::Registry::kEnvManager);
+    const std::size_t node = node_index(pod.spec.node);
+    if (env != pod.spec.env.end()) {
+      // Find the manager by its service address.
+      devmgr::DeviceManager* manager = nullptr;
+      std::size_t manager_node = 0;
+      for (std::size_t i = 0; i < managers_.size(); ++i) {
+        if (managers_[i]->endpoint().address() == env->second) {
+          manager = managers_[i].get();
+          manager_node = i;
+        }
+      }
+      if (manager == nullptr) {
+        return NotFound("pod '" + pod.spec.name +
+                        "' references unknown manager '" + env->second + "'");
+      }
+      remote::ManagerAddress address;
+      address.endpoint = &manager->endpoint();
+      const bool colocated = manager_node == node;
+      const sim::NodeProfile& profile = profiles_[node];
+      if (colocated && config_.use_shared_memory) {
+        address.transport = net::local_control(profile);
+        address.node_shm = shm_[node].get();
+        address.prefer_shared_memory = true;
+      } else if (colocated) {
+        address.transport = net::local_grpc(profile);
+        address.prefer_shared_memory = false;
+      } else {
+        address.transport =
+            net::remote_grpc(profile, profiles_[manager_node]);
+        address.prefer_shared_memory = false;
+      }
+      faas::RuntimeBinding binding;
+      binding.runtime = std::make_shared<remote::RemoteRuntime>(
+          std::vector<remote::ManagerAddress>{address});
+      auto device = pod.spec.env.find(registry::Registry::kEnvDevice);
+      binding.device_id =
+          device != pod.spec.env.end() ? device->second : "";
+      return binding;
+    }
+    // Native: the pod's node's board, accessed directly.
+    faas::RuntimeBinding binding;
+    binding.runtime = std::make_shared<native::NativeRuntime>(
+        std::vector<sim::Board*>{boards_[node].get()});
+    binding.device_id = boards_[node]->id();
+    return binding;
+  };
+  gateway_ = std::make_unique<faas::Gateway>(cluster_.get(),
+                                             std::move(resolver));
+}
+
+Testbed::~Testbed() {
+  gateway_->shutdown_instances();
+  for (auto& manager : managers_) manager->shutdown();
+}
+
+void Testbed::add_node_stack(const std::string& name,
+                             const sim::NodeProfile& profile) {
+  node_names_.push_back(name);
+  profiles_.push_back(profile);
+  shm_.push_back(std::make_unique<shm::Namespace>());
+
+  sim::BoardConfig board_config;
+  board_config.id = "fpga-" + name;
+  board_config.node = name;
+  board_config.host = profile;
+  board_config.functional = config_.functional_boards;
+  board_config.pr_regions = config_.pr_regions;
+  boards_.push_back(std::make_unique<sim::Board>(board_config));
+
+  devmgr::DeviceManagerConfig manager_config;
+  manager_config.id = "devmgr-" + name;
+  manager_config.allow_shared_memory = config_.use_shared_memory;
+  managers_.push_back(std::make_unique<devmgr::DeviceManager>(
+      manager_config, boards_.back().get(),
+      config_.use_shared_memory ? shm_.back().get() : nullptr));
+}
+
+std::vector<std::string> Testbed::node_names() const { return node_names_; }
+
+Result<std::string> Testbed::provision_node(const std::string& name) {
+  for (const std::string& existing : node_names_) {
+    if (existing == name) {
+      return AlreadyExists("node '" + name + "' already provisioned");
+    }
+  }
+  // New capacity nodes use the worker profile (i7 + PCIe gen3), like the
+  // paper's nodes B/C.
+  sim::NodeProfile profile = sim::make_node_b();
+  profile.name = name;
+  add_node_stack(name, profile);
+  if (Status s = cluster_->add_node(cluster::NodeSpec{name, profile});
+      !s.ok()) {
+    return s;
+  }
+  registry::DeviceRecord record;
+  record.id = boards_.back()->id();
+  record.vendor = "Intel";
+  record.platform = "a10gx_de5a_net";
+  record.node = name;
+  record.manager_address = managers_.back()->endpoint().address();
+  record.manager = managers_.back().get();
+  if (Status s = registry_->register_device(std::move(record)); !s.ok()) {
+    return s;
+  }
+  return boards_.back()->id();
+}
+
+Status Testbed::decommission_node(const std::string& name) {
+  const std::size_t index = node_index(name);
+  if (Status s = registry_->deregister_device(boards_[index]->id());
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = cluster_->remove_node(name); !s.ok()) return s;
+  // The stack objects stay alive (in-flight handles may reference them) but
+  // the manager stops accepting work.
+  managers_[index]->shutdown();
+  return Status::Ok();
+}
+
+std::size_t Testbed::node_index(const std::string& node) const {
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    if (node == node_names_[i]) return i;
+  }
+  throw ContractViolation("unknown node '" + node + "'");
+}
+
+sim::Board& Testbed::board(const std::string& node) {
+  return *boards_[node_index(node)];
+}
+
+devmgr::DeviceManager& Testbed::manager(const std::string& node) {
+  return *managers_[node_index(node)];
+}
+
+shm::Namespace& Testbed::node_shm(const std::string& node) {
+  return *shm_[node_index(node)];
+}
+
+Status Testbed::deploy_blastfunction(const std::string& name,
+                                     workloads::WorkloadFactory factory,
+                                     unsigned replicas) {
+  // Device query derived from a throwaway workload instance.
+  auto probe = factory();
+  registry::DeviceQuery query;
+  query.vendor = "Intel";
+  query.platform = "a10gx_de5a_net";
+  query.accelerator = probe->accelerator();
+  query.bitstream = probe->bitstream();
+  if (Status s = registry_->register_function(name, std::move(query));
+      !s.ok()) {
+    return s;
+  }
+  faas::FunctionConfig config;
+  config.name = name;
+  config.mode = faas::ExecutionMode::kPersistent;
+  config.make_workload = std::move(factory);
+  return gateway_->deploy(std::move(config), replicas);
+}
+
+Status Testbed::deploy_native(const std::string& name,
+                              workloads::WorkloadFactory factory,
+                              const std::string& node,
+                              faas::ExecutionMode mode) {
+  faas::FunctionConfig config;
+  config.name = name;
+  config.mode = mode;
+  config.make_workload = std::move(factory);
+  return gateway_->deploy(std::move(config), /*replicas=*/1, node);
+}
+
+double Testbed::aggregate_utilization_pct(vt::Time from, vt::Time to) const {
+  double total = 0.0;
+  for (const std::string& node : node_names_) {
+    total += node_utilization_pct(node, from, to);
+  }
+  return total;
+}
+
+double Testbed::node_utilization_pct(const std::string& node, vt::Time from,
+                                     vt::Time to) const {
+  if (to <= from) return 0.0;
+  const std::size_t i = node_index(node);
+  return 100.0 * boards_[i]->busy_between(from, to).sec() /
+         (to - from).sec();
+}
+
+vt::Time Testbed::clock() const {
+  vt::Time latest = vt::Time::zero();
+  for (const auto& board : boards_) {
+    latest = vt::max(latest, board->busy_until());
+  }
+  return latest;
+}
+
+}  // namespace bf::testbed

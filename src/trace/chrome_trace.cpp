@@ -1,0 +1,89 @@
+#include "trace/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace bf::trace {
+
+void TraceBuilder::add(Span span) {
+  BF_CHECK(span.end >= span.start);
+  spans_.push_back(std::move(span));
+}
+
+void TraceBuilder::add_board_occupancy(devmgr::DeviceManager& manager,
+                                       vt::Time from, vt::Time to) {
+  for (const devmgr::DeviceManager::ClientBusy& busy :
+       manager.busy_snapshot(from, to)) {
+    Span span;
+    span.track = manager.board().id();
+    span.name = busy.client_id.empty() ? "(unattributed)" : busy.client_id;
+    span.start = busy.start;
+    span.end = busy.end;
+    spans_.push_back(std::move(span));
+  }
+}
+
+std::string TraceBuilder::to_json() const {
+  // Stable pid/tid assignment: one process for the cluster, one thread row
+  // per track, in first-seen order.
+  std::map<std::string, int> track_tid;
+  for (const Span& span : spans_) {
+    track_tid.emplace(span.track,
+                      static_cast<int>(track_tid.size()) + 1);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread name metadata so the UI labels each row with the board id.
+  for (const auto& [track, tid] : track_tid) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << json_escape(track) << "\"}}";
+  }
+  for (const Span& span : spans_) {
+    out << ",{\"name\":\"" << json_escape(span.name)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << track_tid.at(span.track)
+        << ",\"ts\":" << span.start.ns() / 1000
+        << ",\"dur\":" << (span.end - span.start).ns() / 1000 << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status TraceBuilder::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Internal("cannot open '" + path + "' for writing");
+  }
+  file << to_json();
+  return file.good() ? Status::Ok()
+                     : Internal("short write to '" + path + "'");
+}
+
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace bf::trace

@@ -1,0 +1,52 @@
+// Chrome-trace export of board occupancy.
+//
+// Converts the Device Managers' per-client busy intervals into the
+// chrome://tracing (Perfetto-compatible) JSON event format: one track per
+// board, one complete ("X") event per occupancy interval, timestamps in
+// microseconds of modeled time. Drop the file into chrome://tracing or
+// ui.perfetto.dev to see how tenants interleave on the shared FPGAs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "devmgr/device_manager.h"
+#include "vt/time.h"
+
+namespace bf::trace {
+
+struct Span {
+  std::string track;  // rendered as a thread row, e.g. "fpga-A"
+  std::string name;   // e.g. the tenant pod name
+  vt::Time start;
+  vt::Time end;
+};
+
+class TraceBuilder {
+ public:
+  TraceBuilder() = default;
+
+  void add(Span span);
+
+  // Pulls every client occupancy interval of the manager's board within
+  // [from, to] onto a track named after the board.
+  void add_board_occupancy(devmgr::DeviceManager& manager, vt::Time from,
+                           vt::Time to);
+
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+
+  // chrome://tracing JSON ({"traceEvents": [...]}).
+  [[nodiscard]] std::string to_json() const;
+
+  Status write_file(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+// Escapes a string for embedding in a JSON literal (exposed for tests).
+std::string json_escape(const std::string& value);
+
+}  // namespace bf::trace

@@ -1,0 +1,35 @@
+// A Cursor is a thread's private modeled clock. Client application threads,
+// the remote library's connection thread and the device-manager worker each
+// own one. Interactions (RPC replies, event completions) pull a cursor
+// forward via advance_to; local modeled work pushes it with advance.
+#pragma once
+
+#include "vt/time.h"
+
+namespace bf::vt {
+
+class Cursor {
+ public:
+  Cursor() = default;
+  explicit Cursor(Time start) : now_(start) {}
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Local modeled work of duration d.
+  Time advance(Duration d) {
+    now_ += d;
+    return now_;
+  }
+
+  // Synchronize with an externally produced timestamp (e.g. an RPC reply
+  // stamped by the server). Never moves backwards.
+  Time advance_to(Time t) {
+    now_ = max(now_, t);
+    return now_;
+  }
+
+ private:
+  Time now_ = Time::zero();
+};
+
+}  // namespace bf::vt

@@ -1,0 +1,100 @@
+#include "vt/gate.h"
+
+namespace bf::vt {
+
+Gate::Source Gate::register_source(Time initial_bound) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_id_++;
+    bounds_[id] = Bound{initial_bound, /*owned=*/true};
+    ++version_;
+  }
+  cv_.notify_all();
+  return Source(this, id);
+}
+
+bool Gate::wait_safe(Time t) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (shutdown_) return false;
+    if (min_bound_locked() >= t) return true;
+    const std::uint64_t version = version_;
+    cv_.wait_for(lock, stall_grace_, [&] {
+      return shutdown_ || version_ != version || min_bound_locked() >= t;
+    });
+    if (shutdown_) return false;
+    if (min_bound_locked() >= t) return true;
+    if (version_ == version) {
+      // No producer moved for the whole grace period: a blocked or idle
+      // producer thread. Proceed in arrival order (liveness over strict
+      // virtual-time fidelity).
+      return true;
+    }
+  }
+}
+
+Time Gate::min_bound() const {
+  std::lock_guard lock(mutex_);
+  return min_bound_locked();
+}
+
+std::size_t Gate::source_count() const {
+  std::lock_guard lock(mutex_);
+  return bounds_.size();
+}
+
+void Gate::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Gate::is_shutdown() const {
+  std::lock_guard lock(mutex_);
+  return shutdown_;
+}
+
+void Gate::announce(std::uint64_t id, Time bound, bool owned) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = bounds_.find(id);
+    if (it == bounds_.end()) return;
+    it->second = Bound{bound, owned};
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+void Gate::nudge(std::uint64_t id, Time bound) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = bounds_.find(id);
+    if (it == bounds_.end()) return;
+    if (it->second.owned) return;  // producer announce wins over nudges
+    it->second.time = bound;
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+void Gate::unregister(std::uint64_t id) {
+  {
+    std::lock_guard lock(mutex_);
+    bounds_.erase(id);
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+Time Gate::min_bound_locked() const {
+  Time min = Time::infinite();
+  for (const auto& [id, bound] : bounds_) {
+    if (bound.time < min) min = bound.time;
+  }
+  return min;
+}
+
+}  // namespace bf::vt

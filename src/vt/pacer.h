@@ -1,0 +1,36 @@
+// Pacer: optional mapping from virtual time to wall time, used by the
+// runnable examples so a demo unfolds at human speed. Benchmarks run unpaced
+// (scale <= 0) and finish in milliseconds.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "vt/time.h"
+
+namespace bf::vt {
+
+class Pacer {
+ public:
+  // scale: virtual seconds per real second. scale <= 0 disables pacing.
+  // scale = 10 plays a 60 s virtual experiment in 6 s of wall time.
+  explicit Pacer(double scale = 0.0)
+      : scale_(scale), start_(std::chrono::steady_clock::now()) {}
+
+  // Sleeps until wall time catches up with virtual time t.
+  void pace(Time t) const {
+    if (scale_ <= 0.0 || t.is_infinite()) return;
+    const auto target =
+        start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(t.sec() / scale_));
+    std::this_thread::sleep_until(target);
+  }
+
+  [[nodiscard]] bool enabled() const { return scale_ > 0.0; }
+
+ private:
+  double scale_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bf::vt

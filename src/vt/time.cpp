@@ -1,0 +1,20 @@
+#include "vt/time.h"
+
+#include <cstdio>
+
+namespace bf::vt {
+
+std::string to_string(Time t) {
+  if (t.is_infinite()) return "+inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fms", t.ms());
+  return buf;
+}
+
+std::string to_string(Duration d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fms", d.ms());
+  return buf;
+}
+
+}  // namespace bf::vt

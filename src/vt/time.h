@@ -1,0 +1,104 @@
+// Virtual (modeled) time.
+//
+// BlastFunction-the-paper measures wall-clock behaviour of a three-node
+// cluster over minutes. This reproduction keeps the real thread structure of
+// the system but replaces wall time with *virtual time*: every message, task
+// and event carries a modeled timestamp; cost models (PCIe, memcpy, protobuf,
+// kernels) advance those timestamps. Experiments are therefore deterministic
+// and run orders of magnitude faster than real time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace bf::vt {
+
+// Duration in modeled nanoseconds. Value type; arithmetic is saturating-free
+// (plain int64) because modeled experiments stay far below the 292-year range.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t ns) { return Duration(ns); }
+  static constexpr Duration micros(std::int64_t us) {
+    return Duration(us * 1000);
+  }
+  static constexpr Duration millis(std::int64_t ms) {
+    return Duration(ms * 1'000'000);
+  }
+  static constexpr Duration seconds(std::int64_t s) {
+    return Duration(s * 1'000'000'000);
+  }
+  static constexpr Duration from_seconds_f(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(ns_ + other.ns_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(ns_ - other.ns_);
+  }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration(ns_ * k);
+  }
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// A point in modeled time (ns since experiment start).
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time nanos(std::int64_t ns) { return Time(ns); }
+  static constexpr Time millis(std::int64_t ms) { return Time(ms * 1'000'000); }
+  static constexpr Time seconds(std::int64_t s) {
+    return Time(s * 1'000'000'000);
+  }
+  // "Will never emit again (until re-announced)" bound used by vt::Gate.
+  static constexpr Time infinite() {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return ns_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  constexpr Time operator+(Duration d) const { return Time(ns_ + d.ns()); }
+  constexpr Duration operator-(Time other) const {
+    return Duration::nanos(ns_ - other.ns_);
+  }
+  constexpr Time& operator+=(Duration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Time max(Time a, Time b) { return a < b ? b : a; }
+constexpr Duration max(Duration a, Duration b) { return a < b ? b : a; }
+
+std::string to_string(Time t);
+std::string to_string(Duration d);
+
+}  // namespace bf::vt

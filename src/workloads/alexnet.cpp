@@ -1,0 +1,291 @@
+#include "workloads/alexnet.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sim/bitstream.h"
+
+namespace bf::workloads {
+namespace {
+
+constexpr std::int64_t kInputC = 3;
+constexpr std::int64_t kInputHW = 227;
+
+// Host-side per-layer work (activation reordering, event bookkeeping) that
+// PipeCNN's host performs between kernel invocations — paid identically in
+// the native and BlastFunction deployments.
+constexpr vt::Duration kHostPerLayer = vt::Duration::micros(1300);
+
+}  // namespace
+
+AlexNetWorkload::AlexNetWorkload(AlexNetOptions options) : options_(options) {
+  BF_CHECK(options_.channel_scale >= 1);
+  build_steps();
+  input_.resize(static_cast<std::size_t>(kInputC) * kInputHW * kInputHW);
+  if (options_.functional) {
+    Rng rng(2020);
+    for (float& v : input_) v = static_cast<float>(rng.next_double(0.0, 1.0));
+  }
+  logits_.assign(static_cast<std::size_t>(scaled(1000)), 0.0F);
+}
+
+std::int64_t AlexNetWorkload::scaled(std::int64_t channels) const {
+  return std::max<std::int64_t>(1, channels / options_.channel_scale);
+}
+
+void AlexNetWorkload::build_steps() {
+  using Kind = Step::Kind;
+  auto conv = [&](std::int64_t in_c, std::int64_t in_hw, std::int64_t out_c,
+                  std::int64_t out_hw, std::int64_t k, std::int64_t s,
+                  std::int64_t p) {
+    Step step;
+    step.kind = Kind::kConv;
+    step.in_c = in_c;
+    step.in_h = step.in_w = in_hw;
+    step.out_c = out_c;
+    step.out_h = step.out_w = out_hw;
+    step.k = k;
+    step.stride = s;
+    step.pad = p;
+    steps_.push_back(step);
+  };
+  auto pool = [&](std::int64_t c, std::int64_t in_hw, std::int64_t out_hw) {
+    Step step;
+    step.kind = Kind::kPool;
+    step.in_c = step.out_c = c;
+    step.in_h = step.in_w = in_hw;
+    step.out_h = step.out_w = out_hw;
+    step.k = 3;
+    step.stride = 2;
+    steps_.push_back(step);
+  };
+  auto lrn = [&](std::int64_t c, std::int64_t hw) {
+    Step step;
+    step.kind = Kind::kLrn;
+    step.in_c = step.out_c = c;
+    step.in_h = step.in_w = step.out_h = step.out_w = hw;
+    steps_.push_back(step);
+  };
+  auto fc = [&](std::int64_t in_features, std::int64_t out_features,
+                bool relu) {
+    Step step;
+    step.kind = Kind::kFc;
+    step.in_c = in_features;
+    step.in_h = step.in_w = 1;
+    step.out_c = out_features;
+    step.out_h = step.out_w = 1;
+    step.k = 1;
+    step.relu = relu;
+    steps_.push_back(step);
+  };
+
+  // AlexNet (grouping folded into the MAC rate calibration; DESIGN.md §3).
+  conv(kInputC, 227, scaled(96), 55, 11, 4, 0);
+  lrn(scaled(96), 55);
+  pool(scaled(96), 55, 27);
+  conv(scaled(96), 27, scaled(256), 27, 5, 1, 2);
+  lrn(scaled(256), 27);
+  pool(scaled(256), 27, 13);
+  conv(scaled(256), 13, scaled(384), 13, 3, 1, 1);
+  conv(scaled(384), 13, scaled(384), 13, 3, 1, 1);
+  conv(scaled(384), 13, scaled(256), 13, 3, 1, 1);
+  pool(scaled(256), 13, 6);
+  fc(scaled(256) * 6 * 6, scaled(4096), true);
+  fc(scaled(4096), scaled(4096), true);
+  fc(scaled(4096), scaled(1000), false);
+}
+
+std::string AlexNetWorkload::bitstream() const {
+  return sim::BitstreamLibrary::kAlexNet;
+}
+
+std::uint64_t AlexNetWorkload::request_bytes_in() const {
+  return input_.size() * sizeof(float);
+}
+
+std::uint64_t AlexNetWorkload::request_bytes_out() const {
+  return logits_.size() * sizeof(float);
+}
+
+std::uint64_t AlexNetWorkload::total_macs() const {
+  std::uint64_t macs = 0;
+  for (const Step& step : steps_) {
+    if (step.kind == Step::Kind::kConv || step.kind == Step::Kind::kFc) {
+      macs += static_cast<std::uint64_t>(step.out_c) * step.out_h *
+              step.out_w * step.in_c * step.k * step.k;
+    }
+  }
+  return macs;
+}
+
+Status AlexNetWorkload::setup(ocl::Context& context) {
+  if (Status s = context.program(bitstream()); !s.ok()) return s;
+
+  // Activation ping-pong buffers sized for the largest intermediate tensor.
+  std::uint64_t max_activation = input_.size();
+  for (const Step& step : steps_) {
+    max_activation = std::max<std::uint64_t>(
+        max_activation,
+        static_cast<std::uint64_t>(step.out_c) * step.out_h * step.out_w);
+  }
+  auto input = context.create_buffer(request_bytes_in());
+  if (!input.ok()) return input.status();
+  input_buffer_ = input.value();
+  for (auto& act : act_) {
+    auto buffer = context.create_buffer(max_activation * sizeof(float));
+    if (!buffer.ok()) return buffer.status();
+    act = buffer.value();
+  }
+
+  auto exec_queue = context.create_queue();
+  if (!exec_queue.ok()) return exec_queue.status();
+  exec_queue_ = std::move(exec_queue.value());
+  auto data_queue = context.create_queue();
+  if (!data_queue.ok()) return data_queue.status();
+  data_queue_ = std::move(data_queue.value());
+
+  auto conv_kernel = context.create_kernel("conv");
+  if (!conv_kernel.ok()) return conv_kernel.status();
+  conv_kernel_ = conv_kernel.value();
+  auto fc_kernel = context.create_kernel("fc");
+  if (!fc_kernel.ok()) return fc_kernel.status();
+  fc_kernel_ = fc_kernel.value();
+  auto pool_kernel = context.create_kernel("pool");
+  if (!pool_kernel.ok()) return pool_kernel.status();
+  pool_kernel_ = pool_kernel.value();
+  auto lrn_kernel = context.create_kernel("lrn");
+  if (!lrn_kernel.ok()) return lrn_kernel.status();
+  lrn_kernel_ = lrn_kernel.value();
+
+  // Upload weights once at cold start (~233 MB for the full network).
+  Rng rng(42);
+  for (Step& step : steps_) {
+    if (step.kind != Step::Kind::kConv && step.kind != Step::Kind::kFc) {
+      continue;
+    }
+    const std::uint64_t weight_count =
+        static_cast<std::uint64_t>(step.out_c) * step.in_c * step.k * step.k;
+    auto weights = context.create_buffer(weight_count * sizeof(float));
+    if (!weights.ok()) return weights.status();
+    step.weights = weights.value();
+    auto bias = context.create_buffer(
+        static_cast<std::uint64_t>(step.out_c) * sizeof(float));
+    if (!bias.ok()) return bias.status();
+    step.bias = bias.value();
+
+    std::vector<float> weight_data(weight_count, 0.0F);
+    std::vector<float> bias_data(static_cast<std::size_t>(step.out_c), 0.0F);
+    if (options_.functional) {
+      // Small magnitudes keep activations bounded through 13 layers.
+      const double scale = 1.0 / std::max<std::int64_t>(
+                               1, step.in_c * step.k * step.k);
+      for (float& v : weight_data) {
+        v = static_cast<float>(rng.next_double(-scale, scale));
+      }
+      for (float& v : bias_data) {
+        v = static_cast<float>(rng.next_double(-0.01, 0.01));
+      }
+    }
+    auto w = data_queue_->enqueue_write(
+        step.weights, 0,
+        as_bytes(weight_data.data(), weight_data.size() * sizeof(float)),
+        /*blocking=*/false);
+    if (!w.ok()) return w.status();
+    auto b = data_queue_->enqueue_write(
+        step.bias, 0,
+        as_bytes(bias_data.data(), bias_data.size() * sizeof(float)),
+        /*blocking=*/true);
+    if (!b.ok()) return b.status();
+  }
+  return Status::Ok();
+}
+
+Status AlexNetWorkload::handle_request(ocl::Context& context) {
+  BF_CHECK(exec_queue_ != nullptr && data_queue_ != nullptr);
+
+  auto write = data_queue_->enqueue_write(
+      input_buffer_, 0,
+      as_bytes(input_.data(), input_.size() * sizeof(float)),
+      /*blocking=*/true);
+  if (!write.ok()) return write.status();
+
+  ocl::Buffer current = input_buffer_;
+  unsigned pong = 0;
+  for (Step& step : steps_) {
+    context.session().compute(kHostPerLayer);
+    ocl::Buffer out = act_[pong];
+    pong ^= 1U;
+    // PipeCNN synchronizes per layer: each stage is flushed and awaited
+    // before the next is issued (one BlastFunction task per layer).
+    switch (step.kind) {
+      case Step::Kind::kConv:
+      case Step::Kind::kFc: {
+        ocl::Kernel& kernel =
+            step.kind == Step::Kind::kConv ? conv_kernel_ : fc_kernel_;
+        kernel.set_arg(0, current);
+        kernel.set_arg(1, step.weights);
+        kernel.set_arg(2, step.bias);
+        kernel.set_arg(3, out);
+        kernel.set_arg(4, step.in_c);
+        kernel.set_arg(5, step.in_h);
+        kernel.set_arg(6, step.in_w);
+        kernel.set_arg(7, step.out_c);
+        kernel.set_arg(8, step.out_h);
+        kernel.set_arg(9, step.out_w);
+        kernel.set_arg(10, step.k);
+        kernel.set_arg(11, step.stride);
+        kernel.set_arg(12, step.pad);
+        kernel.set_arg(13, std::int64_t{step.relu ? 1 : 0});
+        auto launch = exec_queue_->enqueue_kernel(
+            kernel, {static_cast<std::uint64_t>(step.out_c),
+                     static_cast<std::uint64_t>(step.out_h),
+                     static_cast<std::uint64_t>(step.out_w)});
+        if (!launch.ok()) return launch.status();
+        if (Status s = exec_queue_->finish(); !s.ok()) return s;
+        break;
+      }
+      case Step::Kind::kPool: {
+        pool_kernel_.set_arg(0, current);
+        pool_kernel_.set_arg(1, out);
+        pool_kernel_.set_arg(2, step.in_c);
+        pool_kernel_.set_arg(3, step.in_h);
+        pool_kernel_.set_arg(4, step.in_w);
+        pool_kernel_.set_arg(5, step.out_h);
+        pool_kernel_.set_arg(6, step.out_w);
+        pool_kernel_.set_arg(7, step.k);
+        pool_kernel_.set_arg(8, step.stride);
+        auto launch = data_queue_->enqueue_kernel(
+            pool_kernel_, {static_cast<std::uint64_t>(step.out_c),
+                           static_cast<std::uint64_t>(step.out_h),
+                           static_cast<std::uint64_t>(step.out_w)});
+        if (!launch.ok()) return launch.status();
+        if (Status s = data_queue_->finish(); !s.ok()) return s;
+        break;
+      }
+      case Step::Kind::kLrn: {
+        lrn_kernel_.set_arg(0, current);
+        lrn_kernel_.set_arg(1, out);
+        lrn_kernel_.set_arg(2, step.in_c);
+        lrn_kernel_.set_arg(3, step.in_h);
+        lrn_kernel_.set_arg(4, step.in_w);
+        auto launch = data_queue_->enqueue_kernel(
+            lrn_kernel_, {static_cast<std::uint64_t>(step.in_c),
+                          static_cast<std::uint64_t>(step.in_h),
+                          static_cast<std::uint64_t>(step.in_w)});
+        if (!launch.ok()) return launch.status();
+        if (Status s = data_queue_->finish(); !s.ok()) return s;
+        break;
+      }
+    }
+    current = out;
+  }
+
+  auto read = data_queue_->enqueue_read(
+      current, 0,
+      as_writable_bytes(logits_.data(), logits_.size() * sizeof(float)),
+      /*blocking=*/true);
+  if (!read.ok()) return read.status();
+  return Status::Ok();
+}
+
+}  // namespace bf::workloads

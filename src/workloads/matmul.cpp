@@ -1,0 +1,89 @@
+#include "workloads/matmul.h"
+
+#include "common/rng.h"
+#include "sim/bitstream.h"
+
+namespace bf::workloads {
+
+MatMulWorkload::MatMulWorkload(std::size_t n) : n_(n) {
+  BF_CHECK(n_ > 0);
+  a_.resize(n_ * n_);
+  b_.resize(n_ * n_);
+  c_.assign(n_ * n_, 0.0F);
+  Rng rng(n_ * 1315423911ULL);
+  for (float& value : a_) {
+    value = static_cast<float>(rng.next_double(-1.0, 1.0));
+  }
+  for (float& value : b_) {
+    value = static_cast<float>(rng.next_double(-1.0, 1.0));
+  }
+}
+
+std::string MatMulWorkload::bitstream() const {
+  return sim::BitstreamLibrary::kMatMul;
+}
+
+Status MatMulWorkload::setup(ocl::Context& context) {
+  if (Status s = context.program(bitstream()); !s.ok()) return s;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n_) * n_ *
+                              sizeof(float);
+  auto a = context.create_buffer(bytes);
+  if (!a.ok()) return a.status();
+  buf_a_ = a.value();
+  auto b = context.create_buffer(bytes);
+  if (!b.ok()) return b.status();
+  buf_b_ = b.value();
+  auto c = context.create_buffer(bytes);
+  if (!c.ok()) return c.status();
+  buf_c_ = c.value();
+  auto kernel = context.create_kernel("mm");
+  if (!kernel.ok()) return kernel.status();
+  kernel_ = kernel.value();
+  auto queue = context.create_queue();
+  if (!queue.ok()) return queue.status();
+  queue_ = std::move(queue.value());
+  return Status::Ok();
+}
+
+Status MatMulWorkload::handle_request(ocl::Context& context) {
+  (void)context;
+  BF_CHECK(queue_ != nullptr);
+  auto write_a = queue_->enqueue_write(
+      buf_a_, 0, as_bytes(a_.data(), a_.size() * sizeof(float)),
+      /*blocking=*/false);
+  if (!write_a.ok()) return write_a.status();
+  auto write_b = queue_->enqueue_write(
+      buf_b_, 0, as_bytes(b_.data(), b_.size() * sizeof(float)),
+      /*blocking=*/false);
+  if (!write_b.ok()) return write_b.status();
+
+  kernel_.set_arg(0, buf_a_);
+  kernel_.set_arg(1, buf_b_);
+  kernel_.set_arg(2, buf_c_);
+  kernel_.set_arg(3, static_cast<std::int64_t>(n_));
+  auto launch = queue_->enqueue_kernel(kernel_, {n_, n_, 1});
+  if (!launch.ok()) return launch.status();
+
+  auto read = queue_->enqueue_read(
+      buf_c_, 0, as_writable_bytes(c_.data(), c_.size() * sizeof(float)),
+      /*blocking=*/true);
+  if (!read.ok()) return read.status();
+  return Status::Ok();
+}
+
+std::vector<float> matmul_reference(const std::vector<float>& a,
+                                    const std::vector<float>& b,
+                                    std::size_t n) {
+  std::vector<float> out(n * n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const float aik = a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        out[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bf::workloads

@@ -1,0 +1,64 @@
+// Spector Matrix Multiply (paper §IV): 1 compute unit, 8 work-items, fully
+// unrolled 16x16 block — the suite's best design. One request = upload two
+// NxN float matrices, multiply on the device, download the product.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace bf::workloads {
+
+class MatMulWorkload final : public Workload {
+ public:
+  // Default size calibrated to the paper's load experiments (Table III):
+  // ~5 ms of device time per request.
+  explicit MatMulWorkload(std::size_t n = 448);
+
+  [[nodiscard]] std::string name() const override { return "mm"; }
+  [[nodiscard]] std::string bitstream() const override;
+  [[nodiscard]] std::string accelerator() const override { return "mm"; }
+
+  Status setup(ocl::Context& context) override;
+  Status handle_request(ocl::Context& context) override;
+  void teardown() override {
+    queue_.reset();
+    buf_a_ = {};
+    buf_b_ = {};
+    buf_c_ = {};
+    kernel_ = {};
+  }
+
+  [[nodiscard]] std::uint64_t request_bytes_in() const override {
+    return 2ULL * n_ * n_ * sizeof(float);
+  }
+  [[nodiscard]] std::uint64_t request_bytes_out() const override {
+    return static_cast<std::uint64_t>(n_) * n_ * sizeof(float);
+  }
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] const std::vector<float>& lhs() const { return a_; }
+  [[nodiscard]] const std::vector<float>& rhs() const { return b_; }
+  [[nodiscard]] const std::vector<float>& last_output() const { return c_; }
+
+ private:
+  std::size_t n_;
+  std::vector<float> a_;
+  std::vector<float> b_;
+  std::vector<float> c_;
+
+  ocl::Buffer buf_a_;
+  ocl::Buffer buf_b_;
+  ocl::Buffer buf_c_;
+  ocl::Kernel kernel_;
+  std::unique_ptr<ocl::CommandQueue> queue_;
+};
+
+// CPU reference GEMM for correctness checks.
+std::vector<float> matmul_reference(const std::vector<float>& a,
+                                    const std::vector<float>& b,
+                                    std::size_t n);
+
+}  // namespace bf::workloads

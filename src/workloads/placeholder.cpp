@@ -1,0 +1,1 @@
+// placeholder to keep bf_workloads non-empty during scaffolding

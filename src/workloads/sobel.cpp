@@ -1,0 +1,99 @@
+#include "workloads/sobel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/bitstream.h"
+
+namespace bf::workloads {
+
+SobelWorkload::SobelWorkload(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  BF_CHECK(width_ >= 3 && height_ >= 3);
+  // Deterministic synthetic frame: smooth gradient plus texture, so edges
+  // are non-trivial and reference comparisons are meaningful.
+  input_.resize(width_ * height_);
+  Rng rng(width_ * 31 + height_);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      const auto base = static_cast<std::uint32_t>((x * 255) / width_);
+      const auto noise = static_cast<std::uint32_t>(rng.next_below(32));
+      input_[y * width_ + x] = std::min<std::uint32_t>(255, base + noise);
+    }
+  }
+  output_.assign(width_ * height_, 0);
+}
+
+std::string SobelWorkload::bitstream() const {
+  return sim::BitstreamLibrary::kSobel;
+}
+
+Status SobelWorkload::setup(ocl::Context& context) {
+  if (Status s = context.program(bitstream()); !s.ok()) return s;
+  auto in = context.create_buffer(request_bytes_in());
+  if (!in.ok()) return in.status();
+  in_buffer_ = in.value();
+  auto out = context.create_buffer(request_bytes_out());
+  if (!out.ok()) return out.status();
+  out_buffer_ = out.value();
+  auto kernel = context.create_kernel("sobel");
+  if (!kernel.ok()) return kernel.status();
+  kernel_ = kernel.value();
+  auto queue = context.create_queue();
+  if (!queue.ok()) return queue.status();
+  queue_ = std::move(queue.value());
+  return Status::Ok();
+}
+
+Status SobelWorkload::handle_request(ocl::Context& context) {
+  (void)context;
+  BF_CHECK(queue_ != nullptr);
+  auto write = queue_->enqueue_write(
+      in_buffer_, 0,
+      as_bytes(input_.data(), input_.size() * sizeof(input_[0])),
+      /*blocking=*/false);
+  if (!write.ok()) return write.status();
+
+  kernel_.set_arg(0, in_buffer_);
+  kernel_.set_arg(1, out_buffer_);
+  kernel_.set_arg(2, static_cast<std::int64_t>(width_));
+  kernel_.set_arg(3, static_cast<std::int64_t>(height_));
+  auto launch = queue_->enqueue_kernel(kernel_, {width_, height_, 1});
+  if (!launch.ok()) return launch.status();
+
+  auto read = queue_->enqueue_read(
+      out_buffer_, 0,
+      as_writable_bytes(output_.data(), output_.size() * sizeof(output_[0])),
+      /*blocking=*/true);
+  if (!read.ok()) return read.status();
+  return Status::Ok();
+}
+
+std::vector<std::uint32_t> sobel_reference(
+    const std::vector<std::uint32_t>& input, std::size_t width,
+    std::size_t height) {
+  std::vector<std::uint32_t> out(width * height, 0);
+  constexpr int gx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+  constexpr int gy[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+  for (std::size_t y = 1; y + 1 < height; ++y) {
+    for (std::size_t x = 1; x + 1 < width; ++x) {
+      int sx = 0;
+      int sy = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int value = static_cast<int>(
+              input[(y + dy) * width + (x + dx)] & 0xFFU);
+          sx += gx[dy + 1][dx + 1] * value;
+          sy += gy[dy + 1][dx + 1] * value;
+        }
+      }
+      out[y * width + x] = static_cast<std::uint32_t>(std::min(
+          255, static_cast<int>(
+                   std::sqrt(static_cast<double>(sx * sx + sy * sy)))));
+    }
+  }
+  return out;
+}
+
+}  // namespace bf::workloads

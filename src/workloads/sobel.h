@@ -1,0 +1,64 @@
+// Spector Sobel edge detector (paper §IV): 32x8 blocks, 4x1 window, no SIMD,
+// one compute unit — the best-latency design point. One request = upload a
+// grayscale frame (u32/pixel), run the operator, download the edge map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace bf::workloads {
+
+class SobelWorkload final : public Workload {
+ public:
+  // Default: the paper's largest frame, 1920x1080 (~8 MiB read+write).
+  explicit SobelWorkload(std::size_t width = 1920, std::size_t height = 1080);
+
+  [[nodiscard]] std::string name() const override { return "sobel"; }
+  [[nodiscard]] std::string bitstream() const override;
+  [[nodiscard]] std::string accelerator() const override { return "sobel"; }
+
+  Status setup(ocl::Context& context) override;
+  Status handle_request(ocl::Context& context) override;
+  void teardown() override {
+    queue_.reset();
+    in_buffer_ = {};
+    out_buffer_ = {};
+    kernel_ = {};
+  }
+
+  [[nodiscard]] std::uint64_t request_bytes_in() const override {
+    return width_ * height_ * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::uint64_t request_bytes_out() const override {
+    return request_bytes_in();
+  }
+
+  // Test access: last downloaded edge map.
+  [[nodiscard]] const std::vector<std::uint32_t>& last_output() const {
+    return output_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& input_frame() const {
+    return input_;
+  }
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint32_t> input_;
+  std::vector<std::uint32_t> output_;
+
+  ocl::Buffer in_buffer_;
+  ocl::Buffer out_buffer_;
+  ocl::Kernel kernel_;
+  std::unique_ptr<ocl::CommandQueue> queue_;
+};
+
+// CPU reference implementation (for correctness checks in tests).
+std::vector<std::uint32_t> sobel_reference(
+    const std::vector<std::uint32_t>& input, std::size_t width,
+    std::size_t height);
+
+}  // namespace bf::workloads

@@ -1,0 +1,150 @@
+#include "workloads/spector_extra.h"
+
+#include "common/rng.h"
+#include "sim/bitstream.h"
+
+namespace bf::workloads {
+
+// --- FIR -----------------------------------------------------------------------
+
+FirWorkload::FirWorkload(std::size_t samples, std::size_t taps)
+    : samples_(samples) {
+  BF_CHECK(samples > 0 && taps > 0);
+  signal_.resize(samples_);
+  taps_.resize(taps);
+  output_.assign(samples_, 0.0F);
+  Rng rng(samples * 7919 + taps);
+  for (float& value : signal_) {
+    value = static_cast<float>(rng.next_double(-1.0, 1.0));
+  }
+  // Simple low-pass-ish taps that sum to 1.
+  for (std::size_t t = 0; t < taps; ++t) {
+    taps_[t] = 1.0F / static_cast<float>(taps);
+  }
+}
+
+std::string FirWorkload::bitstream() const {
+  return sim::BitstreamLibrary::kFir;
+}
+
+Status FirWorkload::setup(ocl::Context& context) {
+  if (Status s = context.program(bitstream()); !s.ok()) return s;
+  auto in = context.create_buffer(samples_ * sizeof(float));
+  if (!in.ok()) return in.status();
+  in_buffer_ = in.value();
+  auto coeffs = context.create_buffer(taps_.size() * sizeof(float));
+  if (!coeffs.ok()) return coeffs.status();
+  coeff_buffer_ = coeffs.value();
+  auto out = context.create_buffer(samples_ * sizeof(float));
+  if (!out.ok()) return out.status();
+  out_buffer_ = out.value();
+  auto kernel = context.create_kernel("fir");
+  if (!kernel.ok()) return kernel.status();
+  kernel_ = kernel.value();
+  auto queue = context.create_queue();
+  if (!queue.ok()) return queue.status();
+  queue_ = std::move(queue.value());
+  // Coefficients are constant: uploaded once at setup.
+  auto written = queue_->enqueue_write(
+      coeff_buffer_, 0, as_bytes(taps_.data(), taps_.size() * sizeof(float)),
+      /*blocking=*/true);
+  return written.ok() ? Status::Ok() : written.status();
+}
+
+Status FirWorkload::handle_request(ocl::Context& context) {
+  (void)context;
+  BF_CHECK(queue_ != nullptr);
+  auto write = queue_->enqueue_write(
+      in_buffer_, 0,
+      as_bytes(signal_.data(), signal_.size() * sizeof(float)),
+      /*blocking=*/false);
+  if (!write.ok()) return write.status();
+  kernel_.set_arg(0, in_buffer_);
+  kernel_.set_arg(1, coeff_buffer_);
+  kernel_.set_arg(2, out_buffer_);
+  kernel_.set_arg(3, static_cast<std::int64_t>(samples_));
+  kernel_.set_arg(4, static_cast<std::int64_t>(taps_.size()));
+  auto launch = queue_->enqueue_kernel(kernel_, {samples_, 1, 1});
+  if (!launch.ok()) return launch.status();
+  auto read = queue_->enqueue_read(
+      out_buffer_, 0,
+      as_writable_bytes(output_.data(), output_.size() * sizeof(float)),
+      /*blocking=*/true);
+  return read.ok() ? Status::Ok() : read.status();
+}
+
+std::vector<float> fir_reference(const std::vector<float>& signal,
+                                 const std::vector<float>& taps) {
+  std::vector<float> out(signal.size(), 0.0F);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    float acc = 0.0F;
+    for (std::size_t t = 0; t < taps.size() && t <= i; ++t) {
+      acc += taps[t] * signal[i - t];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+// --- Histogram ------------------------------------------------------------------
+
+HistogramWorkload::HistogramWorkload(std::size_t pixels) : pixels_(pixels) {
+  BF_CHECK(pixels > 0);
+  image_.resize(pixels_);
+  histogram_.assign(256, 0);
+  Rng rng(pixels * 31337);
+  for (std::uint32_t& px : image_) {
+    px = static_cast<std::uint32_t>(rng.next_below(256));
+  }
+}
+
+std::string HistogramWorkload::bitstream() const {
+  return sim::BitstreamLibrary::kHistogram;
+}
+
+Status HistogramWorkload::setup(ocl::Context& context) {
+  if (Status s = context.program(bitstream()); !s.ok()) return s;
+  auto in = context.create_buffer(request_bytes_in());
+  if (!in.ok()) return in.status();
+  in_buffer_ = in.value();
+  auto hist = context.create_buffer(request_bytes_out());
+  if (!hist.ok()) return hist.status();
+  hist_buffer_ = hist.value();
+  auto kernel = context.create_kernel("histogram");
+  if (!kernel.ok()) return kernel.status();
+  kernel_ = kernel.value();
+  auto queue = context.create_queue();
+  if (!queue.ok()) return queue.status();
+  queue_ = std::move(queue.value());
+  return Status::Ok();
+}
+
+Status HistogramWorkload::handle_request(ocl::Context& context) {
+  (void)context;
+  BF_CHECK(queue_ != nullptr);
+  auto write = queue_->enqueue_write(
+      in_buffer_, 0,
+      as_bytes(image_.data(), image_.size() * sizeof(image_[0])),
+      /*blocking=*/false);
+  if (!write.ok()) return write.status();
+  kernel_.set_arg(0, in_buffer_);
+  kernel_.set_arg(1, hist_buffer_);
+  kernel_.set_arg(2, static_cast<std::int64_t>(pixels_));
+  auto launch = queue_->enqueue_kernel(kernel_, {pixels_, 1, 1});
+  if (!launch.ok()) return launch.status();
+  auto read = queue_->enqueue_read(
+      hist_buffer_, 0,
+      as_writable_bytes(histogram_.data(),
+                        histogram_.size() * sizeof(histogram_[0])),
+      /*blocking=*/true);
+  return read.ok() ? Status::Ok() : read.status();
+}
+
+std::vector<std::uint32_t> histogram_reference(
+    const std::vector<std::uint32_t>& image) {
+  std::vector<std::uint32_t> bins(256, 0);
+  for (std::uint32_t px : image) ++bins[px & 0xFFU];
+  return bins;
+}
+
+}  // namespace bf::workloads

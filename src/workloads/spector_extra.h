@@ -1,0 +1,113 @@
+// Additional Spector-suite workloads (beyond the paper's evaluated three):
+// FIR filtering and image histogramming. Useful for mixed-fleet experiments
+// where more than two accelerator types compete for boards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace bf::workloads {
+
+// FIR filter: per request, upload a float signal, convolve with the
+// (setup-time) coefficient taps, download the filtered signal.
+class FirWorkload final : public Workload {
+ public:
+  explicit FirWorkload(std::size_t samples = 1 << 20, std::size_t taps = 64);
+
+  [[nodiscard]] std::string name() const override { return "fir"; }
+  [[nodiscard]] std::string bitstream() const override;
+  [[nodiscard]] std::string accelerator() const override { return "fir"; }
+
+  Status setup(ocl::Context& context) override;
+  Status handle_request(ocl::Context& context) override;
+  void teardown() override {
+    queue_.reset();
+    in_buffer_ = {};
+    coeff_buffer_ = {};
+    out_buffer_ = {};
+    kernel_ = {};
+  }
+
+  [[nodiscard]] std::uint64_t request_bytes_in() const override {
+    return samples_ * sizeof(float);
+  }
+  [[nodiscard]] std::uint64_t request_bytes_out() const override {
+    return samples_ * sizeof(float);
+  }
+
+  [[nodiscard]] const std::vector<float>& signal() const { return signal_; }
+  [[nodiscard]] const std::vector<float>& taps() const { return taps_; }
+  [[nodiscard]] const std::vector<float>& last_output() const {
+    return output_;
+  }
+
+ private:
+  std::size_t samples_;
+  std::vector<float> signal_;
+  std::vector<float> taps_;
+  std::vector<float> output_;
+
+  ocl::Buffer in_buffer_;
+  ocl::Buffer coeff_buffer_;
+  ocl::Buffer out_buffer_;
+  ocl::Kernel kernel_;
+  std::unique_ptr<ocl::CommandQueue> queue_;
+};
+
+// CPU reference for the FIR kernel semantics (zero-padded history).
+std::vector<float> fir_reference(const std::vector<float>& signal,
+                                 const std::vector<float>& taps);
+
+// Histogram: per request, upload a u32 image, compute the 256-bin histogram
+// of the low byte, download the bins.
+class HistogramWorkload final : public Workload {
+ public:
+  explicit HistogramWorkload(std::size_t pixels = 1 << 21);
+
+  [[nodiscard]] std::string name() const override { return "histogram"; }
+  [[nodiscard]] std::string bitstream() const override;
+  [[nodiscard]] std::string accelerator() const override {
+    return "histogram";
+  }
+
+  Status setup(ocl::Context& context) override;
+  Status handle_request(ocl::Context& context) override;
+  void teardown() override {
+    queue_.reset();
+    in_buffer_ = {};
+    hist_buffer_ = {};
+    kernel_ = {};
+  }
+
+  [[nodiscard]] std::uint64_t request_bytes_in() const override {
+    return pixels_ * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::uint64_t request_bytes_out() const override {
+    return 256 * sizeof(std::uint32_t);
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& image() const {
+    return image_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& last_histogram() const {
+    return histogram_;
+  }
+
+ private:
+  std::size_t pixels_;
+  std::vector<std::uint32_t> image_;
+  std::vector<std::uint32_t> histogram_;
+
+  ocl::Buffer in_buffer_;
+  ocl::Buffer hist_buffer_;
+  ocl::Kernel kernel_;
+  std::unique_ptr<ocl::CommandQueue> queue_;
+};
+
+std::vector<std::uint32_t> histogram_reference(
+    const std::vector<std::uint32_t>& image);
+
+}  // namespace bf::workloads

@@ -1,0 +1,51 @@
+// Workload interface: the accelerated cloud functions of the paper's
+// evaluation (§IV) — Spector Sobel, Spector MM and PipeCNN/AlexNet — written
+// once against the bf::ocl host API. The same host code runs on the Native
+// runtime (direct FPGA) and through BlastFunction's Remote OpenCL Library;
+// that is the transparency property the paper claims.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ocl/runtime.h"
+
+namespace bf::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  // Bitstream id this workload needs on the device.
+  [[nodiscard]] virtual std::string bitstream() const = 0;
+  // Accelerator name (for Registry device queries).
+  [[nodiscard]] virtual std::string accelerator() const = 0;
+
+  // One-time cold-start work on a fresh context: program the device, create
+  // queues/buffers/kernels, upload constant data (e.g. CNN weights).
+  virtual Status setup(ocl::Context& context) = 0;
+
+  // Serve one request end-to-end (blocking; returns once results are in
+  // host memory).
+  virtual Status handle_request(ocl::Context& context) = 0;
+
+  // Releases context-bound state (queues, buffer handles) BEFORE the context
+  // is destroyed. Fork-per-request execution calls setup/teardown around
+  // every request.
+  virtual void teardown() = 0;
+
+  // Approximate request payload sizes (for reporting).
+  [[nodiscard]] virtual std::uint64_t request_bytes_in() const = 0;
+  [[nodiscard]] virtual std::uint64_t request_bytes_out() const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+// Factory for the paper's three benchmarks by name ("sobel", "mm",
+// "alexnet"); the experiment fabric instantiates per function instance.
+using WorkloadFactory = std::function<WorkloadPtr()>;
+
+}  // namespace bf::workloads

@@ -1,0 +1,162 @@
+// Node autoscaling extension: provisioning under load, decommissioning when
+// idle, hysteresis and bounds.
+#include <gtest/gtest.h>
+
+#include "loadgen/loadgen.h"
+#include "registry/autoscaler.h"
+#include "testbed/testbed.h"
+#include "workloads/sobel.h"
+
+namespace bf::registry {
+namespace {
+
+// The AWS-F1 stand-in: provisions simulated nodes D, E, ... on the testbed.
+class TestbedProvisioner final : public NodeProvisioner {
+ public:
+  explicit TestbedProvisioner(testbed::Testbed* bed) : bed_(bed) {}
+
+  Result<std::string> provision() override {
+    const std::string name(1, static_cast<char>('D' + provisioned_++));
+    return bed_->provision_node(name);
+  }
+
+  Status decommission(const std::string& device_id) override {
+    // device ids are "fpga-<node>".
+    return bed_->decommission_node(device_id.substr(5));
+  }
+
+ private:
+  testbed::Testbed* bed_;
+  int provisioned_ = 0;
+};
+
+workloads::WorkloadFactory sobel_factory() {
+  return [] {
+    return std::make_unique<workloads::SobelWorkload>(640, 480);
+  };
+}
+
+TEST(Autoscaler, NoActionAtModerateUtilization) {
+  testbed::Testbed bed;
+  TestbedProvisioner provisioner(&bed);
+  AutoscalerPolicy policy;
+  policy.hysteresis = 1;
+  Autoscaler autoscaler(&bed.registry(), &provisioner, policy);
+  // Fresh cluster: 0 utilization but min_devices already met, and no
+  // connected instances... scale-down would fire; bump min_devices to 3
+  // (default) so the idle fleet stays.
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kNone);
+  EXPECT_EQ(bed.registry().devices().size(), 3u);
+}
+
+TEST(Autoscaler, ScalesUpUnderSustainedLoad) {
+  testbed::Testbed bed;
+  TestbedProvisioner provisioner(&bed);
+  AutoscalerPolicy policy;
+  policy.scale_up_utilization = 0.4;
+  policy.hysteresis = 2;
+  Autoscaler autoscaler(&bed.registry(), &provisioner, policy);
+
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(bed.deploy_blastfunction("fn-" + std::to_string(i),
+                                         sobel_factory())
+                    .ok());
+  }
+  // Saturating load on all three boards.
+  std::vector<loadgen::DriveSpec> specs;
+  for (int i = 1; i <= 3; ++i) {
+    loadgen::DriveSpec spec;
+    spec.function = "fn-" + std::to_string(i);
+    spec.target_rps = 400;
+    spec.warmup = vt::Duration::seconds(3);
+    spec.duration = vt::Duration::seconds(8);
+    specs.push_back(spec);
+  }
+  (void)loadgen::drive_all(bed.gateway(), specs);
+
+  // The metrics window now shows high utilization: two evaluations
+  // (hysteresis) must provision a node.
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kNone);
+  EXPECT_GT(autoscaler.last_mean_utilization(), 0.4);
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kScaleUp);
+  EXPECT_EQ(bed.registry().devices().size(), 4u);
+  EXPECT_EQ(autoscaler.scale_ups(), 1u);
+  // The new node is usable: deploy a function and serve a request.
+  ASSERT_TRUE(bed.deploy_blastfunction("fn-new", sobel_factory()).ok());
+  EXPECT_TRUE(bed.gateway().invoke("fn-new").ok());
+}
+
+TEST(Autoscaler, RespectsMaxDevices) {
+  testbed::Testbed bed;
+  TestbedProvisioner provisioner(&bed);
+  AutoscalerPolicy policy;
+  policy.scale_up_utilization = -1.0;  // always "overloaded"
+  policy.hysteresis = 1;
+  policy.max_devices = 4;
+  Autoscaler autoscaler(&bed.registry(), &provisioner, policy);
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kScaleUp);
+  EXPECT_EQ(bed.registry().devices().size(), 4u);
+  // At the cap: no further scale-ups.
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kNone);
+  EXPECT_EQ(bed.registry().devices().size(), 4u);
+}
+
+TEST(Autoscaler, ScalesDownIdleExtraNode) {
+  testbed::Testbed bed;
+  TestbedProvisioner provisioner(&bed);
+  ASSERT_TRUE(bed.provision_node("D").ok());
+  ASSERT_EQ(bed.registry().devices().size(), 4u);
+  AutoscalerPolicy policy;
+  policy.scale_down_utilization = 0.5;  // everything below counts as idle
+  policy.hysteresis = 1;
+  policy.min_devices = 3;
+  Autoscaler autoscaler(&bed.registry(), &provisioner, policy);
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kScaleDown);
+  EXPECT_EQ(bed.registry().devices().size(), 3u);
+  // Back at min_devices: no further scale-down.
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kNone);
+}
+
+TEST(Autoscaler, NeverDecommissionsDevicesWithTenants) {
+  testbed::Testbed bed;
+  TestbedProvisioner provisioner(&bed);
+  // Occupy every device with a tenant.
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(bed.deploy_blastfunction("fn-" + std::to_string(i),
+                                         sobel_factory())
+                    .ok());
+  }
+  AutoscalerPolicy policy;
+  policy.scale_down_utilization = 2.0;  // always "idle"
+  policy.hysteresis = 1;
+  policy.min_devices = 1;
+  Autoscaler autoscaler(&bed.registry(), &provisioner, policy);
+  // No device is free of tenants: nothing to decommission.
+  EXPECT_EQ(autoscaler.evaluate(), Autoscaler::Action::kNone);
+  EXPECT_EQ(bed.registry().devices().size(), 3u);
+}
+
+TEST(Registry, DeregisterDeviceGuards) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory()).ok());
+  auto device = bed.registry().device_of_instance("fn-0");
+  ASSERT_TRUE(device.has_value());
+  EXPECT_EQ(bed.registry().deregister_device(*device).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(bed.registry().deregister_device("ghost").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Cluster, NodeJoinAndRemove) {
+  testbed::Testbed bed;
+  EXPECT_EQ(bed.cluster().nodes().size(), 3u);
+  ASSERT_TRUE(bed.provision_node("D").ok());
+  EXPECT_EQ(bed.cluster().nodes().size(), 4u);
+  EXPECT_EQ(bed.node_names().size(), 4u);
+  EXPECT_FALSE(bed.provision_node("D").ok());  // duplicate
+  ASSERT_TRUE(bed.decommission_node("D").ok());
+  EXPECT_EQ(bed.cluster().nodes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace bf::registry

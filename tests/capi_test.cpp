@@ -1,0 +1,222 @@
+// The C-style OpenCL API shim: classic clXxx-shaped host code running
+// against both runtimes without modification — the strongest form of the
+// paper's transparency claim.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "devmgr/device_manager.h"
+#include "native/native_runtime.h"
+#include "ocl/capi.h"
+#include "remote/remote_runtime.h"
+#include "shm/namespace.h"
+#include "sim/bitstream.h"
+#include "sim/board.h"
+
+namespace bf::ocl::capi {
+namespace {
+
+struct Rig {
+  Rig() {
+    sim::BoardConfig bc;
+    bc.id = "fpga-b";
+    bc.node = "B";
+    bc.host = sim::make_node_b();
+    bc.memory_bytes = 128 * kMiB;
+    board = std::make_unique<sim::Board>(bc);
+    devmgr::DeviceManagerConfig mc;
+    mc.id = "devmgr-b";
+    manager = std::make_unique<devmgr::DeviceManager>(mc, board.get(),
+                                                      &node_shm);
+    remote::ManagerAddress address;
+    address.endpoint = &manager->endpoint();
+    address.transport = net::local_control(bc.host);
+    address.node_shm = &node_shm;
+    remote = std::make_unique<remote::RemoteRuntime>(
+        std::vector<remote::ManagerAddress>{address});
+    native = std::make_unique<native::NativeRuntime>(
+        std::vector<sim::Board*>{board.get()});
+  }
+  ~Rig() { reset_binding_objects(); }
+
+  shm::Namespace node_shm;
+  std::unique_ptr<sim::Board> board;
+  std::unique_ptr<devmgr::DeviceManager> manager;
+  std::unique_ptr<remote::RemoteRuntime> remote;
+  std::unique_ptr<native::NativeRuntime> native;
+};
+
+// Classic OpenCL host code, written exactly as against the C API.
+std::vector<float> run_vadd_c_style(std::size_t n) {
+  bfcl_uint num_platforms = 0;
+  EXPECT_EQ(bfclGetPlatformIDs(0, nullptr, &num_platforms), BFCL_SUCCESS);
+  EXPECT_GE(num_platforms, 1u);
+  bfcl_platform_id platform = nullptr;
+  EXPECT_EQ(bfclGetPlatformIDs(1, &platform, nullptr), BFCL_SUCCESS);
+
+  bfcl_device_id device = nullptr;
+  bfcl_uint num_devices = 0;
+  EXPECT_EQ(bfclGetDeviceIDs(platform, 1, &device, &num_devices),
+            BFCL_SUCCESS);
+  EXPECT_EQ(num_devices, 1u);
+
+  char name[128] = {};
+  EXPECT_EQ(bfclGetDeviceInfo(device, BFCL_DEVICE_NAME, sizeof(name), name,
+                              nullptr),
+            BFCL_SUCCESS);
+  EXPECT_NE(std::string(name).find("Terasic"), std::string::npos);
+
+  bfcl_int err = 0;
+  bfcl_context context = bfclCreateContext(&device, 1, &err);
+  EXPECT_EQ(err, BFCL_SUCCESS);
+  EXPECT_EQ(bfclProgramWithBitstream(context, sim::BitstreamLibrary::kVadd),
+            BFCL_SUCCESS);
+
+  bfcl_command_queue queue = bfclCreateCommandQueue(context, device, &err);
+  EXPECT_EQ(err, BFCL_SUCCESS);
+
+  std::vector<float> a(n), b(n), c(n);
+  std::iota(a.begin(), a.end(), 0.0F);
+  std::iota(b.begin(), b.end(), 100.0F);
+  const std::size_t bytes = n * sizeof(float);
+
+  bfcl_mem mem_a = bfclCreateBuffer(context, bytes, &err);
+  EXPECT_EQ(err, BFCL_SUCCESS);
+  bfcl_mem mem_b = bfclCreateBuffer(context, bytes, &err);
+  bfcl_mem mem_c = bfclCreateBuffer(context, bytes, &err);
+
+  EXPECT_EQ(bfclEnqueueWriteBuffer(queue, mem_a, BFCL_FALSE, 0, bytes,
+                                   a.data(), nullptr),
+            BFCL_SUCCESS);
+  EXPECT_EQ(bfclEnqueueWriteBuffer(queue, mem_b, BFCL_FALSE, 0, bytes,
+                                   b.data(), nullptr),
+            BFCL_SUCCESS);
+
+  bfcl_kernel kernel = bfclCreateKernel(context, "vadd", &err);
+  EXPECT_EQ(err, BFCL_SUCCESS);
+  const std::int64_t count = static_cast<std::int64_t>(n);
+  EXPECT_EQ(bfclSetKernelArg(kernel, 0, sizeof(bfcl_mem), &mem_a),
+            BFCL_SUCCESS);
+  EXPECT_EQ(bfclSetKernelArg(kernel, 1, sizeof(bfcl_mem), &mem_b),
+            BFCL_SUCCESS);
+  EXPECT_EQ(bfclSetKernelArg(kernel, 2, sizeof(bfcl_mem), &mem_c),
+            BFCL_SUCCESS);
+  EXPECT_EQ(bfclSetKernelArg(kernel, 3, sizeof(count), &count), BFCL_SUCCESS);
+
+  bfcl_event kernel_event = nullptr;
+  EXPECT_EQ(
+      bfclEnqueueNDRangeKernel(queue, kernel, 1, &n, &kernel_event),
+      BFCL_SUCCESS);
+  EXPECT_EQ(bfclFlush(queue), BFCL_SUCCESS);
+  EXPECT_EQ(bfclWaitForEvents(1, &kernel_event), BFCL_SUCCESS);
+
+  bfcl_int status = BFCL_QUEUED;
+  EXPECT_EQ(bfclGetEventInfo(kernel_event,
+                             BFCL_EVENT_COMMAND_EXECUTION_STATUS,
+                             sizeof(status), &status, nullptr),
+            BFCL_SUCCESS);
+  EXPECT_EQ(status, BFCL_COMPLETE);
+
+  EXPECT_EQ(bfclEnqueueReadBuffer(queue, mem_c, BFCL_TRUE, 0, bytes,
+                                  c.data(), nullptr),
+            BFCL_SUCCESS);
+
+  EXPECT_EQ(bfclReleaseEvent(kernel_event), BFCL_SUCCESS);
+  EXPECT_EQ(bfclReleaseKernel(kernel), BFCL_SUCCESS);
+  EXPECT_EQ(bfclReleaseMemObject(mem_a), BFCL_SUCCESS);
+  EXPECT_EQ(bfclReleaseMemObject(mem_b), BFCL_SUCCESS);
+  EXPECT_EQ(bfclReleaseMemObject(mem_c), BFCL_SUCCESS);
+  EXPECT_EQ(bfclReleaseCommandQueue(queue), BFCL_SUCCESS);
+  EXPECT_EQ(bfclReleaseContext(context), BFCL_SUCCESS);
+  return c;
+}
+
+TEST(CApi, VaddThroughRemoteLibrary) {
+  Rig rig;
+  Session session("capi-remote");
+  bind(rig.remote.get(), &session);
+  auto c = run_vadd_c_style(2048);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_FLOAT_EQ(c[i], static_cast<float>(i) + (100.0F + i));
+  }
+}
+
+TEST(CApi, VaddThroughNativeRuntime) {
+  Rig rig;
+  Session session("capi-native");
+  bind(rig.native.get(), &session);
+  auto c = run_vadd_c_style(2048);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_FLOAT_EQ(c[i], static_cast<float>(i) + (100.0F + i));
+  }
+}
+
+TEST(CApi, ErrorsWithoutBinding) {
+  reset_binding_objects();
+  bind(nullptr, nullptr);
+  bfcl_uint count = 0;
+  EXPECT_EQ(bfclGetPlatformIDs(0, nullptr, &count), BFCL_INVALID_PLATFORM);
+}
+
+TEST(CApi, InvalidHandlesRejected) {
+  Rig rig;
+  Session session("capi");
+  bind(rig.native.get(), &session);
+  EXPECT_EQ(bfclReleaseContext(nullptr), BFCL_INVALID_CONTEXT);
+  EXPECT_EQ(bfclFinish(nullptr), BFCL_INVALID_COMMAND_QUEUE);
+  EXPECT_EQ(bfclReleaseMemObject(nullptr), BFCL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(bfclWaitForEvents(0, nullptr), BFCL_INVALID_VALUE);
+  bfcl_uint num_devices = 0;
+  EXPECT_EQ(bfclGetDeviceIDs(nullptr, 1, nullptr, &num_devices),
+            BFCL_INVALID_PLATFORM);
+}
+
+TEST(CApi, UnknownKernelNameMapsToSpecError) {
+  Rig rig;
+  Session session("capi");
+  bind(rig.native.get(), &session);
+  bfcl_platform_id platform = nullptr;
+  ASSERT_EQ(bfclGetPlatformIDs(1, &platform, nullptr), BFCL_SUCCESS);
+  bfcl_device_id device = nullptr;
+  ASSERT_EQ(bfclGetDeviceIDs(platform, 1, &device, nullptr), BFCL_SUCCESS);
+  bfcl_int err = 0;
+  bfcl_context context = bfclCreateContext(&device, 1, &err);
+  ASSERT_EQ(err, BFCL_SUCCESS);
+  ASSERT_EQ(bfclProgramWithBitstream(context, sim::BitstreamLibrary::kVadd),
+            BFCL_SUCCESS);
+  bfcl_kernel kernel = bfclCreateKernel(context, "does-not-exist", &err);
+  EXPECT_EQ(kernel, nullptr);
+  EXPECT_EQ(err, BFCL_INVALID_KERNEL_NAME);
+  EXPECT_EQ(bfclProgramWithBitstream(context, "bogus"), BFCL_INVALID_PROGRAM);
+  EXPECT_EQ(bfclReleaseContext(context), BFCL_SUCCESS);
+}
+
+TEST(CApi, EventRetainRelease) {
+  Rig rig;
+  Session session("capi");
+  bind(rig.native.get(), &session);
+  bfcl_platform_id platform = nullptr;
+  ASSERT_EQ(bfclGetPlatformIDs(1, &platform, nullptr), BFCL_SUCCESS);
+  bfcl_device_id device = nullptr;
+  ASSERT_EQ(bfclGetDeviceIDs(platform, 1, &device, nullptr), BFCL_SUCCESS);
+  bfcl_int err = 0;
+  bfcl_context context = bfclCreateContext(&device, 1, &err);
+  ASSERT_EQ(bfclProgramWithBitstream(context, sim::BitstreamLibrary::kVadd),
+            BFCL_SUCCESS);
+  bfcl_command_queue queue = bfclCreateCommandQueue(context, device, &err);
+  bfcl_mem mem = bfclCreateBuffer(context, 1024, &err);
+  Bytes data(1024);
+  bfcl_event event = nullptr;
+  ASSERT_EQ(bfclEnqueueWriteBuffer(queue, mem, BFCL_TRUE, 0, 1024,
+                                   data.data(), &event),
+            BFCL_SUCCESS);
+  ASSERT_EQ(bfclRetainEvent(event), BFCL_SUCCESS);
+  EXPECT_EQ(bfclReleaseEvent(event), BFCL_SUCCESS);  // refcount 2 -> 1
+  EXPECT_EQ(bfclReleaseEvent(event), BFCL_SUCCESS);  // 1 -> 0, destroyed
+  EXPECT_EQ(bfclReleaseEvent(event), BFCL_INVALID_EVENT);
+  EXPECT_EQ(bfclReleaseContext(context), BFCL_SUCCESS);
+}
+
+}  // namespace
+}  // namespace bf::ocl::capi

@@ -1,0 +1,153 @@
+// bf::cluster: the simulated Kubernetes control-plane surface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace bf::cluster {
+namespace {
+
+std::vector<NodeSpec> three_nodes() {
+  return {{"A", sim::make_node_a()},
+          {"B", sim::make_node_b()},
+          {"C", sim::make_node_c()}};
+}
+
+PodSpec pod(const std::string& name, const std::string& function) {
+  PodSpec spec;
+  spec.name = name;
+  spec.function = function;
+  return spec;
+}
+
+TEST(Cluster, CreateGetDelete) {
+  Cluster cluster(three_nodes());
+  auto created = cluster.create_pod(pod("p1", "fn"));
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value().phase, PodPhase::kRunning);
+  EXPECT_GT(created.value().uid, 0u);
+  ASSERT_TRUE(cluster.get_pod("p1").has_value());
+  ASSERT_TRUE(cluster.delete_pod("p1").ok());
+  EXPECT_FALSE(cluster.get_pod("p1").has_value());
+  EXPECT_FALSE(cluster.delete_pod("p1").ok());
+}
+
+TEST(Cluster, NameCollisionRejected) {
+  Cluster cluster(three_nodes());
+  ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
+  EXPECT_EQ(cluster.create_pod(pod("p1", "fn")).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Cluster, EmptyNameRejected) {
+  Cluster cluster(three_nodes());
+  EXPECT_FALSE(cluster.create_pod(pod("", "fn")).ok());
+}
+
+TEST(Cluster, UnknownNodeBindingRejected) {
+  Cluster cluster(three_nodes());
+  PodSpec spec = pod("p1", "fn");
+  spec.node = "Z";
+  EXPECT_EQ(cluster.create_pod(std::move(spec)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Cluster, DefaultSchedulerRoundRobins) {
+  Cluster cluster(three_nodes());
+  std::map<std::string, int> per_node;
+  for (int i = 0; i < 6; ++i) {
+    auto created = cluster.create_pod(pod("p" + std::to_string(i), "fn"));
+    ASSERT_TRUE(created.ok());
+    ++per_node[created.value().spec.node];
+  }
+  EXPECT_EQ(per_node["A"], 2);
+  EXPECT_EQ(per_node["B"], 2);
+  EXPECT_EQ(per_node["C"], 2);
+}
+
+TEST(Cluster, AdmissionHookPatchesSpec) {
+  Cluster cluster(three_nodes());
+  cluster.set_admission_hook([](PodSpec& spec) {
+    spec.env["PATCHED"] = "yes";
+    spec.node = "C";
+    return Status::Ok();
+  });
+  auto created = cluster.create_pod(pod("p1", "fn"));
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value().spec.env.at("PATCHED"), "yes");
+  EXPECT_EQ(created.value().spec.node, "C");
+}
+
+TEST(Cluster, AdmissionHookCanReject) {
+  Cluster cluster(three_nodes());
+  cluster.set_admission_hook(
+      [](PodSpec&) { return NotFound("no device"); });
+  auto created = cluster.create_pod(pod("p1", "fn"));
+  EXPECT_FALSE(created.ok());
+  EXPECT_EQ(cluster.pod_count(), 0u);
+}
+
+TEST(Cluster, WatchersSeeAddAndDelete) {
+  Cluster cluster(three_nodes());
+  std::vector<std::string> events;
+  cluster.add_watcher([&](const WatchEvent& event) {
+    events.push_back((event.type == WatchEvent::Type::kAdded ? "+" : "-") +
+                     event.pod.spec.name);
+  });
+  (void)cluster.create_pod(pod("p1", "fn"));
+  (void)cluster.delete_pod("p1");
+  EXPECT_EQ(events, (std::vector<std::string>{"+p1", "-p1"}));
+}
+
+TEST(Cluster, ReplaceCreatesBeforeDeleting) {
+  Cluster cluster(three_nodes());
+  std::vector<std::string> events;
+  cluster.add_watcher([&](const WatchEvent& event) {
+    events.push_back((event.type == WatchEvent::Type::kAdded ? "+" : "-") +
+                     event.pod.spec.name);
+  });
+  PodSpec spec = pod("p1", "fn");
+  spec.env["OLD"] = "1";
+  ASSERT_TRUE(cluster.create_pod(std::move(spec)).ok());
+  auto replaced = cluster.replace_pod("p1");
+  ASSERT_TRUE(replaced.ok());
+  // Create-before-delete order (the paper's migration mechanism).
+  EXPECT_EQ(events, (std::vector<std::string>{"+p1", "+p1-r", "-p1"}));
+  // Replacement is re-admitted from a clean slate.
+  EXPECT_FALSE(replaced.value().spec.env.contains("OLD"));
+  EXPECT_EQ(cluster.pod_count(), 1u);
+}
+
+TEST(Cluster, ReplaceRunsAdmissionAgain) {
+  Cluster cluster(three_nodes());
+  int admissions = 0;
+  cluster.set_admission_hook([&](PodSpec&) {
+    ++admissions;
+    return Status::Ok();
+  });
+  ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
+  ASSERT_TRUE(cluster.replace_pod("p1").ok());
+  EXPECT_EQ(admissions, 2);
+}
+
+TEST(Cluster, PodsOfFunctionFilters) {
+  Cluster cluster(three_nodes());
+  (void)cluster.create_pod(pod("a-0", "a"));
+  (void)cluster.create_pod(pod("a-1", "a"));
+  (void)cluster.create_pod(pod("b-0", "b"));
+  EXPECT_EQ(cluster.pods_of_function("a").size(), 2u);
+  EXPECT_EQ(cluster.pods_of_function("b").size(), 1u);
+  EXPECT_EQ(cluster.pods_of_function("c").size(), 0u);
+  EXPECT_EQ(cluster.list_pods().size(), 3u);
+}
+
+TEST(Cluster, FindNode) {
+  Cluster cluster(three_nodes());
+  ASSERT_NE(cluster.find_node("A"), nullptr);
+  EXPECT_EQ(cluster.find_node("A")->profile.name, "A");
+  EXPECT_EQ(cluster.find_node("Z"), nullptr);
+}
+
+}  // namespace
+}  // namespace bf::cluster

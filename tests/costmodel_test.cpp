@@ -1,0 +1,82 @@
+// bf::sim cost models and node profiles: the calibration layer everything
+// else stands on.
+#include <gtest/gtest.h>
+
+#include "sim/costmodel.h"
+
+namespace bf::sim {
+namespace {
+
+TEST(LinkModel, LatencyPlusBandwidth) {
+  LinkModel link(vt::Duration::micros(100), 1e9);  // 1 GB/s
+  EXPECT_EQ(link.transfer_time(0).ns(), vt::Duration::micros(100).ns());
+  // 1 MB at 1 GB/s = 1 ms + 0.1 ms latency.
+  EXPECT_NEAR(link.transfer_time(1'000'000).ms(), 1.1, 1e-6);
+}
+
+TEST(LinkModel, ZeroBandwidthMeansLatencyOnly) {
+  LinkModel link(vt::Duration::micros(50), 0.0);
+  EXPECT_EQ(link.transfer_time(1 << 30).ns(),
+            vt::Duration::micros(50).ns());
+}
+
+TEST(CopyModel, ProportionalToSize) {
+  CopyModel copy(2e9);
+  EXPECT_NEAR(copy.copy_time(2'000'000).ms(), 1.0, 1e-6);
+  EXPECT_EQ(copy.copy_time(0).ns(), 0);
+  CopyModel disabled(0.0);
+  EXPECT_EQ(disabled.copy_time(1 << 20).ns(), 0);
+}
+
+TEST(SerializationModel, PerMessagePlusPerByte) {
+  SerializationModel serialization(vt::Duration::micros(30), 1e9);
+  EXPECT_EQ(serialization.encode_time(0).ns(),
+            vt::Duration::micros(30).ns());
+  EXPECT_NEAR(serialization.encode_time(1'000'000).ms(), 1.03, 1e-6);
+}
+
+TEST(NodeProfiles, WorkerNodesAreFasterThanMaster) {
+  const NodeProfile a = make_node_a();
+  const NodeProfile b = make_node_b();
+  const NodeProfile c = make_node_c();
+  EXPECT_EQ(a.name, "A");
+  EXPECT_EQ(b.name, "B");
+  EXPECT_EQ(c.name, "C");
+  // Node A: PCIe gen2 (half the gen3 bandwidth) and a slower CPU.
+  EXPECT_LT(a.pcie.bytes_per_second(), b.pcie.bytes_per_second());
+  EXPECT_GT(a.fork_request_overhead.ns(), b.fork_request_overhead.ns());
+  EXPECT_GT(a.host_call_overhead.ns(), b.host_call_overhead.ns());
+  EXPECT_GT(a.grpc_control_rtt.ns(), b.grpc_control_rtt.ns());
+  // B and C share hardware.
+  EXPECT_EQ(b.pcie.bytes_per_second(), c.pcie.bytes_per_second());
+}
+
+TEST(NodeProfiles, CalibrationAnchors) {
+  const NodeProfile b = make_node_b();
+  // Fig 4a anchor: a 2 GiB memcpy takes ~155 ms at the shm copy rate.
+  EXPECT_NEAR(b.memcpy_model.copy_time(2ULL << 30).ms(), 155.0, 5.0);
+  // Fig 4b anchor: 8 MiB over PCIe gen3 x8 effective ~ 1.3 ms.
+  EXPECT_NEAR(b.pcie.transfer_time(8 << 20).ms(), 1.45, 0.2);
+  // Control floor: ~2 ms RTT on the local virtual network.
+  EXPECT_NEAR(b.grpc_control_rtt.ms(), 1.9, 0.2);
+}
+
+class LinkMonotoneTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LinkMonotoneTest, TransferTimeMonotoneInSize) {
+  const auto [latency_us, shift] = GetParam();
+  LinkModel link(vt::Duration::micros(latency_us), 6.0 * (1 << 30));
+  const std::size_t small = 1ULL << shift;
+  EXPECT_LT(link.transfer_time(small).ns(),
+            link.transfer_time(small * 2).ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinkMonotoneTest,
+    ::testing::Values(std::make_pair(0, 10), std::make_pair(100, 12),
+                      std::make_pair(100, 20), std::make_pair(500, 24),
+                      std::make_pair(1000, 28)));
+
+}  // namespace
+}  // namespace bf::sim

@@ -1,0 +1,136 @@
+// bf::faas: gateway, function instances and execution modes.
+#include <gtest/gtest.h>
+
+#include "loadgen/loadgen.h"
+#include "testbed/testbed.h"
+#include "workloads/sobel.h"
+
+namespace bf::faas {
+namespace {
+
+workloads::WorkloadFactory sobel_factory() {
+  return [] {
+    return std::make_unique<workloads::SobelWorkload>(640, 480);
+  };
+}
+
+TEST(Gateway, DeployCreatesInstances) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory(), 2).ok());
+  EXPECT_EQ(bed.gateway().instance_count(), 2u);
+  EXPECT_EQ(bed.gateway().instances("fn").size(), 2u);
+  EXPECT_NE(bed.gateway().instance("fn", 0), nullptr);
+  EXPECT_NE(bed.gateway().instance("fn", 1), nullptr);
+  EXPECT_EQ(bed.gateway().instance("fn", 2), nullptr);
+}
+
+TEST(Gateway, DoubleDeployRejected) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory()).ok());
+  EXPECT_EQ(bed.deploy_blastfunction("fn", sobel_factory()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Gateway, InvokeUnknownFunctionFails) {
+  testbed::Testbed bed;
+  EXPECT_EQ(bed.gateway().invoke("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Gateway, InvokeServesRequest) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory()).ok());
+  auto result = bed.gateway().invoke("fn");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_GT(result.value().latency.ms(), 1.0);
+  auto instance = bed.gateway().instance("fn");
+  EXPECT_EQ(instance->requests_served(), 1u);
+  EXPECT_EQ(instance->errors(), 0u);
+}
+
+TEST(Gateway, RemoveDeletesPodsAndInstances) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory(), 2).ok());
+  ASSERT_TRUE(bed.gateway().remove("fn").ok());
+  EXPECT_EQ(bed.gateway().instance_count(), 0u);
+  EXPECT_EQ(bed.cluster().pod_count(), 0u);
+  EXPECT_FALSE(bed.gateway().remove("fn").ok());
+}
+
+TEST(Gateway, ScaleUpAndDown) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory(), 1).ok());
+  ASSERT_TRUE(bed.gateway().scale("fn", 3).ok());
+  EXPECT_EQ(bed.gateway().instances("fn").size(), 3u);
+  ASSERT_TRUE(bed.gateway().scale("fn", 1).ok());
+  EXPECT_EQ(bed.gateway().instances("fn").size(), 1u);
+}
+
+TEST(FunctionInstance, ColdStartOnlyOnFirstInvokePersistent) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory()).ok());
+  auto instance = bed.gateway().instance("fn");
+  EXPECT_TRUE(instance->cold());
+  auto first = instance->invoke();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(instance->cold());
+  auto second = instance->invoke();
+  ASSERT_TRUE(second.ok());
+  // Cold start (programming ~1.6 s) dominates the first request only.
+  EXPECT_GT(first.value().latency.ms(), 1000.0);
+  EXPECT_LT(second.value().latency.ms(), 30.0);
+}
+
+TEST(FunctionInstance, ForkModePaysPerRequestOverhead) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_native("warm", sobel_factory(), "B",
+                                ExecutionMode::kPersistent)
+                  .ok());
+  ASSERT_TRUE(bed.deploy_native("forked", sobel_factory(), "C",
+                                ExecutionMode::kForkPerRequest)
+                  .ok());
+  auto warm = bed.gateway().instance("warm");
+  auto forked = bed.gateway().instance("forked");
+  // Warm both past their cold start / first fork.
+  ASSERT_TRUE(warm->invoke().ok());
+  ASSERT_TRUE(forked->invoke().ok());
+  auto warm_result = warm->invoke();
+  auto forked_result = forked->invoke();
+  ASSERT_TRUE(warm_result.ok());
+  ASSERT_TRUE(forked_result.ok());
+  // Fork-per-request pays fork + context attach every time (paper's native
+  // Sobel/MM latency penalty).
+  EXPECT_GT(forked_result.value().latency.ms(),
+            warm_result.value().latency.ms() + 5.0);
+}
+
+TEST(FunctionInstance, ClockAdvancesOnlyForward) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", sobel_factory()).ok());
+  auto instance = bed.gateway().instance("fn");
+  instance->advance_clock_to(vt::Time::seconds(5));
+  EXPECT_EQ(instance->now(), vt::Time::seconds(5));
+  instance->advance_clock_to(vt::Time::seconds(1));
+  EXPECT_EQ(instance->now(), vt::Time::seconds(5));
+}
+
+TEST(FunctionInstance, MigrationRebindsToNewDevice) {
+  testbed::Testbed bed;
+  auto factory = sobel_factory();
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", factory).ok());
+  auto before = bed.gateway().instance("fn");
+  ASSERT_TRUE(before->invoke().ok());
+  const std::string old_pod = before->pod().spec.name;
+  // Simulate a registry-driven migration.
+  auto replaced = bed.cluster().replace_pod(old_pod);
+  ASSERT_TRUE(replaced.ok());
+  auto after = bed.gateway().instance("fn");
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after->pod().spec.name, old_pod);
+  // The replacement instance serves requests (fresh cold start included).
+  auto result = after->invoke();
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+}
+
+}  // namespace
+}  // namespace bf::faas

@@ -1,0 +1,190 @@
+// Fault injection and robustness: connection loss, manager shutdown with
+// live tenants, double shutdowns, and the determinism guarantee of the
+// virtual-time engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "devmgr/device_manager.h"
+#include "loadgen/loadgen.h"
+#include "remote/remote_runtime.h"
+#include "shm/namespace.h"
+#include "sim/bitstream.h"
+#include "sim/board.h"
+#include "testbed/testbed.h"
+#include "workloads/sobel.h"
+
+namespace bf {
+namespace {
+
+struct Rig {
+  Rig() {
+    sim::BoardConfig bc;
+    bc.id = "fpga-b";
+    bc.node = "B";
+    bc.host = sim::make_node_b();
+    bc.memory_bytes = 128 * kMiB;
+    board = std::make_unique<sim::Board>(bc);
+    devmgr::DeviceManagerConfig mc;
+    mc.id = "devmgr-b";
+    manager = std::make_unique<devmgr::DeviceManager>(mc, board.get(),
+                                                      &node_shm);
+    remote::ManagerAddress address;
+    address.endpoint = &manager->endpoint();
+    address.transport = net::local_control(bc.host);
+    address.node_shm = &node_shm;
+    runtime = std::make_unique<remote::RemoteRuntime>(
+        std::vector<remote::ManagerAddress>{address});
+  }
+
+  shm::Namespace node_shm;
+  std::unique_ptr<sim::Board> board;
+  std::unique_ptr<devmgr::DeviceManager> manager;
+  std::unique_ptr<remote::RemoteRuntime> runtime;
+};
+
+TEST(FaultInjection, ManagerShutdownFailsPendingOps) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.runtime->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  auto buffer = context.value()->create_buffer(1024);
+  ASSERT_TRUE(buffer.ok());
+  auto queue = context.value()->create_queue();
+  ASSERT_TRUE(queue.ok());
+  Bytes data(1024);
+  // Enqueue without flushing, then kill the manager: the wait must fail
+  // promptly, not hang.
+  auto event =
+      queue.value()->enqueue_write(buffer.value(), 0, ByteSpan{data}, false);
+  ASSERT_TRUE(event.ok());
+  rig.manager->shutdown();
+  Status status = event.value()->wait();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(FaultInjection, CallsAfterManagerShutdownReturnUnavailable) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.runtime->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  rig.manager->shutdown();
+  auto buffer = context.value()->create_buffer(64);
+  EXPECT_FALSE(buffer.ok());
+  EXPECT_EQ(buffer.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultInjection, ConnectAfterShutdownFails) {
+  Rig rig;
+  rig.manager->shutdown();
+  ocl::Session session("late");
+  auto context = rig.runtime->create_context("fpga-b", session);
+  EXPECT_FALSE(context.ok());
+}
+
+TEST(FaultInjection, ContextDestructionWithOutstandingOpsIsClean) {
+  Rig rig;
+  ocl::Session session("t");
+  {
+    auto context = rig.runtime->create_context("fpga-b", session);
+    ASSERT_TRUE(context.ok());
+    ASSERT_TRUE(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+    auto buffer = context.value()->create_buffer(1024);
+    ASSERT_TRUE(buffer.ok());
+    auto queue = context.value()->create_queue();
+    ASSERT_TRUE(queue.ok());
+    Bytes data(1024);
+    // Leave unflushed ops behind; the context teardown must not hang or
+    // leak (the queue outlives the scope exit inside the context).
+    (void)queue.value()->enqueue_write(buffer.value(), 0, ByteSpan{data},
+                                       false);
+  }
+  // The manager cleaned the session up.
+  for (int i = 0; i < 200 && rig.manager->session_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(rig.manager->session_count(), 0u);
+  EXPECT_EQ(rig.node_shm.segment_count(), 0u);
+}
+
+TEST(FaultInjection, DoubleShutdownIsIdempotent) {
+  Rig rig;
+  rig.manager->shutdown();
+  rig.manager->shutdown();  // must not crash or deadlock
+  SUCCEED();
+}
+
+TEST(FaultInjection, TenantErrorsDoNotPoisonOthers) {
+  Rig rig;
+  ocl::Session good_session("good");
+  ocl::Session bad_session("bad");
+  auto good = rig.runtime->create_context("fpga-b", good_session);
+  auto bad = rig.runtime->create_context("fpga-b", bad_session);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  ASSERT_TRUE(good.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  ASSERT_TRUE(bad.value()->program(sim::BitstreamLibrary::kVadd).ok());
+
+  // The bad tenant spams invalid ops.
+  auto bad_queue = bad.value()->create_queue();
+  ASSERT_TRUE(bad_queue.ok());
+  Bytes junk(64);
+  for (int i = 0; i < 5; ++i) {
+    auto event = bad_queue.value()->enqueue_write(ocl::Buffer{12345, 64}, 0,
+                                                  ByteSpan{junk}, false);
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(bad_queue.value()->flush().ok());
+    EXPECT_FALSE(event.value()->wait().ok());
+  }
+
+  // The good tenant is unaffected.
+  auto buffer = good.value()->create_buffer(1024);
+  ASSERT_TRUE(buffer.ok());
+  auto queue = good.value()->create_queue();
+  ASSERT_TRUE(queue.ok());
+  Bytes data(1024, 0x2A);
+  EXPECT_TRUE(
+      queue.value()->enqueue_write(buffer.value(), 0, ByteSpan{data}, true)
+          .ok());
+}
+
+// The virtual-time engine's headline guarantee: identical scenarios produce
+// identical modeled results, run-to-run, despite real thread scheduling.
+class DeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismTest, LoadScenarioIsReproducible) {
+  auto run_once = [&]() {
+    testbed::Testbed bed;
+    auto factory = [] {
+      return std::make_unique<workloads::SobelWorkload>(640, 480);
+    };
+    for (int i = 1; i <= 4; ++i) {
+      BF_CHECK(bed.deploy_blastfunction("fn-" + std::to_string(i), factory)
+                   .ok());
+    }
+    std::vector<loadgen::DriveSpec> specs;
+    const double rates[4] = {30, 20, 15, 10};
+    for (int i = 0; i < 4; ++i) {
+      loadgen::DriveSpec spec;
+      spec.function = "fn-" + std::to_string(i + 1);
+      spec.target_rps = rates[i];
+      spec.warmup = vt::Duration::seconds(2);
+      spec.duration = vt::Duration::seconds(3);
+      specs.push_back(spec);
+    }
+    auto results = loadgen::drive_all(bed.gateway(), specs);
+    std::vector<std::pair<double, std::uint64_t>> digest;
+    for (const auto& r : results) {
+      digest.emplace_back(r.latency_ms.empty() ? 0.0 : r.latency_ms.mean(),
+                          r.ok);
+    }
+    return digest;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Repetitions, DeterminismTest, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace bf

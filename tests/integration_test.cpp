@@ -1,0 +1,209 @@
+// Cross-module integration scenarios: remote-node gRPC fallback, migration
+// under live tenants, mixed workloads on the shared fabric, and end-to-end
+// data integrity through every layer.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "loadgen/loadgen.h"
+#include "remote/remote_runtime.h"
+#include "testbed/testbed.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+namespace bf {
+namespace {
+
+workloads::WorkloadFactory sobel_factory(std::size_t w = 320,
+                                         std::size_t h = 240) {
+  return [w, h] { return std::make_unique<workloads::SobelWorkload>(w, h); };
+}
+
+workloads::WorkloadFactory mm_factory(std::size_t n = 128) {
+  return [n] { return std::make_unique<workloads::MatMulWorkload>(n); };
+}
+
+TEST(Integration, CrossNodeAccessFallsBackToGrpc) {
+  // A client on node C reaching node B's manager: no shared namespace, so
+  // the session must run without shm and still work.
+  testbed::TestbedConfig config;
+  config.functional_boards = true;
+  testbed::Testbed bed(config);
+
+  remote::ManagerAddress address;
+  address.endpoint = &bed.manager("B").endpoint();
+  address.transport =
+      net::remote_grpc(sim::make_node_c(), sim::make_node_b());
+  address.node_shm = &bed.node_shm("C");  // the WRONG node's namespace
+  address.prefer_shared_memory = true;
+  remote::RemoteRuntime runtime({address});
+
+  ocl::Session session("cross-node");
+  auto context = runtime.create_context("fpga-B", session);
+  ASSERT_TRUE(context.ok()) << context.status().to_string();
+  workloads::SobelWorkload workload(64, 48);
+  ASSERT_TRUE(workload.setup(*context.value()).ok());
+  ASSERT_TRUE(workload.handle_request(*context.value()).ok());
+  // Results still correct over the pure gRPC data path.
+  EXPECT_EQ(workload.last_output(),
+            workloads::sobel_reference(workload.input_frame(), 64, 48));
+  workload.teardown();
+}
+
+TEST(Integration, CrossNodeIsSlowerThanColocated) {
+  testbed::Testbed bed;  // timing-only boards
+
+  auto run_with = [&](net::TransportCost transport,
+                      shm::Namespace* ns) -> double {
+    remote::ManagerAddress address;
+    address.endpoint = &bed.manager("B").endpoint();
+    address.transport = transport;
+    address.node_shm = ns;
+    remote::RemoteRuntime runtime({address});
+    ocl::Session session("probe");
+    auto context = runtime.create_context("fpga-B", session);
+    BF_CHECK(context.ok());
+    workloads::SobelWorkload workload(640, 480);
+    BF_CHECK(workload.setup(*context.value()).ok());
+    // Warm request then measured request.
+    BF_CHECK(workload.handle_request(*context.value()).ok());
+    const vt::Time before = session.now();
+    BF_CHECK(workload.handle_request(*context.value()).ok());
+    workload.teardown();
+    return (session.now() - before).ms();
+  };
+
+  const double local = run_with(net::local_control(sim::make_node_b()),
+                                &bed.node_shm("B"));
+  const double cross = run_with(
+      net::remote_grpc(sim::make_node_c(), sim::make_node_b()), nullptr);
+  EXPECT_GT(cross, local * 1.5);
+}
+
+TEST(Integration, MigrationUnderLoadKeepsServing) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", sobel_factory()).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-2", sobel_factory()).ok());
+  auto instance = bed.gateway().instance("sobel-1");
+  ASSERT_TRUE(instance->invoke().ok());  // warm
+
+  // Drive sobel-1 while sobel-2's pod is replaced (simulated migration).
+  std::thread migrator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto replaced = bed.cluster().replace_pod("sobel-2-0");
+    EXPECT_TRUE(replaced.ok());
+  });
+  int ok = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (instance->invoke().ok()) ++ok;
+  }
+  migrator.join();
+  EXPECT_EQ(ok, 30);
+  // The replacement instance is also functional.
+  auto moved = bed.gateway().instance("sobel-2");
+  ASSERT_NE(moved, nullptr);
+  EXPECT_TRUE(moved->invoke().ok());
+}
+
+TEST(Integration, MixedWorkloadsServeConcurrently) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", sobel_factory()).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("mm-1", mm_factory()).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-2", sobel_factory()).ok());
+
+  std::vector<loadgen::DriveSpec> specs;
+  for (const char* fn : {"sobel-1", "mm-1", "sobel-2"}) {
+    loadgen::DriveSpec spec;
+    spec.function = fn;
+    spec.target_rps = 10;
+    spec.warmup = vt::Duration::seconds(3);
+    spec.duration = vt::Duration::seconds(3);
+    specs.push_back(spec);
+  }
+  auto results = loadgen::drive_all(bed.gateway(), specs);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.errors, 0u) << result.function;
+    EXPECT_NEAR(result.processed_rps, 10.0, 1.0) << result.function;
+  }
+  // Accelerator exclusivity held: sobel and mm never share a device.
+  auto sobel_device = bed.registry().device_of_instance("sobel-1-0");
+  auto mm_device = bed.registry().device_of_instance("mm-1-0");
+  ASSERT_TRUE(sobel_device.has_value() && mm_device.has_value());
+  EXPECT_NE(*sobel_device, *mm_device);
+}
+
+TEST(Integration, DataIntegrityThroughEveryLayer) {
+  // Functional boards + full registry/gateway path: the edge map computed
+  // through the entire stack equals the CPU reference.
+  testbed::TestbedConfig config;
+  config.functional_boards = true;
+  testbed::Testbed bed(config);
+  auto factory = sobel_factory(96, 64);
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", factory).ok());
+  ASSERT_TRUE(bed.gateway().invoke("fn").ok());
+  // Reach into the instance's workload via a second functional run.
+  workloads::SobelWorkload reference_workload(96, 64);
+  const auto expected = workloads::sobel_reference(
+      reference_workload.input_frame(), 96, 64);
+  // Same deterministic input generation => same expected output; verify by
+  // running the deployed function's math again through a raw context.
+  ocl::Session session("verify");
+  remote::ManagerAddress address;
+  auto pod = bed.cluster().get_pod("fn-0");
+  ASSERT_TRUE(pod.has_value());
+  const std::string node = pod->spec.node;
+  address.endpoint = &bed.manager(node).endpoint();
+  address.transport = net::local_control(*[&] {
+    static sim::NodeProfile profile;
+    profile = bed.board(node).host();
+    return &profile;
+  }());
+  address.node_shm = &bed.node_shm(node);
+  remote::RemoteRuntime runtime({address});
+  auto context = runtime.create_context(bed.board(node).id(), session);
+  ASSERT_TRUE(context.ok());
+  workloads::SobelWorkload workload(96, 64);
+  ASSERT_TRUE(workload.setup(*context.value()).ok());
+  ASSERT_TRUE(workload.handle_request(*context.value()).ok());
+  EXPECT_EQ(workload.last_output(), expected);
+  workload.teardown();
+}
+
+TEST(Integration, ManyTenantsOneBoardAllServed) {
+  // Eight tenants time-share a single board through one manager.
+  testbed::TestbedConfig config;
+  registry::AllocationPolicy pack;
+  pack.pack_tenants = true;
+  config.policy = pack;
+  testbed::Testbed bed(config);
+  constexpr int kTenants = 8;
+  for (int i = 0; i < kTenants; ++i) {
+    ASSERT_TRUE(bed.deploy_blastfunction("fn-" + std::to_string(i),
+                                         sobel_factory(160, 120))
+                    .ok());
+  }
+  // All on one device (pack policy).
+  auto device = bed.registry().device_of_instance("fn-0-0");
+  ASSERT_TRUE(device.has_value());
+  EXPECT_EQ(bed.registry().instances_on_device(*device).size(),
+            static_cast<std::size_t>(kTenants));
+
+  std::vector<std::thread> tenants;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kTenants; ++i) {
+    tenants.emplace_back([&, i] {
+      auto instance = bed.gateway().instance("fn-" + std::to_string(i));
+      for (int r = 0; r < 5; ++r) {
+        if (!instance->invoke().ok()) ++failures;
+      }
+      instance->shutdown();
+    });
+  }
+  for (auto& tenant : tenants) tenant.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(bed.manager(device->substr(5)).tasks_executed(),
+            static_cast<std::uint64_t>(kTenants * 5));
+}
+
+}  // namespace
+}  // namespace bf

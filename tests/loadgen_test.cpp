@@ -1,0 +1,116 @@
+// bf::loadgen: closed-loop, rate-capped driving (the Hey analogue) and its
+// Processed-vs-Target mechanics.
+#include <gtest/gtest.h>
+
+#include "loadgen/loadgen.h"
+#include "testbed/testbed.h"
+#include "workloads/sobel.h"
+
+namespace bf::loadgen {
+namespace {
+
+workloads::WorkloadFactory small_sobel() {
+  return [] {
+    return std::make_unique<workloads::SobelWorkload>(320, 240);
+  };
+}
+
+TEST(LoadGen, MeetsTargetWhenUnderLoaded) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", small_sobel()).ok());
+  DriveSpec spec;
+  spec.function = "fn";
+  spec.target_rps = 10;
+  spec.warmup = vt::Duration::seconds(3);
+  spec.duration = vt::Duration::seconds(4);
+  auto result = drive(*bed.gateway().instance("fn"), spec);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_NEAR(result.processed_rps, 10.0, 0.5);
+  EXPECT_EQ(result.ok, 40u);
+  EXPECT_EQ(result.node, bed.gateway().instances("fn").empty()
+                             ? result.node
+                             : result.node);
+}
+
+TEST(LoadGen, WarmupRequestsExcludedFromStats) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", small_sobel()).ok());
+  DriveSpec spec;
+  spec.function = "fn";
+  spec.target_rps = 10;
+  spec.warmup = vt::Duration::seconds(3);
+  spec.duration = vt::Duration::seconds(2);
+  auto result = drive(*bed.gateway().instance("fn"), spec);
+  // The ~1.6 s cold start happened during warmup: no measured latency can
+  // carry it.
+  ASSERT_GT(result.latency_ms.count(), 0u);
+  EXPECT_LT(result.latency_ms.max(), 100.0);
+  EXPECT_GT(result.sent, result.ok);  // warmup requests were sent, unmeasured
+}
+
+TEST(LoadGen, SaturationCapsProcessedAtInverseLatency) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", small_sobel()).ok());
+  DriveSpec spec;
+  spec.function = "fn";
+  spec.target_rps = 10000;  // unattainable
+  spec.warmup = vt::Duration::seconds(3);
+  spec.duration = vt::Duration::seconds(3);
+  auto result = drive(*bed.gateway().instance("fn"), spec);
+  EXPECT_LT(result.processed_rps, spec.target_rps);
+  // Closed loop, one connection: cycle = latency + 1 ms gateway/handler.
+  const double expected = 1000.0 / (result.latency_ms.mean() + 1.0);
+  EXPECT_NEAR(result.processed_rps, expected, expected * 0.1);
+}
+
+TEST(LoadGen, DriveAllRunsEveryFunction) {
+  testbed::Testbed bed;
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(
+        bed.deploy_blastfunction("fn-" + std::to_string(i), small_sobel())
+            .ok());
+  }
+  std::vector<DriveSpec> specs;
+  for (int i = 1; i <= 3; ++i) {
+    DriveSpec spec;
+    spec.function = "fn-" + std::to_string(i);
+    spec.target_rps = 5;
+    spec.warmup = vt::Duration::seconds(3);
+    spec.duration = vt::Duration::seconds(2);
+    specs.push_back(spec);
+  }
+  auto results = drive_all(bed.gateway(), specs);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.errors, 0u) << result.function;
+    EXPECT_GT(result.ok, 0u) << result.function;
+  }
+}
+
+TEST(LoadGen, MissingFunctionReportsError) {
+  testbed::Testbed bed;
+  std::vector<DriveSpec> specs(1);
+  specs[0].function = "ghost";
+  specs[0].target_rps = 1;
+  auto results = drive_all(bed.gateway(), specs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].errors, 0u);
+  EXPECT_EQ(results[0].ok, 0u);
+}
+
+TEST(LoadGen, ResultWindowsAreConsistent) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", small_sobel()).ok());
+  DriveSpec spec;
+  spec.function = "fn";
+  spec.target_rps = 5;
+  spec.warmup = vt::Duration::seconds(1);
+  spec.duration = vt::Duration::seconds(2);
+  auto result = drive(*bed.gateway().instance("fn"), spec);
+  EXPECT_EQ((result.horizon - result.measure_start).sec(), 2.0);
+  EXPECT_EQ(result.target_rps, 5.0);
+  EXPECT_EQ(result.function, "fn");
+}
+
+}  // namespace
+}  // namespace bf::loadgen

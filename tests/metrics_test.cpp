@@ -1,0 +1,109 @@
+// bf::metrics: Prometheus-style counters, gauges, histograms, exposition.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "metrics/metrics.h"
+
+namespace bf::metrics {
+namespace {
+
+TEST(Counter, MonotonicAccumulation) {
+  Counter counter;
+  counter.increment();
+  counter.increment(2.5);
+  EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+}
+
+TEST(Counter, ThreadSafeIncrements) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) counter.increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(counter.value(), 40000.0);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+}
+
+TEST(Histogram, BucketsAndMoments) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+  histogram.observe(50.0);
+  histogram.observe(500.0);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 555.5);
+  EXPECT_EQ(histogram.cumulative_buckets(),
+            (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) histogram.observe(15.0);  // all in (10,20]
+  const double p50 = histogram.quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 10.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram histogram({1.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.9), 0.0);
+}
+
+TEST(Registry, SameSeriesIsShared) {
+  Registry registry;
+  auto a = registry.counter("requests_total", {{"fn", "sobel-1"}});
+  auto b = registry.counter("requests_total", {{"fn", "sobel-1"}});
+  auto c = registry.counter("requests_total", {{"fn", "sobel-2"}});
+  a->increment();
+  EXPECT_DOUBLE_EQ(b->value(), 1.0);
+  EXPECT_DOUBLE_EQ(c->value(), 0.0);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(Registry, ExposesPrometheusTextFormat) {
+  Registry registry;
+  registry.counter("bf_requests_total", {{"device", "fpga-b"}})->increment(7);
+  registry.gauge("bf_sessions", {})->set(3);
+  auto histogram = registry.histogram("bf_latency_ms", {{"fn", "mm-1"}},
+                                      std::vector<double>{1.0, 10.0});
+  histogram->observe(0.5);
+  histogram->observe(5.0);
+
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("bf_requests_total{device=\"fpga-b\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("bf_sessions 3"), std::string::npos);
+  EXPECT_NE(text.find("bf_latency_ms_bucket{fn=\"mm-1\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("bf_latency_ms_bucket{fn=\"mm-1\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("bf_latency_ms_count{fn=\"mm-1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("bf_latency_ms_sum{fn=\"mm-1\"} 5.5"),
+            std::string::npos);
+}
+
+TEST(Registry, LabelFormatting) {
+  EXPECT_EQ(format_labels({}), "");
+  EXPECT_EQ(format_labels({{"a", "1"}, {"b", "2"}}), "{a=\"1\",b=\"2\"}");
+}
+
+TEST(Registry, DefaultLatencyBucketsAreSorted) {
+  const auto buckets = Histogram::default_latency_buckets_ms();
+  EXPECT_TRUE(std::is_sorted(buckets.begin(), buckets.end()));
+  EXPECT_GE(buckets.size(), 10u);
+}
+
+}  // namespace
+}  // namespace bf::metrics

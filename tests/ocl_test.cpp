@@ -1,0 +1,106 @@
+// bf::ocl: the OpenCL-style host API surface (types, kernel arg capture,
+// wait_all, session clock semantics).
+#include <gtest/gtest.h>
+
+#include "native/native_runtime.h"
+#include "ocl/runtime.h"
+#include "sim/bitstream.h"
+#include "sim/board.h"
+
+namespace bf::ocl {
+namespace {
+
+TEST(Kernel, ArgCaptureAndGrowth) {
+  Kernel kernel(1, "vadd", 2);
+  Buffer buffer{7, 1024};
+  kernel.set_arg(0, buffer);
+  kernel.set_arg(1, std::int64_t{42});
+  kernel.set_arg(5, 2.5);  // grows the arg vector
+  ASSERT_EQ(kernel.args().size(), 6u);
+  EXPECT_EQ(std::get<BufferRef>(kernel.args()[0]).id, 7u);
+  EXPECT_EQ(std::get<std::int64_t>(kernel.args()[1]), 42);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(kernel.args()[2]));
+  EXPECT_DOUBLE_EQ(std::get<double>(kernel.args()[5]), 2.5);
+}
+
+TEST(Kernel, DefaultIsInvalid) {
+  Kernel kernel;
+  EXPECT_FALSE(kernel.valid());
+  Buffer buffer;
+  EXPECT_FALSE(buffer.valid());
+}
+
+TEST(EventStatusNames, AllDistinct) {
+  EXPECT_EQ(to_string(EventStatus::kQueued), "QUEUED");
+  EXPECT_EQ(to_string(EventStatus::kSubmitted), "SUBMITTED");
+  EXPECT_EQ(to_string(EventStatus::kRunning), "RUNNING");
+  EXPECT_EQ(to_string(EventStatus::kComplete), "COMPLETE");
+  EXPECT_EQ(to_string(EventStatus::kError), "ERROR");
+}
+
+TEST(Session, ClientIdAndClock) {
+  Session session("sobel-1-0");
+  EXPECT_EQ(session.client_id(), "sobel-1-0");
+  EXPECT_EQ(session.now(), vt::Time::zero());
+  session.compute(vt::Duration::millis(7));
+  EXPECT_EQ(session.now(), vt::Time::millis(7));
+}
+
+struct WaitAllFixture : ::testing::Test {
+  WaitAllFixture()
+      : board([] {
+          sim::BoardConfig config;
+          config.id = "fpga-t";
+          config.node = "B";
+          config.host = sim::make_node_b();
+          config.memory_bytes = 64 * kMiB;
+          return config;
+        }()),
+        runtime({&board}),
+        session("t") {}
+  sim::Board board;
+  native::NativeRuntime runtime;
+  Session session;
+};
+
+TEST_F(WaitAllFixture, WaitAllWaitsEveryEvent) {
+  auto context = runtime.create_context("fpga-t", session);
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  auto buffer = context.value()->create_buffer(8 * kMiB);
+  ASSERT_TRUE(buffer.ok());
+  auto queue = context.value()->create_queue();
+  ASSERT_TRUE(queue.ok());
+  Bytes data(8 * kMiB);
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 3; ++i) {
+    auto event =
+        queue.value()->enqueue_write(buffer.value(), 0, ByteSpan{data}, false);
+    ASSERT_TRUE(event.ok());
+    events.push_back(event.value());
+  }
+  ASSERT_TRUE(wait_all(events).ok());
+  for (const EventPtr& event : events) {
+    EXPECT_EQ(event->status(), EventStatus::kComplete);
+    EXPECT_LE(event->completion_time(), session.now());
+  }
+}
+
+TEST_F(WaitAllFixture, WaitAllToleratesNullEntries) {
+  std::vector<EventPtr> events = {nullptr, nullptr};
+  EXPECT_TRUE(wait_all(events).ok());
+}
+
+TEST_F(WaitAllFixture, SessionClockOrdersIndependentContexts) {
+  // Two contexts on the same session share one virtual clock.
+  auto c1 = runtime.create_context("fpga-t", session);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c1.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  const vt::Time after_program = session.now();
+  auto c2 = runtime.create_context("fpga-t", session);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_GE(session.now(), after_program);
+}
+
+}  // namespace
+}  // namespace bf::ocl

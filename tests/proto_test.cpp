@@ -1,0 +1,296 @@
+// bf::proto: wire format and Device Manager message round trips.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "proto/messages.h"
+#include "proto/wire.h"
+
+namespace bf::proto {
+namespace {
+
+// ---- varint / zigzag ---------------------------------------------------------
+
+TEST(Wire, VarintRoundtrip) {
+  for (std::uint64_t value :
+       {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 21, 1ULL << 35,
+        0xFFFFFFFFFFFFFFFFULL}) {
+    Writer writer;
+    writer.varint(value);
+    Reader reader(ByteSpan{writer.bytes()});
+    auto decoded = reader.read_varint();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), value);
+    EXPECT_TRUE(reader.at_end());
+  }
+}
+
+TEST(Wire, VarintEncodingSizes) {
+  auto size_of = [](std::uint64_t value) {
+    Writer writer;
+    writer.varint(value);
+    return writer.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(0xFFFFFFFFFFFFFFFFULL), 10u);
+}
+
+TEST(Wire, ZigzagRoundtrip) {
+  for (std::int64_t value :
+       std::initializer_list<std::int64_t>{
+           0, -1, 1, -2, 2, -1000000, 1000000,
+           std::numeric_limits<std::int64_t>::min(),
+           std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(value)), value);
+  }
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+TEST(Wire, TruncatedVarintFails) {
+  Bytes truncated = {0x80};  // continuation bit without payload
+  Reader reader(ByteSpan{truncated});
+  EXPECT_FALSE(reader.read_varint().ok());
+}
+
+TEST(Wire, OverlongVarintFails) {
+  Bytes overlong(11, 0x80);
+  Reader reader(ByteSpan{overlong});
+  EXPECT_FALSE(reader.read_varint().ok());
+}
+
+TEST(Wire, StringAndBytesFields) {
+  Writer writer;
+  writer.field_string(1, "hello");
+  Bytes blob = {9, 8, 7};
+  writer.field_bytes(2, ByteSpan{blob});
+  Reader reader(ByteSpan{writer.bytes()});
+
+  auto h1 = reader.next_field();
+  ASSERT_TRUE(h1.ok());
+  EXPECT_EQ(h1.value().field, 1u);
+  EXPECT_EQ(h1.value().type, WireType::kLengthDelimited);
+  EXPECT_EQ(reader.read_string().value(), "hello");
+
+  auto h2 = reader.next_field();
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(reader.read_bytes().value(), blob);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Wire, DoubleField) {
+  Writer writer;
+  writer.field_double(3, 3.14159);
+  Reader reader(ByteSpan{writer.bytes()});
+  auto header = reader.next_field();
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().type, WireType::kFixed64);
+  EXPECT_DOUBLE_EQ(reader.read_double().value(), 3.14159);
+}
+
+TEST(Wire, SkipUnknownFields) {
+  Writer writer;
+  writer.field_uint(7, 42);          // varint
+  writer.field_double(8, 1.5);       // fixed64
+  writer.field_string(9, "ignore");  // length delimited
+  writer.field_uint(1, 5);           // the field we want
+  Reader reader(ByteSpan{writer.bytes()});
+  std::uint64_t found = 0;
+  while (!reader.at_end()) {
+    auto header = reader.next_field();
+    ASSERT_TRUE(header.ok());
+    if (header.value().field == 1) {
+      found = reader.read_varint().value();
+    } else {
+      ASSERT_TRUE(reader.skip(header.value().type).ok());
+    }
+  }
+  EXPECT_EQ(found, 5u);
+}
+
+TEST(Wire, FieldZeroRejected) {
+  Bytes bogus = {0x00};  // tag with field number 0
+  Reader reader(ByteSpan{bogus});
+  EXPECT_FALSE(reader.next_field().ok());
+}
+
+// ---- message round trips --------------------------------------------------------
+
+TEST(Messages, OpenSessionRoundtrip) {
+  OpenSessionReq request;
+  request.client_id = "sobel-1-0";
+  request.use_shared_memory = true;
+  auto decoded = reencode(request);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().client_id, "sobel-1-0");
+  EXPECT_TRUE(decoded.value().use_shared_memory);
+}
+
+TEST(Messages, OpenSessionRespRoundtrip) {
+  OpenSessionResp resp;
+  resp.status = StatusMsg::from(Status::Ok());
+  resp.session_id = 17;
+  resp.shared_memory_granted = true;
+  resp.device.id = "fpga-b";
+  resp.device.vendor = "Intel";
+  resp.device.platform = "a10gx_de5a_net";
+  resp.device.node = "B";
+  resp.device.accelerator = "sobel";
+  resp.device.global_memory_bytes = 8ULL << 30;
+  auto decoded = reencode(resp);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().session_id, 17u);
+  EXPECT_TRUE(decoded.value().shared_memory_granted);
+  EXPECT_EQ(decoded.value().device.id, "fpga-b");
+  EXPECT_EQ(decoded.value().device.accelerator, "sobel");
+  EXPECT_EQ(decoded.value().device.global_memory_bytes, 8ULL << 30);
+}
+
+TEST(Messages, StatusPropagatesError) {
+  ProgramResp resp;
+  resp.status = StatusMsg::from(NotFound("missing bitstream"));
+  auto decoded = reencode(resp);
+  ASSERT_TRUE(decoded.ok());
+  const Status status = decoded.value().status.to_status();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing bitstream");
+}
+
+TEST(Messages, EnqueueWriteRoundtrip) {
+  EnqueueWriteReq request;
+  request.op_id = 101;
+  request.queue_id = 2;
+  request.buffer_id = 3;
+  request.offset = 4096;
+  request.size = 1 << 20;
+  auto decoded = reencode(request);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().op_id, 101u);
+  EXPECT_EQ(decoded.value().offset, 4096u);
+  EXPECT_EQ(decoded.value().size, 1u << 20);
+}
+
+TEST(Messages, WriteDataInlineAndShm) {
+  WriteData inline_data;
+  inline_data.op_id = 7;
+  inline_data.size = 3;
+  inline_data.data = {1, 2, 3};
+  auto decoded = reencode(inline_data);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().data, (Bytes{1, 2, 3}));
+  EXPECT_EQ(decoded.value().shm_slot, -1);
+
+  WriteData shm_ref;
+  shm_ref.op_id = 8;
+  shm_ref.size = 1 << 20;
+  shm_ref.shm_slot = 42;
+  auto decoded_shm = reencode(shm_ref);
+  ASSERT_TRUE(decoded_shm.ok());
+  EXPECT_EQ(decoded_shm.value().shm_slot, 42);
+  EXPECT_TRUE(decoded_shm.value().data.empty());
+}
+
+TEST(Messages, EnqueueKernelWithMixedArgs) {
+  EnqueueKernelReq request;
+  request.op_id = 5;
+  request.queue_id = 1;
+  request.kernel_id = 9;
+  request.global_size = {1920, 1080, 1};
+  KernelArgMsg buffer_arg;
+  buffer_arg.kind = KernelArgMsg::Kind::kBuffer;
+  buffer_arg.buffer_id = 33;
+  KernelArgMsg int_arg;
+  int_arg.kind = KernelArgMsg::Kind::kInt;
+  int_arg.int_value = -1920;
+  KernelArgMsg double_arg;
+  double_arg.kind = KernelArgMsg::Kind::kDouble;
+  double_arg.double_value = 0.5;
+  request.args = {buffer_arg, int_arg, double_arg};
+
+  auto decoded = reencode(request);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().args.size(), 3u);
+  EXPECT_EQ(decoded.value().args[0].kind, KernelArgMsg::Kind::kBuffer);
+  EXPECT_EQ(decoded.value().args[0].buffer_id, 33u);
+  EXPECT_EQ(decoded.value().args[1].int_value, -1920);
+  EXPECT_DOUBLE_EQ(decoded.value().args[2].double_value, 0.5);
+  EXPECT_EQ(decoded.value().global_size[0], 1920u);
+  EXPECT_EQ(decoded.value().global_size[2], 1u);
+}
+
+TEST(Messages, OpCompleteWithReadData) {
+  OpComplete completion;
+  completion.op_id = 77;
+  completion.status = StatusMsg::from(Status::Ok());
+  completion.data = Bytes(100, 0xEE);
+  completion.size = 100;
+  auto decoded = reencode(completion);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().data.size(), 100u);
+  EXPECT_EQ(decoded.value().size, 100u);
+  EXPECT_TRUE(decoded.value().status.to_status().ok());
+}
+
+TEST(Messages, FlushAndFinishRoundtrip) {
+  FlushReq flush;
+  flush.queue_id = 6;
+  EXPECT_EQ(reencode(flush).value().queue_id, 6u);
+  FinishReq finish;
+  finish.op_id = 11;
+  finish.queue_id = 6;
+  auto decoded = reencode(finish);
+  EXPECT_EQ(decoded.value().op_id, 11u);
+  EXPECT_EQ(decoded.value().queue_id, 6u);
+}
+
+TEST(Messages, MethodNamesAndClassification) {
+  EXPECT_EQ(to_string(Method::kOpenSession), "OpenSession");
+  EXPECT_EQ(to_string(Method::kEnqueueKernel), "EnqueueKernel");
+  EXPECT_TRUE(is_command_queue_method(Method::kFlush));
+  EXPECT_TRUE(is_command_queue_method(Method::kWriteData));
+  EXPECT_FALSE(is_command_queue_method(Method::kProgram));
+  EXPECT_FALSE(is_command_queue_method(Method::kOpComplete));
+}
+
+TEST(Messages, DecodeGarbageFailsGracefully) {
+  Bytes garbage = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                   0xFF, 0xFF, 0x01};
+  Reader reader(ByteSpan{garbage});
+  auto decoded = OpenSessionResp::decode(reader);
+  EXPECT_FALSE(decoded.ok());
+}
+
+// Parameterized fuzz-lite: truncating a valid encoding at every byte
+// boundary must never crash and must not return phantom success for
+// length-delimited cuts.
+class TruncationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncationTest, TruncatedEnqueueKernelNeverCrashes) {
+  EnqueueKernelReq request;
+  request.op_id = 5;
+  request.kernel_id = 9;
+  KernelArgMsg arg;
+  arg.kind = KernelArgMsg::Kind::kBuffer;
+  arg.buffer_id = 123456789;
+  request.args = {arg};
+  Writer writer;
+  request.encode(writer);
+  const Bytes full = writer.take();
+  const std::size_t cut = GetParam();
+  if (cut >= full.size()) GTEST_SKIP();
+  Bytes truncated(full.begin(), full.begin() + cut);
+  Reader reader(ByteSpan{truncated});
+  auto decoded = EnqueueKernelReq::decode(reader);  // may fail, must not crash
+  (void)decoded;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllByteBoundaries, TruncationTest,
+                         ::testing::Range<std::size_t>(0, 24));
+
+}  // namespace
+}  // namespace bf::proto

@@ -1,0 +1,299 @@
+// bf::registry: Algorithm 1 allocation, reconfiguration validation and
+// migration. Uses real Device Managers on simulated boards.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "registry/registry.h"
+#include "sim/bitstream.h"
+
+namespace bf::registry {
+namespace {
+
+struct Fixture {
+  explicit Fixture(AllocationPolicy policy = {}) {
+    std::vector<cluster::NodeSpec> nodes = {{"A", sim::make_node_a()},
+                                            {"B", sim::make_node_b()},
+                                            {"C", sim::make_node_c()}};
+    cluster = std::make_unique<cluster::Cluster>(nodes);
+    for (const auto& node : nodes) {
+      sim::BoardConfig bc;
+      bc.id = "fpga-" + node.name;
+      bc.node = node.name;
+      bc.host = node.profile;
+      bc.functional = false;
+      boards.push_back(std::make_unique<sim::Board>(bc));
+      devmgr::DeviceManagerConfig mc;
+      mc.id = "devmgr-" + node.name;
+      managers.push_back(std::make_unique<devmgr::DeviceManager>(
+          mc, boards.back().get(), nullptr));
+    }
+    registry = std::make_unique<Registry>(cluster.get(), policy,
+                                          [] { return vt::Time::zero(); });
+    for (std::size_t i = 0; i < boards.size(); ++i) {
+      DeviceRecord record;
+      record.id = boards[i]->id();
+      record.vendor = "Intel";
+      record.platform = "a10gx_de5a_net";
+      record.node = nodes[i].name;
+      record.manager_address = managers[i]->endpoint().address();
+      record.manager = managers[i].get();
+      BF_CHECK(registry->register_device(std::move(record)).ok());
+    }
+    registry->attach_to_cluster();
+  }
+
+  DeviceQuery sobel_query() const {
+    return DeviceQuery{"Intel", "a10gx_de5a_net", "sobel",
+                       sim::BitstreamLibrary::kSobel};
+  }
+  DeviceQuery mm_query() const {
+    return DeviceQuery{"Intel", "a10gx_de5a_net", "mm",
+                       sim::BitstreamLibrary::kMatMul};
+  }
+
+  // Makes a board actually carry a bitstream.
+  void program_board(std::size_t index, const char* bitstream_id) {
+    const sim::Bitstream* bitstream =
+        sim::BitstreamLibrary::standard().find(bitstream_id);
+    BF_CHECK(bitstream != nullptr);
+    BF_CHECK(boards[index]->configure(*bitstream, vt::Time::zero()).ok());
+  }
+
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::Board>> boards;
+  std::vector<std::unique_ptr<devmgr::DeviceManager>> managers;
+  std::unique_ptr<Registry> registry;
+};
+
+TEST(Registry, RegisterDeviceValidation) {
+  Fixture fx;
+  DeviceRecord bad;
+  bad.id = "x";
+  EXPECT_FALSE(fx.registry->register_device(bad).ok());  // no manager
+  DeviceRecord dup;
+  dup.id = fx.boards[0]->id();
+  dup.manager = fx.managers[0].get();
+  EXPECT_EQ(fx.registry->register_device(dup).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fx.registry->devices().size(), 3u);
+}
+
+TEST(Registry, FunctionLifecycle) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  EXPECT_FALSE(
+      fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  ASSERT_TRUE(fx.registry->function_query("sobel-1").has_value());
+  EXPECT_EQ(fx.registry->function_query("sobel-1")->accelerator, "sobel");
+  ASSERT_TRUE(fx.registry->deregister_function("sobel-1").ok());
+  EXPECT_FALSE(fx.registry->function_query("sobel-1").has_value());
+}
+
+TEST(Registry, AllocateSpreadsByConnectedCount) {
+  Fixture fx;
+  std::map<std::string, int> per_device;
+  for (int i = 0; i < 6; ++i) {
+    auto allocation = fx.registry->allocate("inst-" + std::to_string(i),
+                                            fx.sobel_query());
+    ASSERT_TRUE(allocation.ok());
+    ++per_device[allocation.value().device_id];
+  }
+  EXPECT_EQ(per_device.size(), 3u);
+  for (const auto& [device, count] : per_device) EXPECT_EQ(count, 2);
+}
+
+TEST(Registry, AllocationForcesHostNode) {
+  Fixture fx;
+  auto allocation = fx.registry->allocate("inst", fx.sobel_query());
+  ASSERT_TRUE(allocation.ok());
+  // node must be the node hosting the chosen device
+  EXPECT_EQ(allocation.value().node,
+            std::string(1, allocation.value().device_id.back()));
+}
+
+TEST(Registry, VendorFilterExcludesForeignDevices) {
+  Fixture fx;
+  DeviceQuery query = fx.sobel_query();
+  query.vendor = "Xilinx";
+  auto allocation = fx.registry->allocate("inst", query);
+  EXPECT_EQ(allocation.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Registry, UnconfiguredDeviceTriggersReconfigureFlag) {
+  Fixture fx;
+  auto allocation = fx.registry->allocate("inst", fx.sobel_query());
+  ASSERT_TRUE(allocation.ok());
+  EXPECT_TRUE(allocation.value().reconfigure);
+  // Second tenant for the same accelerator joins the pending image without a
+  // second reconfiguration request.
+  auto second = fx.registry->allocate("inst2", fx.sobel_query());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().reconfigure &&
+               second.value().device_id == allocation.value().device_id);
+}
+
+TEST(Registry, MatchingConfiguredAcceleratorAvoidsReconfiguration) {
+  Fixture fx;
+  fx.program_board(0, sim::BitstreamLibrary::kSobel);
+  // Prefer the already-compatible board: no reconfigure flag.
+  auto allocation = fx.registry->allocate("inst", fx.sobel_query());
+  ASSERT_TRUE(allocation.ok());
+  // With equal metrics the sort is by id; fpga-A is both first and
+  // compatible.
+  EXPECT_EQ(allocation.value().device_id, "fpga-A");
+  EXPECT_FALSE(allocation.value().reconfigure);
+}
+
+TEST(Registry, ExcludedDevicesAreSkipped) {
+  Fixture fx;
+  auto allocation =
+      fx.registry->allocate("inst", fx.sobel_query(), {"fpga-A", "fpga-B"});
+  ASSERT_TRUE(allocation.ok());
+  EXPECT_EQ(allocation.value().device_id, "fpga-C");
+}
+
+TEST(Registry, SampleReportsConfiguredAndExpectedAccelerator) {
+  Fixture fx;
+  fx.program_board(1, sim::BitstreamLibrary::kMatMul);
+  auto sample = fx.registry->sample_device("fpga-B");
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().configured_accelerator, "mm");
+  EXPECT_EQ(sample.value().expected_accelerator, "mm");
+  EXPECT_FALSE(fx.registry->sample_device("fpga-Z").ok());
+}
+
+TEST(Registry, AdmissionHookPatchesRegisteredFunctions) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  cluster::PodSpec spec;
+  spec.name = "sobel-1-0";
+  spec.function = "sobel-1";
+  auto created = fx.cluster->create_pod(std::move(spec));
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(created.value().spec.env.contains(Registry::kEnvManager));
+  EXPECT_TRUE(created.value().spec.env.contains(Registry::kEnvDevice));
+  EXPECT_EQ(created.value().spec.env.at(Registry::kEnvBitstream),
+            sim::BitstreamLibrary::kSobel);
+  ASSERT_EQ(created.value().spec.volumes.size(), 1u);
+  EXPECT_EQ(created.value().spec.volumes[0], Registry::kShmVolume);
+  EXPECT_EQ(fx.registry->assignment_count(), 1u);
+}
+
+TEST(Registry, UnregisteredFunctionsPassThroughUntouched) {
+  Fixture fx;
+  cluster::PodSpec spec;
+  spec.name = "other-0";
+  spec.function = "other";
+  auto created = fx.cluster->create_pod(std::move(spec));
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(created.value().spec.env.empty());
+  EXPECT_EQ(fx.registry->assignment_count(), 0u);
+}
+
+TEST(Registry, DeletionReleasesAssignment) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  cluster::PodSpec spec;
+  spec.name = "sobel-1-0";
+  spec.function = "sobel-1";
+  ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  EXPECT_EQ(fx.registry->assignment_count(), 1u);
+  ASSERT_TRUE(fx.cluster->delete_pod("sobel-1-0").ok());
+  EXPECT_EQ(fx.registry->assignment_count(), 0u);
+}
+
+TEST(Registry, NewAcceleratorMigratesExistingTenants) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  ASSERT_TRUE(fx.registry->register_function("sobel-2", fx.sobel_query()).ok());
+  ASSERT_TRUE(fx.registry->register_function("mm-1", fx.mm_query()).ok());
+  // Two sobel tenants land on two devices (spread).
+  for (const char* name : {"sobel-1-0", "sobel-2-0"}) {
+    cluster::PodSpec spec;
+    spec.name = name;
+    spec.function = std::string(name).substr(0, 7);
+    ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  }
+  const std::size_t pods_before = fx.cluster->pod_count();
+  cluster::PodSpec mm_spec;
+  mm_spec.name = "mm-1-0";
+  mm_spec.function = "mm-1";
+  auto created = fx.cluster->create_pod(std::move(mm_spec));
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(fx.cluster->pod_count(), pods_before + 1);
+  // MM got a device of its own; every assignment is intact.
+  EXPECT_EQ(fx.registry->assignment_count(), 3u);
+  auto mm_device = fx.registry->device_of_instance("mm-1-0");
+  ASSERT_TRUE(mm_device.has_value());
+  EXPECT_EQ(fx.registry->instances_on_device(*mm_device).size(), 1u);
+}
+
+TEST(Registry, RequestReconfigurationValidatesCaller) {
+  Fixture fx;
+  EXPECT_EQ(fx.registry
+                ->request_reconfiguration("ghost",
+                                          sim::BitstreamLibrary::kMatMul)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Registry, RequestReconfigurationNoopWhenAlreadyCompatible) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  cluster::PodSpec spec;
+  spec.name = "sobel-1-0";
+  spec.function = "sobel-1";
+  ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  EXPECT_TRUE(fx.registry
+                  ->request_reconfiguration("sobel-1-0",
+                                            sim::BitstreamLibrary::kSobel)
+                  .ok());
+}
+
+TEST(Registry, RequestReconfigurationMigratesCotenants) {
+  Fixture fx;
+  AllocationPolicy pack;
+  pack.pack_tenants = true;
+  Fixture packed(pack);
+  ASSERT_TRUE(
+      packed.registry->register_function("sobel-1", packed.sobel_query()).ok());
+  ASSERT_TRUE(
+      packed.registry->register_function("sobel-2", packed.sobel_query()).ok());
+  for (const char* name : {"sobel-1-0", "sobel-2-0"}) {
+    cluster::PodSpec spec;
+    spec.name = name;
+    spec.function = std::string(name).substr(0, 7);
+    ASSERT_TRUE(packed.cluster->create_pod(std::move(spec)).ok());
+  }
+  // Packing put both tenants on one device.
+  auto d1 = packed.registry->device_of_instance("sobel-1-0");
+  auto d2 = packed.registry->device_of_instance("sobel-2-0");
+  ASSERT_TRUE(d1.has_value() && d2.has_value());
+  ASSERT_EQ(*d1, *d2);
+  // sobel-1 requests an MM image: sobel-2 must move off the device.
+  ASSERT_TRUE(packed.registry
+                  ->request_reconfiguration("sobel-1-0",
+                                            sim::BitstreamLibrary::kMatMul)
+                  .ok());
+  auto moved = packed.registry->device_of_instance("sobel-2-0-r");
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_NE(*moved, *d1);
+}
+
+TEST(Registry, PackPolicyConcentratesTenants) {
+  AllocationPolicy policy;
+  policy.pack_tenants = true;
+  Fixture fx(policy);
+  std::map<std::string, int> per_device;
+  for (int i = 0; i < 4; ++i) {
+    auto allocation = fx.registry->allocate("inst-" + std::to_string(i),
+                                            fx.sobel_query());
+    ASSERT_TRUE(allocation.ok());
+    ++per_device[allocation.value().device_id];
+  }
+  EXPECT_EQ(per_device.size(), 1u);  // all piled on one device
+}
+
+}  // namespace
+}  // namespace bf::registry

@@ -1,0 +1,132 @@
+// bf::shm: segments (single-copy data plane) and the node namespace.
+#include <gtest/gtest.h>
+
+#include "shm/namespace.h"
+#include "shm/segment.h"
+
+namespace bf::shm {
+namespace {
+
+sim::CopyModel copy_model() { return sim::CopyModel(13.0 * 1024 * 1024 * 1024); }
+
+TEST(Segment, StageViewFetchRoundtrip) {
+  Segment segment(copy_model(), 1 << 20);
+  vt::Cursor cursor;
+  Bytes data(64 * 1024, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  auto slot = segment.stage(ByteSpan{data}, cursor);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_GT(cursor.now().ns(), 0);  // copy time charged
+
+  auto view = segment.view(slot.value());
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), view.value().begin()));
+
+  Bytes out(data.size());
+  ASSERT_TRUE(segment.fetch(slot.value(), MutableByteSpan{out}, cursor).ok());
+  EXPECT_EQ(out, data);
+  // fetch released the slot
+  EXPECT_FALSE(segment.view(slot.value()).ok());
+  EXPECT_EQ(segment.used(), 0u);
+}
+
+TEST(Segment, CopyTimeProportionalToSize) {
+  Segment segment(copy_model(), 64 << 20);
+  vt::Cursor small_cursor;
+  vt::Cursor large_cursor;
+  Bytes small(1 << 10);
+  Bytes large(1 << 20);
+  (void)segment.stage(ByteSpan{small}, small_cursor);
+  (void)segment.stage(ByteSpan{large}, large_cursor);
+  EXPECT_NEAR(static_cast<double>(large_cursor.now().ns()) /
+                  static_cast<double>(small_cursor.now().ns()),
+              1024.0, 10.0);  // integer-ns rounding on the small copy
+}
+
+TEST(Segment, FetchSizeMismatchRejected) {
+  Segment segment(copy_model(), 1 << 20);
+  vt::Cursor cursor;
+  Bytes data(16);
+  auto slot = segment.stage(ByteSpan{data}, cursor);
+  ASSERT_TRUE(slot.ok());
+  Bytes wrong(8);
+  EXPECT_FALSE(
+      segment.fetch(slot.value(), MutableByteSpan{wrong}, cursor).ok());
+  // Slot still alive after the failed fetch.
+  EXPECT_TRUE(segment.view(slot.value()).ok());
+}
+
+TEST(Segment, CapacityEnforced) {
+  Segment segment(copy_model(), 100);
+  vt::Cursor cursor;
+  Bytes data(80);
+  auto first = segment.stage(ByteSpan{data}, cursor);
+  ASSERT_TRUE(first.ok());
+  auto second = segment.stage(ByteSpan{data}, cursor);
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(segment.release(first.value()).ok());
+  EXPECT_TRUE(segment.stage(ByteSpan{data}, cursor).ok());
+}
+
+TEST(Segment, ManagerSideAllocateAndWrite) {
+  Segment segment(copy_model(), 1 << 20);
+  auto slot = segment.allocate(4);
+  ASSERT_TRUE(slot.ok());
+  auto view = segment.writable_view(slot.value());
+  ASSERT_TRUE(view.ok());
+  view.value()[0] = 42;
+  vt::Cursor cursor;
+  Bytes out(4);
+  ASSERT_TRUE(segment.fetch(slot.value(), MutableByteSpan{out}, cursor).ok());
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(Segment, CountsCopies) {
+  Segment segment(copy_model(), 1 << 20);
+  vt::Cursor cursor;
+  Bytes data(100);
+  auto slot = segment.stage(ByteSpan{data}, cursor);
+  Bytes out(100);
+  (void)segment.fetch(slot.value(), MutableByteSpan{out}, cursor);
+  EXPECT_EQ(segment.copy_count(), 2u);  // one in, one out
+  EXPECT_EQ(segment.total_bytes_copied(), 200u);
+}
+
+TEST(Segment, ZeroSizeSlotRejected) {
+  Segment segment(copy_model(), 1 << 20);
+  EXPECT_FALSE(segment.allocate(0).ok());
+}
+
+TEST(Namespace, CreateOpenUnlink) {
+  Namespace ns;
+  auto created = ns.create("devmgr-b:sess:1", copy_model(), 1 << 20);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(ns.segment_count(), 1u);
+
+  auto opened = ns.open("devmgr-b:sess:1");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().get(), created.value().get());  // same mapping
+
+  EXPECT_FALSE(ns.create("devmgr-b:sess:1", copy_model(), 1).ok());
+  ASSERT_TRUE(ns.unlink("devmgr-b:sess:1").ok());
+  EXPECT_FALSE(ns.open("devmgr-b:sess:1").ok());
+  EXPECT_FALSE(ns.unlink("devmgr-b:sess:1").ok());
+}
+
+TEST(Namespace, SegmentSurvivesUnlinkWhileHeld) {
+  // POSIX shm semantics: unlink removes the name, the mapping lives while
+  // a handle is held.
+  Namespace ns;
+  auto created = ns.create("seg", copy_model(), 1 << 20);
+  ASSERT_TRUE(created.ok());
+  auto handle = created.value();
+  ASSERT_TRUE(ns.unlink("seg").ok());
+  vt::Cursor cursor;
+  Bytes data(10);
+  EXPECT_TRUE(handle->stage(ByteSpan{data}, cursor).ok());
+}
+
+}  // namespace
+}  // namespace bf::shm

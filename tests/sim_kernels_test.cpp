@@ -1,0 +1,364 @@
+// bf::sim kernels: functional correctness against independent references and
+// calibrated timing model properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/kernels.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+namespace bf::sim {
+namespace {
+
+MemHandle alloc(DeviceMemory& memory, std::uint64_t size) {
+  auto handle = memory.allocate(size);
+  BF_CHECK(handle.ok());
+  return handle.value();
+}
+
+template <typename T>
+void upload(DeviceMemory& memory, MemHandle handle,
+            const std::vector<T>& data) {
+  BF_CHECK(memory.write(handle, 0,
+                        as_bytes(data.data(), data.size() * sizeof(T)))
+               .ok());
+}
+
+template <typename T>
+std::vector<T> download(DeviceMemory& memory, MemHandle handle,
+                        std::size_t count) {
+  std::vector<T> out(count);
+  BF_CHECK(memory.read(handle, 0,
+                       as_writable_bytes(out.data(), count * sizeof(T)))
+               .ok());
+  return out;
+}
+
+// ---- registry ------------------------------------------------------------------
+
+TEST(KernelRegistry, ContainsAllPaperKernels) {
+  const auto names = KernelRegistry::standard().names();
+  const std::vector<std::string> expected = {
+      "conv", "fc", "fir", "histogram", "lrn", "mm", "pool", "sobel",
+      "vadd"};
+  EXPECT_EQ(names, expected);
+  EXPECT_EQ(KernelRegistry::standard().find("nope"), nullptr);
+}
+
+TEST(KernelModel, ValidateChecksNameAndArity) {
+  SobelKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "mm";
+  EXPECT_FALSE(kernel.validate(launch).ok());
+  launch.kernel = "sobel";
+  launch.args = {std::int64_t{1}};
+  EXPECT_FALSE(kernel.validate(launch).ok());
+}
+
+// ---- sobel ---------------------------------------------------------------------
+
+TEST(SobelKernel, MatchesIndependentReference) {
+  constexpr std::size_t kW = 37;
+  constexpr std::size_t kH = 23;
+  DeviceMemory memory(1 << 20);
+  Rng rng(11);
+  std::vector<std::uint32_t> image(kW * kH);
+  for (auto& px : image) px = static_cast<std::uint32_t>(rng.next_below(256));
+
+  MemHandle in = alloc(memory, kW * kH * 4);
+  MemHandle out = alloc(memory, kW * kH * 4);
+  upload(memory, in, image);
+
+  SobelKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "sobel";
+  launch.args = {in, out, std::int64_t{kW}, std::int64_t{kH}};
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+
+  const auto result = download<std::uint32_t>(memory, out, kW * kH);
+  const auto reference = workloads::sobel_reference(image, kW, kH);
+  EXPECT_EQ(result, reference);
+}
+
+TEST(SobelKernel, BordersAreZero) {
+  constexpr std::size_t kW = 8;
+  constexpr std::size_t kH = 8;
+  DeviceMemory memory(1 << 16);
+  std::vector<std::uint32_t> image(kW * kH, 200);
+  MemHandle in = alloc(memory, kW * kH * 4);
+  MemHandle out = alloc(memory, kW * kH * 4);
+  upload(memory, in, image);
+  SobelKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "sobel";
+  launch.args = {in, out, std::int64_t{kW}, std::int64_t{kH}};
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  const auto result = download<std::uint32_t>(memory, out, kW * kH);
+  for (std::size_t x = 0; x < kW; ++x) {
+    EXPECT_EQ(result[x], 0u);
+    EXPECT_EQ(result[(kH - 1) * kW + x], 0u);
+  }
+  // Uniform interior has zero gradient.
+  EXPECT_EQ(result[3 * kW + 3], 0u);
+}
+
+TEST(SobelKernel, TimingLinearInPixels) {
+  SobelKernel kernel;
+  auto time_of = [&](std::int64_t w, std::int64_t h) {
+    KernelLaunch launch;
+    launch.kernel = "sobel";
+    launch.args = {MemHandle{1}, MemHandle{2}, w, h};
+    return kernel.execution_time(launch).value();
+  };
+  const auto small = time_of(100, 100);
+  const auto large = time_of(1000, 100);
+  // 10x pixels => ~10x kernel time once the launch overhead is removed.
+  const double overhead_us = 150.0;
+  EXPECT_NEAR((large.us() - overhead_us) / (small.us() - overhead_us), 10.0,
+              0.01);
+  // Calibration anchor: 1920x1080 ~ 12.6 ms (DESIGN.md: ~6 ns/pixel).
+  EXPECT_NEAR(time_of(1920, 1080).ms(), 12.6, 0.3);
+}
+
+// ---- mm ------------------------------------------------------------------------
+
+TEST(MatMulKernel, MatchesReferenceGemm) {
+  constexpr std::size_t kN = 24;
+  DeviceMemory memory(1 << 20);
+  Rng rng(3);
+  std::vector<float> a(kN * kN);
+  std::vector<float> b(kN * kN);
+  for (auto& value : a) value = static_cast<float>(rng.next_double(-1, 1));
+  for (auto& value : b) value = static_cast<float>(rng.next_double(-1, 1));
+  MemHandle ha = alloc(memory, kN * kN * 4);
+  MemHandle hb = alloc(memory, kN * kN * 4);
+  MemHandle hc = alloc(memory, kN * kN * 4);
+  upload(memory, ha, a);
+  upload(memory, hb, b);
+  MatMulKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "mm";
+  launch.args = {ha, hb, hc, std::int64_t{kN}};
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  const auto c = download<float>(memory, hc, kN * kN);
+  const auto reference = workloads::matmul_reference(a, b, kN);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], reference[i], 1e-4) << "index " << i;
+  }
+}
+
+TEST(MatMulKernel, IdentityMatrix) {
+  constexpr std::size_t kN = 16;
+  DeviceMemory memory(1 << 20);
+  std::vector<float> a(kN * kN, 0.0F);
+  for (std::size_t i = 0; i < kN; ++i) a[i * kN + i] = 1.0F;
+  std::vector<float> b(kN * kN);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>(i) * 0.25F;
+  }
+  MemHandle ha = alloc(memory, kN * kN * 4);
+  MemHandle hb = alloc(memory, kN * kN * 4);
+  MemHandle hc = alloc(memory, kN * kN * 4);
+  upload(memory, ha, a);
+  upload(memory, hb, b);
+  MatMulKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "mm";
+  launch.args = {ha, hb, hc, std::int64_t{kN}};
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  EXPECT_EQ(download<float>(memory, hc, kN * kN), b);
+}
+
+TEST(MatMulKernel, TimingCubicAndAnchored) {
+  MatMulKernel kernel;
+  auto time_of = [&](std::int64_t n) {
+    KernelLaunch launch;
+    launch.kernel = "mm";
+    launch.args = {MemHandle{1}, MemHandle{2}, MemHandle{3}, n};
+    return kernel.execution_time(launch).value();
+  };
+  // Paper anchor (Fig 4c): N=4096 kernel ~3.57 s.
+  EXPECT_NEAR(time_of(4096).sec(), 3.58, 0.05);
+  EXPECT_NEAR(time_of(2048).sec() * 8, time_of(4096).sec(), 0.01);
+}
+
+// ---- conv / pool / lrn ------------------------------------------------------------
+
+TEST(ConvKernel, HandComputedExample) {
+  // 1 input channel 3x3, one 2x2 filter, stride 1, no pad, no relu.
+  DeviceMemory memory(1 << 16);
+  std::vector<float> input = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> weights = {1, 0, 0, 1};  // identity-ish 2x2
+  std::vector<float> bias = {0.5F};
+  MemHandle hin = alloc(memory, input.size() * 4);
+  MemHandle hw = alloc(memory, weights.size() * 4);
+  MemHandle hb = alloc(memory, bias.size() * 4);
+  MemHandle hout = alloc(memory, 4 * 4);
+  upload(memory, hin, input);
+  upload(memory, hw, weights);
+  upload(memory, hb, bias);
+  ConvKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "conv";
+  launch.args = {hin,
+                 hw,
+                 hb,
+                 hout,
+                 std::int64_t{1},  // in_c
+                 std::int64_t{3},  // in_h
+                 std::int64_t{3},  // in_w
+                 std::int64_t{1},  // out_c
+                 std::int64_t{2},  // out_h
+                 std::int64_t{2},  // out_w
+                 std::int64_t{2},  // k
+                 std::int64_t{1},  // stride
+                 std::int64_t{0},  // pad
+                 std::int64_t{0}}; // relu
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  const auto out = download<float>(memory, hout, 4);
+  // out(y,x) = in(y,x)*1 + in(y+1,x+1)*1 + 0.5
+  EXPECT_FLOAT_EQ(out[0], 1 + 5 + 0.5F);
+  EXPECT_FLOAT_EQ(out[1], 2 + 6 + 0.5F);
+  EXPECT_FLOAT_EQ(out[2], 4 + 8 + 0.5F);
+  EXPECT_FLOAT_EQ(out[3], 5 + 9 + 0.5F);
+}
+
+TEST(ConvKernel, ReluClampsNegatives) {
+  DeviceMemory memory(1 << 16);
+  std::vector<float> input = {1.0F};
+  std::vector<float> weights = {-2.0F};
+  std::vector<float> bias = {0.0F};
+  MemHandle hin = alloc(memory, 4);
+  MemHandle hw = alloc(memory, 4);
+  MemHandle hb = alloc(memory, 4);
+  MemHandle hout = alloc(memory, 4);
+  upload(memory, hin, input);
+  upload(memory, hw, weights);
+  upload(memory, hb, bias);
+  ConvKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "conv";
+  launch.args = {hin, hw, hb, hout,
+                 std::int64_t{1}, std::int64_t{1}, std::int64_t{1},
+                 std::int64_t{1}, std::int64_t{1}, std::int64_t{1},
+                 std::int64_t{1}, std::int64_t{1}, std::int64_t{0},
+                 std::int64_t{1}};
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  EXPECT_FLOAT_EQ(download<float>(memory, hout, 1)[0], 0.0F);
+}
+
+TEST(PoolKernel, MaxPooling2x2) {
+  DeviceMemory memory(1 << 16);
+  std::vector<float> input = {1, 5, 2, 6,  //
+                              3, 4, 8, 7,  //
+                              9, 0, 1, 2,  //
+                              3, 4, 5, 6};
+  MemHandle hin = alloc(memory, input.size() * 4);
+  MemHandle hout = alloc(memory, 4 * 4);
+  upload(memory, hin, input);
+  PoolKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "pool";
+  launch.args = {hin, hout,
+                 std::int64_t{1},  // c
+                 std::int64_t{4}, std::int64_t{4},   // in
+                 std::int64_t{2}, std::int64_t{2},   // out
+                 std::int64_t{2}, std::int64_t{2}};  // k, stride
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  const auto out = download<float>(memory, hout, 4);
+  EXPECT_FLOAT_EQ(out[0], 5);
+  EXPECT_FLOAT_EQ(out[1], 8);
+  EXPECT_FLOAT_EQ(out[2], 9);
+  EXPECT_FLOAT_EQ(out[3], 6);
+}
+
+TEST(LrnKernel, NormalizesAcrossChannels) {
+  DeviceMemory memory(1 << 16);
+  // 4 channels, 1x1 spatial.
+  std::vector<float> input = {1.0F, 2.0F, 3.0F, 4.0F};
+  MemHandle hin = alloc(memory, input.size() * 4);
+  MemHandle hout = alloc(memory, input.size() * 4);
+  upload(memory, hin, input);
+  LrnKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "lrn";
+  launch.args = {hin, hout, std::int64_t{4}, std::int64_t{1},
+                 std::int64_t{1}};
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  const auto out = download<float>(memory, hout, 4);
+  // AlexNet LRN: out = in * (2 + 1e-4 * sum_sq/5)^-0.75; with these tiny
+  // magnitudes the scale is ~2^-0.75.
+  const float approx_scale = std::pow(2.0F, -0.75F);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(out[c], input[c] * approx_scale, 0.01F) << "channel " << c;
+    EXPECT_LT(out[c], input[c]);  // normalization shrinks
+  }
+}
+
+// ---- vadd + argument errors --------------------------------------------------------
+
+TEST(VaddKernel, AddsVectors) {
+  DeviceMemory memory(1 << 16);
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {10, 20, 30};
+  MemHandle ha = alloc(memory, 12);
+  MemHandle hb = alloc(memory, 12);
+  MemHandle hc = alloc(memory, 12);
+  upload(memory, ha, a);
+  upload(memory, hb, b);
+  VaddKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "vadd";
+  launch.args = {ha, hb, hc, std::int64_t{3}};
+  ASSERT_TRUE(kernel.execute(launch, memory).ok());
+  EXPECT_EQ(download<float>(memory, hc, 3), (std::vector<float>{11, 22, 33}));
+}
+
+TEST(Kernels, ScalarWhereBufferExpectedFails) {
+  DeviceMemory memory(1 << 16);
+  VaddKernel kernel;
+  KernelLaunch launch;
+  launch.kernel = "vadd";
+  launch.args = {std::int64_t{1}, std::int64_t{2}, std::int64_t{3},
+                 std::int64_t{4}};
+  EXPECT_FALSE(kernel.execute(launch, memory).ok());
+}
+
+TEST(Kernels, NonPositiveDimensionsRejectedInTiming) {
+  SobelKernel sobel;
+  KernelLaunch launch;
+  launch.kernel = "sobel";
+  launch.args = {MemHandle{1}, MemHandle{2}, std::int64_t{0},
+                 std::int64_t{10}};
+  EXPECT_FALSE(sobel.execution_time(launch).ok());
+
+  MatMulKernel mm;
+  KernelLaunch mm_launch;
+  mm_launch.kernel = "mm";
+  mm_launch.args = {MemHandle{1}, MemHandle{2}, MemHandle{3},
+                    std::int64_t{-4}};
+  EXPECT_FALSE(mm.execution_time(mm_launch).ok());
+}
+
+// Property: execution time is monotone in problem size for every kernel
+// with a size parameter.
+class TimingMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimingMonotoneTest, SobelMonotoneInWidth) {
+  SobelKernel kernel;
+  const std::int64_t w = 16LL << GetParam();
+  auto time_at = [&](std::int64_t width) {
+    KernelLaunch launch;
+    launch.kernel = "sobel";
+    launch.args = {MemHandle{1}, MemHandle{2}, width, std::int64_t{64}};
+    return kernel.execution_time(launch).value();
+  };
+  EXPECT_LT(time_at(w).ns(), time_at(w * 2).ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TimingMonotoneTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace bf::sim

@@ -1,0 +1,183 @@
+// bf::sim::DeviceMemory: modeled DDR allocator with lazy backing store.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "sim/memory.h"
+
+namespace bf::sim {
+namespace {
+
+TEST(DeviceMemory, AllocateReleaseAccounting) {
+  DeviceMemory memory(1 << 20);
+  EXPECT_EQ(memory.capacity(), 1u << 20);
+  auto a = memory.allocate(1000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(memory.used(), 1000u);
+  EXPECT_EQ(memory.allocation_count(), 1u);
+  ASSERT_TRUE(memory.release(a.value()).ok());
+  EXPECT_EQ(memory.used(), 0u);
+  EXPECT_EQ(memory.allocation_count(), 0u);
+}
+
+TEST(DeviceMemory, ZeroSizeRejected) {
+  DeviceMemory memory(1 << 20);
+  EXPECT_FALSE(memory.allocate(0).ok());
+}
+
+TEST(DeviceMemory, ExhaustionReported) {
+  DeviceMemory memory(1 << 10, /*bank_count=*/1);
+  auto a = memory.allocate(1 << 10);
+  ASSERT_TRUE(a.ok());
+  auto b = memory.allocate(1);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeviceMemory, DoubleReleaseFails) {
+  DeviceMemory memory(1 << 20);
+  auto a = memory.allocate(64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(memory.release(a.value()).ok());
+  EXPECT_FALSE(memory.release(a.value()).ok());
+}
+
+TEST(DeviceMemory, WriteReadRoundtrip) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(256);
+  ASSERT_TRUE(handle.ok());
+  Bytes data = {10, 20, 30, 40};
+  ASSERT_TRUE(memory.write(handle.value(), 100, ByteSpan{data}).ok());
+  Bytes out(4);
+  ASSERT_TRUE(memory.read(handle.value(), 100, MutableByteSpan{out}).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(DeviceMemory, UnwrittenMemoryReadsZero) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(64);
+  ASSERT_TRUE(handle.ok());
+  Bytes out(64, 0xFF);
+  ASSERT_TRUE(memory.read(handle.value(), 0, MutableByteSpan{out}).ok());
+  for (std::uint8_t byte : out) EXPECT_EQ(byte, 0);
+}
+
+TEST(DeviceMemory, PartialWriteThenReadBeyondIsZeroFilled) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(64);
+  ASSERT_TRUE(handle.ok());
+  Bytes head = {1, 2};
+  ASSERT_TRUE(memory.write(handle.value(), 0, ByteSpan{head}).ok());
+  Bytes out(8, 0xFF);
+  ASSERT_TRUE(memory.read(handle.value(), 0, MutableByteSpan{out}).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(out[7], 0);
+}
+
+TEST(DeviceMemory, OutOfBoundsRejected) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(16);
+  ASSERT_TRUE(handle.ok());
+  Bytes data(8);
+  EXPECT_FALSE(memory.write(handle.value(), 12, ByteSpan{data}).ok());
+  Bytes out(32);
+  EXPECT_FALSE(memory.read(handle.value(), 0, MutableByteSpan{out}).ok());
+  EXPECT_FALSE(memory.write(MemHandle{999}, 0, ByteSpan{data}).ok());
+}
+
+TEST(DeviceMemory, FreeListCoalescesAcrossReleases) {
+  DeviceMemory memory(1 << 12, /*bank_count=*/1);
+  // Fill the bank with 4 x 1 KiB, free all, then a full-size allocation
+  // must succeed only if adjacent regions coalesced.
+  std::vector<MemHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    auto handle = memory.allocate(1 << 10);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(handle.value());
+  }
+  EXPECT_FALSE(memory.allocate(1).ok());
+  // Release out of order to exercise both coalesce directions.
+  ASSERT_TRUE(memory.release(handles[1]).ok());
+  ASSERT_TRUE(memory.release(handles[3]).ok());
+  ASSERT_TRUE(memory.release(handles[0]).ok());
+  ASSERT_TRUE(memory.release(handles[2]).ok());
+  auto big = memory.allocate(1 << 12);
+  EXPECT_TRUE(big.ok());
+}
+
+TEST(DeviceMemory, ResetDropsEverything) {
+  DeviceMemory memory(1 << 20);
+  auto a = memory.allocate(100);
+  auto b = memory.allocate(200);
+  ASSERT_TRUE(a.ok() && b.ok());
+  memory.reset();
+  EXPECT_EQ(memory.used(), 0u);
+  Bytes out(10);
+  EXPECT_FALSE(memory.read(a.value(), 0, MutableByteSpan{out}).ok());
+  EXPECT_TRUE(memory.allocate(1 << 19).ok());
+}
+
+TEST(DeviceMemory, AllocationSizeQuery) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(12345);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(memory.allocation_size(handle.value()).value(), 12345u);
+  EXPECT_FALSE(memory.allocation_size(MemHandle{777}).ok());
+}
+
+// Property test: random alloc/free/write/read sequences preserve the
+// allocator invariants (used-bytes accounting, data integrity, no overlap).
+class DeviceMemoryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeviceMemoryPropertyTest, RandomOpsKeepInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  DeviceMemory memory(1 << 18);
+  struct Live {
+    MemHandle handle;
+    std::uint64_t size;
+    std::uint8_t pattern;
+  };
+  std::vector<Live> live;
+  std::uint64_t expected_used = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const int action = static_cast<int>(rng.next_below(3));
+    if (action == 0 || live.empty()) {
+      const std::uint64_t size = 1 + rng.next_below(1 << 12);
+      auto handle = memory.allocate(size);
+      if (handle.ok()) {
+        const auto pattern = static_cast<std::uint8_t>(rng.next_below(256));
+        Bytes data(size, pattern);
+        ASSERT_TRUE(memory.write(handle.value(), 0, ByteSpan{data}).ok());
+        live.push_back(Live{handle.value(), size, pattern});
+        expected_used += size;
+      } else {
+        EXPECT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
+      }
+    } else if (action == 1) {
+      const std::size_t index = rng.next_below(live.size());
+      Bytes out(live[index].size);
+      ASSERT_TRUE(
+          memory.read(live[index].handle, 0, MutableByteSpan{out}).ok());
+      for (std::uint8_t byte : out) {
+        ASSERT_EQ(byte, live[index].pattern) << "step " << step;
+      }
+    } else {
+      const std::size_t index = rng.next_below(live.size());
+      ASSERT_TRUE(memory.release(live[index].handle).ok());
+      expected_used -= live[index].size;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    ASSERT_EQ(memory.used(), expected_used);
+    ASSERT_EQ(memory.allocation_count(), live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceMemoryPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace bf::sim

@@ -1,0 +1,235 @@
+// Space-sharing extension (paper §V future work): partial-reconfiguration
+// regions hosting multiple accelerators on one board.
+#include <gtest/gtest.h>
+
+#include "loadgen/loadgen.h"
+#include "sim/bitstream.h"
+#include "sim/board.h"
+#include "testbed/testbed.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+namespace bf {
+namespace {
+
+sim::BoardConfig shell_board(unsigned regions) {
+  sim::BoardConfig config;
+  config.id = "fpga-shell";
+  config.node = "B";
+  config.host = sim::make_node_b();
+  config.memory_bytes = 256 * kMiB;
+  config.pr_regions = regions;
+  return config;
+}
+
+const sim::Bitstream& bs(const char* id) {
+  return *sim::BitstreamLibrary::standard().find(id);
+}
+
+TEST(SpaceSharing, RegionProgrammingIsFasterThanFull) {
+  sim::Board board(shell_board(2));
+  auto pr = board.configure_region(0, bs(sim::BitstreamLibrary::kSobel),
+                                   vt::Time::zero());
+  ASSERT_TRUE(pr.ok());
+  sim::Board classic(shell_board(1));
+  auto full = classic.configure(bs(sim::BitstreamLibrary::kSobel),
+                                vt::Time::zero());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(pr.value().duration().ns(), full.value().duration().ns() / 2);
+}
+
+TEST(SpaceSharing, TwoAcceleratorsResident) {
+  sim::Board board(shell_board(2));
+  ASSERT_TRUE(board
+                  .configure_region(0, bs(sim::BitstreamLibrary::kSobel),
+                                    vt::Time::zero())
+                  .ok());
+  ASSERT_TRUE(board
+                  .configure_region(1, bs(sim::BitstreamLibrary::kMatMul),
+                                    vt::Time::zero())
+                  .ok());
+  EXPECT_TRUE(board.has_kernel("sobel"));
+  EXPECT_TRUE(board.has_kernel("mm"));
+  EXPECT_EQ(board.resident_accelerators(),
+            (std::vector<std::string>{"sobel", "mm"}));
+  EXPECT_EQ(board.free_region_count(), 0u);
+}
+
+TEST(SpaceSharing, PartialReconfigurationKeepsDdrAndOtherRegion) {
+  sim::Board board(shell_board(2));
+  ASSERT_TRUE(board
+                  .configure_region(0, bs(sim::BitstreamLibrary::kSobel),
+                                    vt::Time::zero())
+                  .ok());
+  auto buffer = board.allocate(1024);
+  ASSERT_TRUE(buffer.ok());
+  Bytes data = {1, 2, 3, 4};
+  ASSERT_TRUE(
+      board.write(buffer.value(), 0, ByteSpan{data}, vt::Time::zero()).ok());
+  // PR of region 1 must not disturb region 0 or DDR.
+  ASSERT_TRUE(board
+                  .configure_region(1, bs(sim::BitstreamLibrary::kMatMul),
+                                    vt::Time::zero())
+                  .ok());
+  EXPECT_TRUE(board.has_kernel("sobel"));
+  Bytes out(4);
+  ASSERT_TRUE(
+      board.read(buffer.value(), 0, MutableByteSpan{out}, vt::Time::zero())
+          .ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SpaceSharing, FullReconfigureWipesEveryRegion) {
+  sim::Board board(shell_board(2));
+  ASSERT_TRUE(board
+                  .configure_region(0, bs(sim::BitstreamLibrary::kSobel),
+                                    vt::Time::zero())
+                  .ok());
+  ASSERT_TRUE(board
+                  .configure_region(1, bs(sim::BitstreamLibrary::kMatMul),
+                                    vt::Time::zero())
+                  .ok());
+  ASSERT_TRUE(
+      board.configure(bs(sim::BitstreamLibrary::kVadd), vt::Time::zero())
+          .ok());
+  EXPECT_TRUE(board.has_kernel("vadd"));
+  EXPECT_FALSE(board.has_kernel("sobel"));
+  EXPECT_FALSE(board.has_kernel("mm"));
+  EXPECT_EQ(board.free_region_count(), 1u);  // region 1 cleared
+}
+
+TEST(SpaceSharing, RegionsExecuteConcurrently) {
+  sim::BoardConfig timing_only = shell_board(2);
+  timing_only.functional = false;  // timing model only; tiny arg buffers
+  sim::Board board(timing_only);
+  ASSERT_TRUE(board
+                  .configure_region(0, bs(sim::BitstreamLibrary::kSobel),
+                                    vt::Time::zero())
+                  .ok());
+  ASSERT_TRUE(board
+                  .configure_region(1, bs(sim::BitstreamLibrary::kMatMul),
+                                    vt::Time::zero())
+                  .ok());
+  const vt::Time ready = board.busy_until();
+
+  sim::KernelLaunch sobel;
+  sobel.kernel = "sobel";
+  auto in = board.allocate(1920 * 1080 * 4);
+  auto out = board.allocate(1920 * 1080 * 4);
+  sobel.args = {in.value(), out.value(), std::int64_t{1920},
+                std::int64_t{1080}};
+  sim::KernelLaunch mm;
+  mm.kernel = "mm";
+  auto a = board.allocate(1024);
+  auto b = board.allocate(1024);
+  auto c = board.allocate(1024);
+  mm.args = {a.value(), b.value(), c.value(), std::int64_t{512}};
+
+  auto sobel_run = board.run_kernel(sobel, ready);
+  auto mm_run = board.run_kernel(mm, ready);
+  ASSERT_TRUE(sobel_run.ok());
+  ASSERT_TRUE(mm_run.ok());
+  // Different regions: both start at `ready` — true space sharing.
+  EXPECT_EQ(sobel_run.value().start, ready);
+  EXPECT_EQ(mm_run.value().start, ready);
+
+  // Classic mode: the second kernel waits for the first.
+  sim::BoardConfig classic_config = shell_board(1);
+  classic_config.functional = false;
+  sim::Board classic(classic_config);
+  ASSERT_TRUE(
+      classic.configure(bs(sim::BitstreamLibrary::kSobel), vt::Time::zero())
+          .ok());
+  auto in2 = classic.allocate(1920 * 1080 * 4);
+  auto out2 = classic.allocate(1920 * 1080 * 4);
+  sim::KernelLaunch sobel2;
+  sobel2.kernel = "sobel";
+  sobel2.args = {in2.value(), out2.value(), std::int64_t{1920},
+                 std::int64_t{1080}};
+  const vt::Time ready2 = classic.busy_until();
+  auto first = classic.run_kernel(sobel2, ready2);
+  auto second = classic.run_kernel(sobel2, ready2);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(second.value().start, first.value().end);
+}
+
+TEST(SpaceSharing, EnsureAcceleratorUsesFreeRegionWithoutWipe) {
+  sim::Board board(shell_board(2));
+  bool wiped = true;
+  auto first = board.ensure_accelerator(bs(sim::BitstreamLibrary::kSobel),
+                                        vt::Time::zero(), &wiped);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(wiped);
+  auto second = board.ensure_accelerator(bs(sim::BitstreamLibrary::kMatMul),
+                                         vt::Time::zero(), &wiped);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(wiped);
+  EXPECT_EQ(board.resident_accelerators().size(), 2u);
+  // Already resident: free no-op.
+  auto again = board.ensure_accelerator(bs(sim::BitstreamLibrary::kSobel),
+                                        vt::Time::zero(), &wiped);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().duration().ns(), 0);
+}
+
+TEST(SpaceSharing, EnsureAcceleratorEvictsWhenFull) {
+  sim::Board board(shell_board(2));
+  bool wiped = false;
+  (void)board.ensure_accelerator(bs(sim::BitstreamLibrary::kSobel),
+                                 vt::Time::zero(), &wiped);
+  (void)board.ensure_accelerator(bs(sim::BitstreamLibrary::kMatMul),
+                                 vt::Time::zero(), &wiped);
+  auto third = board.ensure_accelerator(bs(sim::BitstreamLibrary::kAlexNet),
+                                        vt::Time::zero(), &wiped);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(wiped);  // PR eviction, DDR intact
+  const auto resident = board.resident_accelerators();
+  EXPECT_EQ(resident.size(), 2u);
+  EXPECT_NE(std::find(resident.begin(), resident.end(), "pipecnn_alexnet"),
+            resident.end());
+}
+
+TEST(SpaceSharing, ClassicModeRejectsRegionProgramming) {
+  sim::Board board(shell_board(1));
+  EXPECT_EQ(board
+                .configure_region(0, bs(sim::BitstreamLibrary::kSobel),
+                                  vt::Time::zero())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SpaceSharing, MixedTenantsShareOneBoardThroughTheStack) {
+  // With 2 PR regions, sobel and mm can land on the SAME board with no
+  // migration — the scenario that needed disjoint boards in classic mode.
+  testbed::TestbedConfig config;
+  config.pr_regions = 2;
+  registry::AllocationPolicy pack;
+  pack.pack_tenants = true;  // force them together
+  config.policy = pack;
+  testbed::Testbed bed(config);
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", [] {
+                   return std::make_unique<workloads::SobelWorkload>(320,
+                                                                     240);
+                 }).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("mm-1", [] {
+                   return std::make_unique<workloads::MatMulWorkload>(128);
+                 }).ok());
+  auto sobel_device = bed.registry().device_of_instance("sobel-1-0");
+  auto mm_device = bed.registry().device_of_instance("mm-1-0");
+  ASSERT_TRUE(sobel_device.has_value() && mm_device.has_value());
+  EXPECT_EQ(*sobel_device, *mm_device);  // co-resident!
+
+  // Both serve traffic.
+  ASSERT_TRUE(bed.gateway().invoke("sobel-1").ok());
+  ASSERT_TRUE(bed.gateway().invoke("mm-1").ok());
+  const std::string node = sobel_device->substr(5);
+  EXPECT_EQ(bed.board(node).resident_accelerators().size(), 2u);
+  // No pod was migrated.
+  for (const cluster::Pod& pod : bed.cluster().list_pods()) {
+    EXPECT_FALSE(pod.spec.name.ends_with("-r")) << pod.spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace bf

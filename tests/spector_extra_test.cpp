@@ -1,0 +1,143 @@
+// FIR and Histogram: the extra Spector-suite workloads, functionally
+// verified against references over the remote path, plus a four-accelerator
+// mixed-fleet scenario on the full testbed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "devmgr/device_manager.h"
+#include "remote/remote_runtime.h"
+#include "shm/namespace.h"
+#include "sim/board.h"
+#include "testbed/testbed.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+#include "workloads/spector_extra.h"
+
+namespace bf::workloads {
+namespace {
+
+struct Rig {
+  Rig() {
+    sim::BoardConfig bc;
+    bc.id = "fpga-b";
+    bc.node = "B";
+    bc.host = sim::make_node_b();
+    bc.memory_bytes = 256 * kMiB;
+    bc.functional = true;
+    board = std::make_unique<sim::Board>(bc);
+    devmgr::DeviceManagerConfig mc;
+    mc.id = "devmgr-b";
+    manager = std::make_unique<devmgr::DeviceManager>(mc, board.get(),
+                                                      &node_shm);
+    remote::ManagerAddress address;
+    address.endpoint = &manager->endpoint();
+    address.transport = net::local_control(bc.host);
+    address.node_shm = &node_shm;
+    runtime = std::make_unique<remote::RemoteRuntime>(
+        std::vector<remote::ManagerAddress>{address});
+  }
+
+  shm::Namespace node_shm;
+  std::unique_ptr<sim::Board> board;
+  std::unique_ptr<devmgr::DeviceManager> manager;
+  std::unique_ptr<remote::RemoteRuntime> runtime;
+};
+
+TEST(FirWorkload, MatchesReference) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.runtime->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  FirWorkload workload(4096, 16);
+  ASSERT_TRUE(workload.setup(*context.value()).ok());
+  ASSERT_TRUE(workload.handle_request(*context.value()).ok());
+  const auto expected = fir_reference(workload.signal(), workload.taps());
+  ASSERT_EQ(workload.last_output().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(workload.last_output()[i], expected[i], 1e-5) << i;
+  }
+  workload.teardown();
+}
+
+TEST(FirWorkload, MovingAverageOfConstantIsConstant) {
+  // A constant signal filtered by normalized taps converges to the
+  // constant once the window fills.
+  std::vector<float> signal(100, 2.0F);
+  std::vector<float> taps(8, 1.0F / 8.0F);
+  const auto out = fir_reference(signal, taps);
+  EXPECT_NEAR(out[50], 2.0F, 1e-5);
+  EXPECT_LT(out[0], 2.0F);  // warm-up region
+}
+
+TEST(HistogramWorkload, MatchesReference) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.runtime->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  HistogramWorkload workload(100'000);
+  ASSERT_TRUE(workload.setup(*context.value()).ok());
+  ASSERT_TRUE(workload.handle_request(*context.value()).ok());
+  EXPECT_EQ(workload.last_histogram(),
+            histogram_reference(workload.image()));
+  // Counting conservation: bins sum to the pixel count.
+  const std::uint64_t total = std::accumulate(
+      workload.last_histogram().begin(), workload.last_histogram().end(),
+      std::uint64_t{0});
+  EXPECT_EQ(total, 100'000u);
+  workload.teardown();
+}
+
+TEST(SpectorExtra, KernelTimingAnchors) {
+  sim::FirKernel fir;
+  sim::KernelLaunch fir_launch;
+  fir_launch.kernel = "fir";
+  fir_launch.args = {sim::MemHandle{1}, sim::MemHandle{2}, sim::MemHandle{3},
+                     std::int64_t{1 << 20}, std::int64_t{64}};
+  // 64 MMAC at 24 GMAC/s ~ 2.8 ms + launch overhead.
+  EXPECT_NEAR(fir.execution_time(fir_launch).value().ms(), 2.9, 0.3);
+
+  sim::HistogramKernel histogram;
+  sim::KernelLaunch hist_launch;
+  hist_launch.kernel = "histogram";
+  hist_launch.args = {sim::MemHandle{1}, sim::MemHandle{2},
+                      std::int64_t{1 << 21}};
+  // 2M pixels at 2 Gpx/s ~ 1.05 ms + overhead.
+  EXPECT_NEAR(histogram.execution_time(hist_launch).value().ms(), 1.2, 0.2);
+}
+
+TEST(SpectorExtra, FourAcceleratorFleetOnThreeBoards) {
+  // sobel + mm + fir + histogram: more accelerator types than boards.
+  // Classic time sharing cannot satisfy all four at once without evictions;
+  // with 2 PR regions per board the whole fleet coexists.
+  testbed::TestbedConfig config;
+  config.pr_regions = 2;
+  testbed::Testbed bed(config);
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", [] {
+                   return std::make_unique<SobelWorkload>(320, 240);
+                 }).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("mm-1", [] {
+                   return std::make_unique<MatMulWorkload>(128);
+                 }).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("fir-1", [] {
+                   return std::make_unique<FirWorkload>(1 << 16, 32);
+                 }).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("hist-1", [] {
+                   return std::make_unique<HistogramWorkload>(1 << 18);
+                 }).ok());
+  for (const char* fn : {"sobel-1", "mm-1", "fir-1", "hist-1"}) {
+    auto result = bed.gateway().invoke(fn);
+    EXPECT_TRUE(result.ok()) << fn << ": " << result.status().to_string();
+  }
+  // Six region slots across 3 boards comfortably hold 4 accelerators.
+  unsigned resident = 0;
+  for (const char* node : testbed::Testbed::kNodeNames) {
+    resident +=
+        static_cast<unsigned>(bed.board(node).resident_accelerators().size());
+  }
+  EXPECT_GE(resident, 4u);
+}
+
+}  // namespace
+}  // namespace bf::workloads

@@ -1,0 +1,152 @@
+// bf::devmgr::TaskQueue: the central FIFO with conservative gating,
+// exercised directly (unit level).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "devmgr/task_queue.h"
+
+namespace bf::devmgr {
+namespace {
+
+Task make_task(std::uint64_t seq, const std::string& client,
+               vt::Time ready) {
+  Task task;
+  task.seq = seq;
+  task.client_id = client;
+  task.ready = ready;
+  Operation op;
+  op.kind = Operation::Kind::kFinish;
+  op.op_id = seq;
+  task.ops.push_back(op);
+  return task;
+}
+
+TEST(TaskQueue, PopsInReadyOrderNotPushOrder) {
+  TaskQueue queue;
+  vt::Gate gate;  // no sources: always safe
+  queue.push(make_task(1, "b", vt::Time::millis(30)));
+  queue.push(make_task(2, "a", vt::Time::millis(10)));
+  queue.push(make_task(3, "c", vt::Time::millis(20)));
+  EXPECT_EQ(queue.pop(gate)->ready, vt::Time::millis(10));
+  EXPECT_EQ(queue.pop(gate)->ready, vt::Time::millis(20));
+  EXPECT_EQ(queue.pop(gate)->ready, vt::Time::millis(30));
+}
+
+TEST(TaskQueue, EqualStampsBreakTiesByClientThenSeq) {
+  TaskQueue queue;
+  vt::Gate gate;
+  queue.push(make_task(5, "zeta", vt::Time::millis(10)));
+  queue.push(make_task(9, "alpha", vt::Time::millis(10)));
+  queue.push(make_task(7, "alpha", vt::Time::millis(10)));
+  auto first = queue.pop(gate);
+  auto second = queue.pop(gate);
+  auto third = queue.pop(gate);
+  EXPECT_EQ(first->client_id, "alpha");
+  EXPECT_EQ(first->seq, 7u);
+  EXPECT_EQ(second->client_id, "alpha");
+  EXPECT_EQ(second->seq, 9u);
+  EXPECT_EQ(third->client_id, "zeta");
+}
+
+TEST(TaskQueue, PopWaitsForGateSafety) {
+  TaskQueue queue;
+  vt::Gate gate;
+  auto source = gate.register_source(vt::Time::millis(1));
+  queue.push(make_task(1, "a", vt::Time::millis(100)));
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    auto task = queue.pop(gate);
+    EXPECT_TRUE(task.has_value());
+    popped = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(popped.load());  // source bound below the task stamp
+  source.announce(vt::Time::millis(200));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(TaskQueue, EarlierTaskArrivingDuringWaitIsServedFirst) {
+  TaskQueue queue;
+  vt::Gate gate;
+  auto source = gate.register_source(vt::Time::millis(1));
+  queue.push(make_task(1, "late", vt::Time::millis(100)));
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(make_task(2, "early", vt::Time::millis(50)));
+    source.announce(vt::Time::millis(300));
+  });
+  auto first = queue.pop(gate);
+  producer.join();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->client_id, "early");
+  EXPECT_EQ(queue.pop(gate)->client_id, "late");
+}
+
+TEST(TaskQueue, CloseDrainsWaiters) {
+  TaskQueue queue;
+  vt::Gate gate;
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop(gate).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+  // Pushes after close are dropped.
+  queue.push(make_task(1, "a", vt::Time::millis(1)));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(TaskQueue, GateShutdownStillDrainsTasks) {
+  // ProgramWaiter holders must not be stranded at shutdown.
+  TaskQueue queue;
+  vt::Gate gate;
+  queue.push(make_task(1, "a", vt::Time::millis(10)));
+  gate.shutdown();
+  auto task = queue.pop(gate);
+  ASSERT_TRUE(task.has_value());
+  EXPECT_EQ(task->seq, 1u);
+}
+
+TEST(ProgramWaiter, DeliversStatusAndTime) {
+  ProgramWaiter waiter;
+  std::thread completer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    waiter.complete(NotFound("nope"), vt::Time::millis(42));
+  });
+  auto [status, end] = waiter.wait();
+  completer.join();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(end, vt::Time::millis(42));
+}
+
+TEST(TaskQueue, StressManyProducersOrderPreserved) {
+  TaskQueue queue;
+  vt::Gate gate;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.push(make_task(static_cast<std::uint64_t>(p * kPerProducer + i),
+                             "client-" + std::to_string(p),
+                             vt::Time::millis(1 + (i * 7 + p * 3) % 1000)));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  vt::Time last = vt::Time::zero();
+  int count = 0;
+  while (auto task = [&]() -> std::optional<Task> {
+    if (queue.size() == 0) return std::nullopt;
+    return queue.pop(gate);
+  }()) {
+    EXPECT_GE(task->ready, last);
+    last = task->ready;
+    ++count;
+  }
+  EXPECT_EQ(count, 4 * kPerProducer);
+}
+
+}  // namespace
+}  // namespace bf::devmgr

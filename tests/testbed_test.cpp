@@ -1,0 +1,152 @@
+// End-to-end: the full three-node testbed with Registry allocation, the
+// OpenFaaS-style gateway, closed-loop load and both deployment scenarios.
+#include <gtest/gtest.h>
+
+#include "loadgen/loadgen.h"
+#include "testbed/testbed.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+namespace bf {
+namespace {
+
+workloads::WorkloadFactory sobel_factory() {
+  return [] { return std::make_unique<workloads::SobelWorkload>(); };
+}
+
+workloads::WorkloadFactory mm_factory() {
+  return [] { return std::make_unique<workloads::MatMulWorkload>(); };
+}
+
+TEST(Testbed, RegistrySpreadsFiveFunctionsOverThreeBoards) {
+  testbed::Testbed bed;
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(bed.deploy_blastfunction("sobel-" + std::to_string(i),
+                                         sobel_factory())
+                    .ok());
+  }
+  EXPECT_EQ(bed.gateway().instance_count(), 5u);
+  EXPECT_EQ(bed.registry().assignment_count(), 5u);
+  // Every board got at least one tenant (least-loaded-first allocation).
+  for (const char* node : testbed::Testbed::kNodeNames) {
+    EXPECT_FALSE(
+        bed.registry().instances_on_device(bed.board(node).id()).empty())
+        << "node " << node;
+  }
+}
+
+TEST(Testbed, RegistryPatchesPodsWithDeviceEnvAndNode) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", sobel_factory()).ok());
+  auto pod = bed.cluster().get_pod("sobel-1-0");
+  ASSERT_TRUE(pod.has_value());
+  EXPECT_TRUE(pod->spec.env.contains(registry::Registry::kEnvManager));
+  EXPECT_TRUE(pod->spec.env.contains(registry::Registry::kEnvDevice));
+  EXPECT_TRUE(pod->spec.env.contains(registry::Registry::kEnvBitstream));
+  ASSERT_FALSE(pod->spec.node.empty());
+  // Forced host allocation: pod node == device node.
+  const std::string device = pod->spec.env.at(registry::Registry::kEnvDevice);
+  EXPECT_EQ(device, bed.board(pod->spec.node).id());
+  // shm volume mounted.
+  EXPECT_EQ(pod->spec.volumes.size(), 1u);
+}
+
+TEST(Testbed, BlastFunctionServesLoadAndSharesBoards) {
+  testbed::Testbed bed;
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(bed.deploy_blastfunction("sobel-" + std::to_string(i),
+                                         sobel_factory())
+                    .ok());
+  }
+  std::vector<loadgen::DriveSpec> specs;
+  const double rates[5] = {20, 15, 10, 5, 5};  // paper Table I, low load
+  for (int i = 0; i < 5; ++i) {
+    loadgen::DriveSpec spec;
+    spec.function = "sobel-" + std::to_string(i + 1);
+    spec.target_rps = rates[i];
+    spec.duration = vt::Duration::seconds(5);
+    // Warmup must cover the ~1.6 s cold start (context + bitstream
+    // programming) plus queue drain.
+    spec.warmup = vt::Duration::seconds(3);
+    specs.push_back(spec);
+  }
+  auto results = loadgen::drive_all(bed.gateway(), specs);
+  ASSERT_EQ(results.size(), 5u);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.errors, 0u) << result.function;
+    // Low load: every function keeps up with its target.
+    EXPECT_GT(result.processed_rps, result.target_rps * 0.9)
+        << result.function;
+    EXPECT_GT(result.latency_ms.count(), 0u);
+    // Latency in a sane band (paper: ~17-32 ms).
+    EXPECT_GT(result.latency_ms.mean(), 5.0) << result.function;
+    EXPECT_LT(result.latency_ms.mean(), 60.0) << result.function;
+  }
+  // Boards actually time-shared: some positive utilization everywhere.
+  const double util =
+      bed.aggregate_utilization_pct(vt::Time::zero(), bed.clock());
+  EXPECT_GT(util, 10.0);
+  EXPECT_LE(util, 300.0);
+}
+
+TEST(Testbed, NativeBaselineServesLoad) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_native("sobel-1", sobel_factory(), "A").ok());
+  ASSERT_TRUE(bed.deploy_native("sobel-2", sobel_factory(), "B").ok());
+  ASSERT_TRUE(bed.deploy_native("sobel-3", sobel_factory(), "C").ok());
+  std::vector<loadgen::DriveSpec> specs;
+  const double rates[3] = {20, 15, 10};
+  for (int i = 0; i < 3; ++i) {
+    loadgen::DriveSpec spec;
+    spec.function = "sobel-" + std::to_string(i + 1);
+    spec.target_rps = rates[i];
+    spec.duration = vt::Duration::seconds(5);
+    spec.warmup = vt::Duration::seconds(3);
+    specs.push_back(spec);
+  }
+  auto results = loadgen::drive_all(bed.gateway(), specs);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.errors, 0u) << result.function;
+    EXPECT_GT(result.processed_rps, result.target_rps * 0.9)
+        << result.function;
+    // Fork-per-request native path: latency above the BlastFunction band.
+    EXPECT_GT(result.latency_ms.mean(), 15.0) << result.function;
+    EXPECT_LT(result.latency_ms.mean(), 45.0) << result.function;
+  }
+  // Native pods were not registry-managed.
+  EXPECT_EQ(bed.registry().assignment_count(), 0u);
+}
+
+TEST(Testbed, SaturatedFunctionProcessesOneOverLatency) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("mm-1", mm_factory()).ok());
+  loadgen::DriveSpec spec;
+  spec.function = "mm-1";
+  spec.target_rps = 500;  // far beyond 1/latency
+  spec.duration = vt::Duration::seconds(5);
+  spec.warmup = vt::Duration::seconds(3);
+  auto result = loadgen::drive(*bed.gateway().instance("mm-1"), spec);
+  EXPECT_EQ(result.errors, 0u);
+  // Closed loop with one connection: processed ~= 1 / (latency + the fixed
+  // gateway+handler hop, 1 ms) — the paper's Processed-vs-Target mechanism.
+  const double expected = 1000.0 / (result.latency_ms.mean() + 1.0);
+  EXPECT_NEAR(result.processed_rps, expected, expected * 0.10);
+  EXPECT_LT(result.processed_rps, spec.target_rps);
+}
+
+TEST(Testbed, MixedAcceleratorsGetDisjointBoards) {
+  testbed::Testbed bed;
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", sobel_factory()).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("mm-1", mm_factory()).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-2", sobel_factory()).ok());
+  auto sobel1 = bed.registry().device_of_instance("sobel-1-0");
+  auto mm1 = bed.registry().device_of_instance("mm-1-0");
+  ASSERT_TRUE(sobel1.has_value());
+  ASSERT_TRUE(mm1.has_value());
+  // Different accelerators cannot share a board (time sharing is per
+  // bitstream); the registry must give MM its own device.
+  EXPECT_NE(*sobel1, *mm1);
+}
+
+}  // namespace
+}  // namespace bf

@@ -1,0 +1,102 @@
+// bf::trace: chrome-trace export of board occupancy.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "loadgen/loadgen.h"
+#include "testbed/testbed.h"
+#include "trace/chrome_trace.h"
+#include "workloads/sobel.h"
+
+namespace bf::trace {
+namespace {
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(TraceBuilder, EmitsChromeTraceFormat) {
+  TraceBuilder builder;
+  builder.add(Span{"fpga-A", "sobel-1-0", vt::Time::millis(10),
+                   vt::Time::millis(25)});
+  builder.add(Span{"fpga-B", "mm-1-0", vt::Time::millis(12),
+                   vt::Time::millis(14)});
+  const std::string json = builder.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sobel-1-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10000"), std::string::npos);   // us
+  EXPECT_NE(json.find("\"dur\":15000"), std::string::npos);  // us
+  // Track metadata rows.
+  EXPECT_NE(json.find("\"name\":\"fpga-A\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fpga-B\""), std::string::npos);
+  EXPECT_EQ(builder.span_count(), 2u);
+}
+
+TEST(TraceBuilder, RejectsInvertedSpan) {
+  TraceBuilder builder;
+  EXPECT_THROW(builder.add(Span{"t", "n", vt::Time::millis(5),
+                                vt::Time::millis(1)}),
+               ContractViolation);
+}
+
+TEST(TraceBuilder, CapturesRealBoardOccupancy) {
+  testbed::Testbed bed;
+  auto factory = [] {
+    return std::make_unique<workloads::SobelWorkload>(640, 480);
+  };
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", factory).ok());
+  ASSERT_TRUE(bed.deploy_blastfunction("sobel-2", factory).ok());
+  std::vector<loadgen::DriveSpec> specs;
+  for (int i = 1; i <= 2; ++i) {
+    loadgen::DriveSpec spec;
+    spec.function = "sobel-" + std::to_string(i);
+    spec.target_rps = 20;
+    spec.warmup = vt::Duration::seconds(2);
+    spec.duration = vt::Duration::seconds(2);
+    specs.push_back(spec);
+  }
+  (void)loadgen::drive_all(bed.gateway(), specs);
+
+  TraceBuilder builder;
+  for (const std::string& node : bed.node_names()) {
+    builder.add_board_occupancy(bed.manager(node), vt::Time::zero(),
+                                vt::Time::seconds(30));
+  }
+  EXPECT_GT(builder.span_count(), 50u);  // ~4s x 20rq/s x ops
+  const std::string json = builder.to_json();
+  EXPECT_NE(json.find("sobel-1-0"), std::string::npos);
+  EXPECT_NE(json.find("sobel-2-0"), std::string::npos);
+
+  const std::string path = "/tmp/bf_trace_test.json";
+  ASSERT_TRUE(builder.write_file(path).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, json);
+  std::remove(path.c_str());
+}
+
+TEST(TraceBuilder, WindowClipsSpans) {
+  testbed::Testbed bed;
+  auto factory = [] {
+    return std::make_unique<workloads::SobelWorkload>(320, 240);
+  };
+  ASSERT_TRUE(bed.deploy_blastfunction("fn", factory).ok());
+  ASSERT_TRUE(bed.gateway().invoke("fn").ok());
+  TraceBuilder empty_window;
+  for (const std::string& node : bed.node_names()) {
+    empty_window.add_board_occupancy(bed.manager(node),
+                                     vt::Time::seconds(100),
+                                     vt::Time::seconds(200));
+  }
+  EXPECT_EQ(empty_window.span_count(), 0u);
+}
+
+}  // namespace
+}  // namespace bf::trace

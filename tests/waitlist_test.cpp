@@ -1,0 +1,179 @@
+// Event wait lists (clEnqueue* event_wait_list semantics) across both
+// runtimes: cross-queue ordering, timing, and error paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "devmgr/device_manager.h"
+#include "native/native_runtime.h"
+#include "remote/remote_runtime.h"
+#include "shm/namespace.h"
+#include "sim/bitstream.h"
+#include "sim/board.h"
+
+namespace bf {
+namespace {
+
+struct Rig {
+  Rig() {
+    sim::BoardConfig bc;
+    bc.id = "fpga-b";
+    bc.node = "B";
+    bc.host = sim::make_node_b();
+    bc.memory_bytes = 256 * kMiB;
+    board = std::make_unique<sim::Board>(bc);
+    devmgr::DeviceManagerConfig mc;
+    mc.id = "devmgr-b";
+    manager = std::make_unique<devmgr::DeviceManager>(mc, board.get(),
+                                                      &node_shm);
+    remote::ManagerAddress address;
+    address.endpoint = &manager->endpoint();
+    address.transport = net::local_control(bc.host);
+    address.node_shm = &node_shm;
+    remote = std::make_unique<remote::RemoteRuntime>(
+        std::vector<remote::ManagerAddress>{address});
+    native = std::make_unique<native::NativeRuntime>(
+        std::vector<sim::Board*>{board.get()});
+  }
+
+  shm::Namespace node_shm;
+  std::unique_ptr<sim::Board> board;
+  std::unique_ptr<devmgr::DeviceManager> manager;
+  std::unique_ptr<remote::RemoteRuntime> remote;
+  std::unique_ptr<native::NativeRuntime> native;
+};
+
+// Cross-queue pipeline: the kernel on q2 depends on the write on q1.
+// Returns (write completion, kernel completion).
+std::pair<vt::Time, vt::Time> run_dependent(ocl::Runtime& runtime,
+                                            ocl::Session& session) {
+  auto context = runtime.create_context("fpga-b", session);
+  BF_CHECK(context.ok());
+  BF_CHECK(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  constexpr std::size_t kN = 1 << 20;
+  auto a = context.value()->create_buffer(kN * sizeof(float));
+  auto b = context.value()->create_buffer(kN * sizeof(float));
+  auto c = context.value()->create_buffer(kN * sizeof(float));
+  BF_CHECK(a.ok() && b.ok() && c.ok());
+  auto q1 = context.value()->create_queue();
+  auto q2 = context.value()->create_queue();
+  BF_CHECK(q1.ok() && q2.ok());
+
+  std::vector<float> data(kN, 1.0F);
+  auto write = q1.value()->enqueue_write(
+      a.value(), 0, as_bytes(data.data(), data.size() * 4), false);
+  BF_CHECK(write.ok());
+  BF_CHECK(q1.value()
+               ->enqueue_write(b.value(), 0,
+                               as_bytes(data.data(), data.size() * 4), false)
+               .ok());
+  BF_CHECK(q1.value()->flush().ok());
+
+  auto kernel = context.value()->create_kernel("vadd");
+  BF_CHECK(kernel.ok());
+  kernel.value().set_arg(0, a.value());
+  kernel.value().set_arg(1, b.value());
+  kernel.value().set_arg(2, c.value());
+  kernel.value().set_arg(3, static_cast<std::int64_t>(kN));
+  const ocl::EventPtr wait_list[] = {write.value()};
+  auto launch = q2.value()->enqueue_kernel(kernel.value(), {kN, 1, 1},
+                                           wait_list);
+  BF_CHECK(launch.ok());
+  BF_CHECK(q2.value()->finish().ok());
+  BF_CHECK(write.value()->wait().ok());
+  return {write.value()->completion_time(),
+          launch.value()->completion_time()};
+}
+
+TEST(WaitList, NativeKernelStartsAfterDependency) {
+  Rig rig;
+  ocl::Session session("native-wl");
+  auto [write_done, kernel_done] = run_dependent(*rig.native, session);
+  EXPECT_GT(kernel_done, write_done);
+}
+
+TEST(WaitList, RemoteKernelStartsAfterDependency) {
+  Rig rig;
+  ocl::Session session("remote-wl");
+  auto [write_done, kernel_done] = run_dependent(*rig.remote, session);
+  EXPECT_GT(kernel_done, write_done);
+}
+
+TEST(WaitList, RemoteUnflushedDependencyFailsFast) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.remote->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  auto buffer = context.value()->create_buffer(1024);
+  ASSERT_TRUE(buffer.ok());
+  auto q1 = context.value()->create_queue();
+  auto q2 = context.value()->create_queue();
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  Bytes data(1024);
+  // Dependency enqueued on q1 but never flushed.
+  auto dependency =
+      q1.value()->enqueue_write(buffer.value(), 0, ByteSpan{data}, false);
+  ASSERT_TRUE(dependency.ok());
+  const ocl::EventPtr wait_list[] = {dependency.value()};
+  auto dependent = q2.value()->enqueue_write(buffer.value(), 0,
+                                             ByteSpan{data}, false,
+                                             wait_list);
+  ASSERT_TRUE(dependent.ok());
+  ASSERT_TRUE(q2.value()->flush().ok());
+  Status status = dependent.value()->wait();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // Cleanup: flush q1 so its task drains.
+  ASSERT_TRUE(q1.value()->finish().ok());
+}
+
+TEST(WaitList, ForeignEventRejectedByRemoteRuntime) {
+  Rig rig;
+  ocl::Session native_session("n");
+  ocl::Session remote_session("r");
+  auto native_context = rig.native->create_context("fpga-b", native_session);
+  ASSERT_TRUE(native_context.ok());
+  ASSERT_TRUE(
+      native_context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  auto native_buffer = native_context.value()->create_buffer(64);
+  ASSERT_TRUE(native_buffer.ok());
+  auto native_queue = native_context.value()->create_queue();
+  ASSERT_TRUE(native_queue.ok());
+  Bytes data(64);
+  auto native_event = native_queue.value()->enqueue_write(
+      native_buffer.value(), 0, ByteSpan{data}, true);
+  ASSERT_TRUE(native_event.ok());
+
+  auto remote_context = rig.remote->create_context("fpga-b", remote_session);
+  ASSERT_TRUE(remote_context.ok());
+  auto remote_buffer = remote_context.value()->create_buffer(64);
+  ASSERT_TRUE(remote_buffer.ok());
+  auto remote_queue = remote_context.value()->create_queue();
+  ASSERT_TRUE(remote_queue.ok());
+  const ocl::EventPtr wait_list[] = {native_event.value()};
+  auto result = remote_queue.value()->enqueue_write(
+      remote_buffer.value(), 0, ByteSpan{data}, false, wait_list);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WaitList, NullEntriesIgnored) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.native->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  auto buffer = context.value()->create_buffer(64);
+  ASSERT_TRUE(buffer.ok());
+  auto queue = context.value()->create_queue();
+  ASSERT_TRUE(queue.ok());
+  Bytes data(64);
+  const ocl::EventPtr wait_list[] = {nullptr, nullptr};
+  EXPECT_TRUE(queue.value()
+                  ->enqueue_write(buffer.value(), 0, ByteSpan{data}, true,
+                                  wait_list)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace bf

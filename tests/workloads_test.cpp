@@ -1,0 +1,193 @@
+// bf::workloads: functional correctness of the paper's three benchmarks,
+// verified against CPU references and across runtimes (the transparency
+// property at workload level).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "devmgr/device_manager.h"
+#include "native/native_runtime.h"
+#include "remote/remote_runtime.h"
+#include "shm/namespace.h"
+#include "sim/board.h"
+#include "workloads/alexnet.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+namespace bf::workloads {
+namespace {
+
+struct Rig {
+  Rig() {
+    sim::BoardConfig bc;
+    bc.id = "fpga-b";
+    bc.node = "B";
+    bc.host = sim::make_node_b();
+    bc.memory_bytes = 512 * kMiB;
+    bc.functional = true;
+    board = std::make_unique<sim::Board>(bc);
+    devmgr::DeviceManagerConfig mc;
+    mc.id = "devmgr-b";
+    manager = std::make_unique<devmgr::DeviceManager>(mc, board.get(),
+                                                      &node_shm);
+    remote::ManagerAddress address;
+    address.endpoint = &manager->endpoint();
+    address.transport = net::local_control(bc.host);
+    address.node_shm = &node_shm;
+    remote = std::make_unique<remote::RemoteRuntime>(
+        std::vector<remote::ManagerAddress>{address});
+    native = std::make_unique<native::NativeRuntime>(
+        std::vector<sim::Board*>{board.get()});
+  }
+
+  shm::Namespace node_shm;
+  std::unique_ptr<sim::Board> board;
+  std::unique_ptr<devmgr::DeviceManager> manager;
+  std::unique_ptr<remote::RemoteRuntime> remote;
+  std::unique_ptr<native::NativeRuntime> native;
+};
+
+TEST(SobelWorkload, MatchesCpuReferenceThroughRemotePath) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.remote->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  SobelWorkload workload(96, 64);
+  ASSERT_TRUE(workload.setup(*context.value()).ok());
+  ASSERT_TRUE(workload.handle_request(*context.value()).ok());
+  const auto expected =
+      sobel_reference(workload.input_frame(), 96, 64);
+  EXPECT_EQ(workload.last_output(), expected);
+  workload.teardown();
+}
+
+TEST(SobelWorkload, IdenticalResultsOnNativeAndRemote) {
+  Rig rig;
+  ocl::Session remote_session("r");
+  ocl::Session native_session("n");
+  auto remote_context = rig.remote->create_context("fpga-b", remote_session);
+  ASSERT_TRUE(remote_context.ok());
+  SobelWorkload remote_workload(64, 48);
+  ASSERT_TRUE(remote_workload.setup(*remote_context.value()).ok());
+  ASSERT_TRUE(remote_workload.handle_request(*remote_context.value()).ok());
+  remote_workload.teardown();
+
+  auto native_context = rig.native->create_context("fpga-b", native_session);
+  ASSERT_TRUE(native_context.ok());
+  SobelWorkload native_workload(64, 48);
+  ASSERT_TRUE(native_workload.setup(*native_context.value()).ok());
+  ASSERT_TRUE(native_workload.handle_request(*native_context.value()).ok());
+
+  EXPECT_EQ(remote_workload.last_output(), native_workload.last_output());
+}
+
+TEST(SobelWorkload, MetadataMatchesPaperConfiguration) {
+  SobelWorkload workload;  // defaults: 1920x1080
+  EXPECT_EQ(workload.name(), "sobel");
+  EXPECT_EQ(workload.accelerator(), "sobel");
+  // ~8 MB read+write for the FHD frame (paper Fig 4b).
+  EXPECT_EQ(workload.request_bytes_in(), 1920u * 1080 * 4);
+  EXPECT_EQ(workload.request_bytes_out(), workload.request_bytes_in());
+}
+
+TEST(MatMulWorkload, MatchesCpuReference) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.remote->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  MatMulWorkload workload(32);
+  ASSERT_TRUE(workload.setup(*context.value()).ok());
+  ASSERT_TRUE(workload.handle_request(*context.value()).ok());
+  const auto expected =
+      matmul_reference(workload.lhs(), workload.rhs(), 32);
+  ASSERT_EQ(workload.last_output().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(workload.last_output()[i], expected[i], 1e-4) << i;
+  }
+  workload.teardown();
+}
+
+TEST(MatMulWorkload, RequestBytesScaleQuadratically) {
+  MatMulWorkload workload(448);
+  EXPECT_EQ(workload.request_bytes_in(), 2ULL * 448 * 448 * 4);
+  EXPECT_EQ(workload.request_bytes_out(), 448ULL * 448 * 4);
+}
+
+TEST(AlexNetWorkload, ScaledFunctionalInferenceProducesFiniteLogits) {
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.remote->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  AlexNetOptions options;
+  options.channel_scale = 32;
+  options.functional = true;
+  AlexNetWorkload workload(options);
+  ASSERT_TRUE(workload.setup(*context.value()).ok());
+  ASSERT_TRUE(workload.handle_request(*context.value()).ok());
+  bool any_nonzero = false;
+  for (float logit : workload.last_logits()) {
+    ASSERT_TRUE(std::isfinite(logit));
+    if (logit != 0.0F) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  workload.teardown();
+}
+
+TEST(AlexNetWorkload, DeterministicAcrossRuns) {
+  AlexNetOptions options;
+  options.channel_scale = 32;
+  options.functional = true;
+
+  auto run_once = [&]() {
+    Rig rig;
+    ocl::Session session("t");
+    auto context = rig.remote->create_context("fpga-b", session);
+    BF_CHECK(context.ok());
+    AlexNetWorkload workload(options);
+    BF_CHECK(workload.setup(*context.value()).ok());
+    BF_CHECK(workload.handle_request(*context.value()).ok());
+    auto logits = workload.last_logits();
+    workload.teardown();
+    return logits;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(AlexNetWorkload, FullNetworkMacCountMatchesLiterature) {
+  AlexNetWorkload full;
+  // Ungrouped AlexNet: ~1.14 GMAC (conv 1077M + fc 59M).
+  EXPECT_NEAR(static_cast<double>(full.total_macs()) / 1e9, 1.135, 0.02);
+  EXPECT_EQ(full.layer_count(), 13u);
+  // Input 3x227x227 floats, output 1000 logits.
+  EXPECT_EQ(full.request_bytes_in(), 3u * 227 * 227 * 4);
+  EXPECT_EQ(full.request_bytes_out(), 1000u * 4);
+}
+
+TEST(AlexNetWorkload, ChannelScaleShrinksWork) {
+  AlexNetOptions options;
+  options.channel_scale = 4;
+  AlexNetWorkload scaled(options);
+  AlexNetWorkload full;
+  EXPECT_LT(scaled.total_macs(), full.total_macs() / 8);
+  EXPECT_EQ(scaled.layer_count(), full.layer_count());
+}
+
+TEST(Workloads, BitstreamsMatchLibraryEntries) {
+  SobelWorkload sobel(16, 16);
+  MatMulWorkload mm(16);
+  AlexNetWorkload alexnet;
+  for (const auto& [bitstream, accelerator] :
+       std::vector<std::pair<std::string, std::string>>{
+           {sobel.bitstream(), sobel.accelerator()},
+           {mm.bitstream(), mm.accelerator()},
+           {alexnet.bitstream(), alexnet.accelerator()}}) {
+    const sim::Bitstream* entry =
+        sim::BitstreamLibrary::standard().find(bitstream);
+    ASSERT_NE(entry, nullptr) << bitstream;
+    EXPECT_EQ(entry->accelerator, accelerator);
+  }
+}
+
+}  // namespace
+}  // namespace bf::workloads
