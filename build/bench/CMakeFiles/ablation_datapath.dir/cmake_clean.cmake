@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_datapath.dir/ablation_datapath.cpp.o"
+  "CMakeFiles/ablation_datapath.dir/ablation_datapath.cpp.o.d"
+  "ablation_datapath"
+  "ablation_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dataplane_load.dir/ablation_dataplane_load.cpp.o"
+  "CMakeFiles/ablation_dataplane_load.dir/ablation_dataplane_load.cpp.o.d"
+  "ablation_dataplane_load"
+  "ablation_dataplane_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dataplane_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reconfiguration.dir/ablation_reconfiguration.cpp.o"
+  "CMakeFiles/ablation_reconfiguration.dir/ablation_reconfiguration.cpp.o.d"
+  "ablation_reconfiguration"
+  "ablation_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

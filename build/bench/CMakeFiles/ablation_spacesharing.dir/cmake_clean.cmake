@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spacesharing.dir/ablation_spacesharing.cpp.o"
+  "CMakeFiles/ablation_spacesharing.dir/ablation_spacesharing.cpp.o.d"
+  "ablation_spacesharing"
+  "ablation_spacesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spacesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_rw_overhead.dir/fig4a_rw_overhead.cpp.o"
+  "CMakeFiles/fig4a_rw_overhead.dir/fig4a_rw_overhead.cpp.o.d"
+  "fig4a_rw_overhead"
+  "fig4a_rw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_rw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_sobel_overhead.dir/fig4b_sobel_overhead.cpp.o"
+  "CMakeFiles/fig4b_sobel_overhead.dir/fig4b_sobel_overhead.cpp.o.d"
+  "fig4b_sobel_overhead"
+  "fig4b_sobel_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_sobel_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

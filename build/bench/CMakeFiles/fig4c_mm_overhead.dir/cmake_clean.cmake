@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_mm_overhead.dir/fig4c_mm_overhead.cpp.o"
+  "CMakeFiles/fig4c_mm_overhead.dir/fig4c_mm_overhead.cpp.o.d"
+  "fig4c_mm_overhead"
+  "fig4c_mm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_mm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_load_configurations.dir/table1_load_configurations.cpp.o"
+  "CMakeFiles/table1_load_configurations.dir/table1_load_configurations.cpp.o.d"
+  "table1_load_configurations"
+  "table1_load_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_load_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sobel_sharing.dir/table2_sobel_sharing.cpp.o"
+  "CMakeFiles/table2_sobel_sharing.dir/table2_sobel_sharing.cpp.o.d"
+  "table2_sobel_sharing"
+  "table2_sobel_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sobel_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mm_sharing.dir/table3_mm_sharing.cpp.o"
+  "CMakeFiles/table3_mm_sharing.dir/table3_mm_sharing.cpp.o.d"
+  "table3_mm_sharing"
+  "table3_mm_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mm_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_alexnet_sharing.dir/table4_alexnet_sharing.cpp.o"
+  "CMakeFiles/table4_alexnet_sharing.dir/table4_alexnet_sharing.cpp.o.d"
+  "table4_alexnet_sharing"
+  "table4_alexnet_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_alexnet_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alexnet_functional_inference.dir/alexnet_functional_inference.cpp.o"
+  "CMakeFiles/example_alexnet_functional_inference.dir/alexnet_functional_inference.cpp.o.d"
+  "example_alexnet_functional_inference"
+  "example_alexnet_functional_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alexnet_functional_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

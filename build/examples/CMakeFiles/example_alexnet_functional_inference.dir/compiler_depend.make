@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_alexnet_functional_inference.
+# This may be replaced when dependencies are built.

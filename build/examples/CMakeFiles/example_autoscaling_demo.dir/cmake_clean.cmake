@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autoscaling_demo.dir/autoscaling_demo.cpp.o"
+  "CMakeFiles/example_autoscaling_demo.dir/autoscaling_demo.cpp.o.d"
+  "example_autoscaling_demo"
+  "example_autoscaling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autoscaling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bfsim_cli.dir/bfsim_cli.cpp.o"
+  "CMakeFiles/example_bfsim_cli.dir/bfsim_cli.cpp.o.d"
+  "example_bfsim_cli"
+  "example_bfsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bfsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reconfiguration_migration.dir/reconfiguration_migration.cpp.o"
+  "CMakeFiles/example_reconfiguration_migration.dir/reconfiguration_migration.cpp.o.d"
+  "example_reconfiguration_migration"
+  "example_reconfiguration_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reconfiguration_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sobel_sharing_service.dir/sobel_sharing_service.cpp.o"
+  "CMakeFiles/example_sobel_sharing_service.dir/sobel_sharing_service.cpp.o.d"
+  "example_sobel_sharing_service"
+  "example_sobel_sharing_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sobel_sharing_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sobel_sharing_service.
+# This may be replaced when dependencies are built.

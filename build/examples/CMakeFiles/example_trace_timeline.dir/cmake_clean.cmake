@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_timeline.dir/trace_timeline.cpp.o"
+  "CMakeFiles/example_trace_timeline.dir/trace_timeline.cpp.o.d"
+  "example_trace_timeline"
+  "example_trace_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

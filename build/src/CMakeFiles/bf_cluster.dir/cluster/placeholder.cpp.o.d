@@ -1,0 +1,2 @@
+src/CMakeFiles/bf_cluster.dir/cluster/placeholder.cpp.o: \
+ /root/repo/src/cluster/placeholder.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/bf_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/bf_cluster.dir/cluster/placeholder.cpp.o"
+  "CMakeFiles/bf_cluster.dir/cluster/placeholder.cpp.o.d"
+  "libbf_cluster.a"
+  "libbf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_common.dir/common/log.cpp.o"
+  "CMakeFiles/bf_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/bf_common.dir/common/stats.cpp.o"
+  "CMakeFiles/bf_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/bf_common.dir/common/status.cpp.o"
+  "CMakeFiles/bf_common.dir/common/status.cpp.o.d"
+  "libbf_common.a"
+  "libbf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

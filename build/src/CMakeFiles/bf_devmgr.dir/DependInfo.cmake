@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devmgr/device_manager.cpp" "src/CMakeFiles/bf_devmgr.dir/devmgr/device_manager.cpp.o" "gcc" "src/CMakeFiles/bf_devmgr.dir/devmgr/device_manager.cpp.o.d"
+  "/root/repo/src/devmgr/task_queue.cpp" "src/CMakeFiles/bf_devmgr.dir/devmgr/task_queue.cpp.o" "gcc" "src/CMakeFiles/bf_devmgr.dir/devmgr/task_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

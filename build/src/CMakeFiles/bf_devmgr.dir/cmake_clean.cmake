@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_devmgr.dir/devmgr/device_manager.cpp.o"
+  "CMakeFiles/bf_devmgr.dir/devmgr/device_manager.cpp.o.d"
+  "CMakeFiles/bf_devmgr.dir/devmgr/task_queue.cpp.o"
+  "CMakeFiles/bf_devmgr.dir/devmgr/task_queue.cpp.o.d"
+  "libbf_devmgr.a"
+  "libbf_devmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_devmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

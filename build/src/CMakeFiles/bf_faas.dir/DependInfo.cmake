@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faas/function.cpp" "src/CMakeFiles/bf_faas.dir/faas/function.cpp.o" "gcc" "src/CMakeFiles/bf_faas.dir/faas/function.cpp.o.d"
+  "/root/repo/src/faas/gateway.cpp" "src/CMakeFiles/bf_faas.dir/faas/gateway.cpp.o" "gcc" "src/CMakeFiles/bf_faas.dir/faas/gateway.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_faas.dir/faas/function.cpp.o"
+  "CMakeFiles/bf_faas.dir/faas/function.cpp.o.d"
+  "CMakeFiles/bf_faas.dir/faas/gateway.cpp.o"
+  "CMakeFiles/bf_faas.dir/faas/gateway.cpp.o.d"
+  "libbf_faas.a"
+  "libbf_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_loadgen.dir/loadgen/loadgen.cpp.o"
+  "CMakeFiles/bf_loadgen.dir/loadgen/loadgen.cpp.o.d"
+  "libbf_loadgen.a"
+  "libbf_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

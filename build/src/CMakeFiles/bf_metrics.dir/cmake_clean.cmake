@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_metrics.dir/metrics/metrics.cpp.o"
+  "CMakeFiles/bf_metrics.dir/metrics/metrics.cpp.o.d"
+  "libbf_metrics.a"
+  "libbf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_native.dir/native/native_runtime.cpp.o"
+  "CMakeFiles/bf_native.dir/native/native_runtime.cpp.o.d"
+  "libbf_native.a"
+  "libbf_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bf_native.
+# This may be replaced when dependencies are built.

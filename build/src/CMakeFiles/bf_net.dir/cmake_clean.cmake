@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_net.dir/net/endpoint.cpp.o"
+  "CMakeFiles/bf_net.dir/net/endpoint.cpp.o.d"
+  "CMakeFiles/bf_net.dir/net/transport.cpp.o"
+  "CMakeFiles/bf_net.dir/net/transport.cpp.o.d"
+  "libbf_net.a"
+  "libbf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_ocl.dir/ocl/capi.cpp.o"
+  "CMakeFiles/bf_ocl.dir/ocl/capi.cpp.o.d"
+  "CMakeFiles/bf_ocl.dir/ocl/runtime.cpp.o"
+  "CMakeFiles/bf_ocl.dir/ocl/runtime.cpp.o.d"
+  "libbf_ocl.a"
+  "libbf_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

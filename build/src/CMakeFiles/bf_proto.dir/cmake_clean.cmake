@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_proto.dir/proto/messages.cpp.o"
+  "CMakeFiles/bf_proto.dir/proto/messages.cpp.o.d"
+  "CMakeFiles/bf_proto.dir/proto/wire.cpp.o"
+  "CMakeFiles/bf_proto.dir/proto/wire.cpp.o.d"
+  "libbf_proto.a"
+  "libbf_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

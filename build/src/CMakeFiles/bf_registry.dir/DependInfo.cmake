@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registry/autoscaler.cpp" "src/CMakeFiles/bf_registry.dir/registry/autoscaler.cpp.o" "gcc" "src/CMakeFiles/bf_registry.dir/registry/autoscaler.cpp.o.d"
+  "/root/repo/src/registry/placeholder.cpp" "src/CMakeFiles/bf_registry.dir/registry/placeholder.cpp.o" "gcc" "src/CMakeFiles/bf_registry.dir/registry/placeholder.cpp.o.d"
+  "/root/repo/src/registry/registry.cpp" "src/CMakeFiles/bf_registry.dir/registry/registry.cpp.o" "gcc" "src/CMakeFiles/bf_registry.dir/registry/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

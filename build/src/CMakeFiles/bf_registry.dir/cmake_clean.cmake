@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_registry.dir/registry/autoscaler.cpp.o"
+  "CMakeFiles/bf_registry.dir/registry/autoscaler.cpp.o.d"
+  "CMakeFiles/bf_registry.dir/registry/placeholder.cpp.o"
+  "CMakeFiles/bf_registry.dir/registry/placeholder.cpp.o.d"
+  "CMakeFiles/bf_registry.dir/registry/registry.cpp.o"
+  "CMakeFiles/bf_registry.dir/registry/registry.cpp.o.d"
+  "libbf_registry.a"
+  "libbf_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/bf_registry.dir/registry/placeholder.cpp.o: \
+ /root/repo/src/registry/placeholder.cpp /usr/include/stdc-predef.h

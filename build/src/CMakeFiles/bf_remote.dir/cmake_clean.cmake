@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_remote.dir/remote/remote_runtime.cpp.o"
+  "CMakeFiles/bf_remote.dir/remote/remote_runtime.cpp.o.d"
+  "libbf_remote.a"
+  "libbf_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

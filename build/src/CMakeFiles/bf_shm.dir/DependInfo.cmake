@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/namespace.cpp" "src/CMakeFiles/bf_shm.dir/shm/namespace.cpp.o" "gcc" "src/CMakeFiles/bf_shm.dir/shm/namespace.cpp.o.d"
+  "/root/repo/src/shm/segment.cpp" "src/CMakeFiles/bf_shm.dir/shm/segment.cpp.o" "gcc" "src/CMakeFiles/bf_shm.dir/shm/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_shm.dir/shm/namespace.cpp.o"
+  "CMakeFiles/bf_shm.dir/shm/namespace.cpp.o.d"
+  "CMakeFiles/bf_shm.dir/shm/segment.cpp.o"
+  "CMakeFiles/bf_shm.dir/shm/segment.cpp.o.d"
+  "libbf_shm.a"
+  "libbf_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

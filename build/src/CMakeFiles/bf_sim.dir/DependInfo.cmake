@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bitstream.cpp" "src/CMakeFiles/bf_sim.dir/sim/bitstream.cpp.o" "gcc" "src/CMakeFiles/bf_sim.dir/sim/bitstream.cpp.o.d"
+  "/root/repo/src/sim/board.cpp" "src/CMakeFiles/bf_sim.dir/sim/board.cpp.o" "gcc" "src/CMakeFiles/bf_sim.dir/sim/board.cpp.o.d"
+  "/root/repo/src/sim/costmodel.cpp" "src/CMakeFiles/bf_sim.dir/sim/costmodel.cpp.o" "gcc" "src/CMakeFiles/bf_sim.dir/sim/costmodel.cpp.o.d"
+  "/root/repo/src/sim/kernels.cpp" "src/CMakeFiles/bf_sim.dir/sim/kernels.cpp.o" "gcc" "src/CMakeFiles/bf_sim.dir/sim/kernels.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/bf_sim.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/bf_sim.dir/sim/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_vt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

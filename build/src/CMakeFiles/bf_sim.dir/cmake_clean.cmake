@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_sim.dir/sim/bitstream.cpp.o"
+  "CMakeFiles/bf_sim.dir/sim/bitstream.cpp.o.d"
+  "CMakeFiles/bf_sim.dir/sim/board.cpp.o"
+  "CMakeFiles/bf_sim.dir/sim/board.cpp.o.d"
+  "CMakeFiles/bf_sim.dir/sim/costmodel.cpp.o"
+  "CMakeFiles/bf_sim.dir/sim/costmodel.cpp.o.d"
+  "CMakeFiles/bf_sim.dir/sim/kernels.cpp.o"
+  "CMakeFiles/bf_sim.dir/sim/kernels.cpp.o.d"
+  "CMakeFiles/bf_sim.dir/sim/memory.cpp.o"
+  "CMakeFiles/bf_sim.dir/sim/memory.cpp.o.d"
+  "libbf_sim.a"
+  "libbf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_testbed.dir/testbed/testbed.cpp.o"
+  "CMakeFiles/bf_testbed.dir/testbed/testbed.cpp.o.d"
+  "libbf_testbed.a"
+  "libbf_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_trace.dir/trace/chrome_trace.cpp.o"
+  "CMakeFiles/bf_trace.dir/trace/chrome_trace.cpp.o.d"
+  "libbf_trace.a"
+  "libbf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_vt.dir/vt/gate.cpp.o"
+  "CMakeFiles/bf_vt.dir/vt/gate.cpp.o.d"
+  "CMakeFiles/bf_vt.dir/vt/time.cpp.o"
+  "CMakeFiles/bf_vt.dir/vt/time.cpp.o.d"
+  "libbf_vt.a"
+  "libbf_vt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

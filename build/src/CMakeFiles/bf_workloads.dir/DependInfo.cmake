@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/alexnet.cpp" "src/CMakeFiles/bf_workloads.dir/workloads/alexnet.cpp.o" "gcc" "src/CMakeFiles/bf_workloads.dir/workloads/alexnet.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/CMakeFiles/bf_workloads.dir/workloads/matmul.cpp.o" "gcc" "src/CMakeFiles/bf_workloads.dir/workloads/matmul.cpp.o.d"
+  "/root/repo/src/workloads/placeholder.cpp" "src/CMakeFiles/bf_workloads.dir/workloads/placeholder.cpp.o" "gcc" "src/CMakeFiles/bf_workloads.dir/workloads/placeholder.cpp.o.d"
+  "/root/repo/src/workloads/sobel.cpp" "src/CMakeFiles/bf_workloads.dir/workloads/sobel.cpp.o" "gcc" "src/CMakeFiles/bf_workloads.dir/workloads/sobel.cpp.o.d"
+  "/root/repo/src/workloads/spector_extra.cpp" "src/CMakeFiles/bf_workloads.dir/workloads/spector_extra.cpp.o" "gcc" "src/CMakeFiles/bf_workloads.dir/workloads/spector_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bf_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_vt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_workloads.dir/workloads/alexnet.cpp.o"
+  "CMakeFiles/bf_workloads.dir/workloads/alexnet.cpp.o.d"
+  "CMakeFiles/bf_workloads.dir/workloads/matmul.cpp.o"
+  "CMakeFiles/bf_workloads.dir/workloads/matmul.cpp.o.d"
+  "CMakeFiles/bf_workloads.dir/workloads/placeholder.cpp.o"
+  "CMakeFiles/bf_workloads.dir/workloads/placeholder.cpp.o.d"
+  "CMakeFiles/bf_workloads.dir/workloads/sobel.cpp.o"
+  "CMakeFiles/bf_workloads.dir/workloads/sobel.cpp.o.d"
+  "CMakeFiles/bf_workloads.dir/workloads/spector_extra.cpp.o"
+  "CMakeFiles/bf_workloads.dir/workloads/spector_extra.cpp.o.d"
+  "libbf_workloads.a"
+  "libbf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

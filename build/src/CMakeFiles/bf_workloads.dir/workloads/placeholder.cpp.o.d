@@ -1,0 +1,2 @@
+src/CMakeFiles/bf_workloads.dir/workloads/placeholder.cpp.o: \
+ /root/repo/src/workloads/placeholder.cpp /usr/include/stdc-predef.h

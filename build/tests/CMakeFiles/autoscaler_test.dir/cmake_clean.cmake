@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaler_test.dir/autoscaler_test.cpp.o"
+  "CMakeFiles/autoscaler_test.dir/autoscaler_test.cpp.o.d"
+  "autoscaler_test"
+  "autoscaler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devmgr_test.dir/devmgr_test.cpp.o"
+  "CMakeFiles/devmgr_test.dir/devmgr_test.cpp.o.d"
+  "devmgr_test"
+  "devmgr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devmgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_runtime_test.dir/native_runtime_test.cpp.o"
+  "CMakeFiles/native_runtime_test.dir/native_runtime_test.cpp.o.d"
+  "native_runtime_test"
+  "native_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

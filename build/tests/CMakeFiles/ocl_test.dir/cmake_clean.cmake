@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocl_test.dir/ocl_test.cpp.o"
+  "CMakeFiles/ocl_test.dir/ocl_test.cpp.o.d"
+  "ocl_test"
+  "ocl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_runtime_test.dir/remote_runtime_test.cpp.o"
+  "CMakeFiles/remote_runtime_test.dir/remote_runtime_test.cpp.o.d"
+  "remote_runtime_test"
+  "remote_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_board_test.dir/sim_board_test.cpp.o"
+  "CMakeFiles/sim_board_test.dir/sim_board_test.cpp.o.d"
+  "sim_board_test"
+  "sim_board_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_board_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_kernels_test.dir/sim_kernels_test.cpp.o"
+  "CMakeFiles/sim_kernels_test.dir/sim_kernels_test.cpp.o.d"
+  "sim_kernels_test"
+  "sim_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

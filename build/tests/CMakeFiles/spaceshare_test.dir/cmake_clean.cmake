@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaceshare_test.dir/spaceshare_test.cpp.o"
+  "CMakeFiles/spaceshare_test.dir/spaceshare_test.cpp.o.d"
+  "spaceshare_test"
+  "spaceshare_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaceshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

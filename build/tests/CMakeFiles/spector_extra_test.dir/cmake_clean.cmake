@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spector_extra_test.dir/spector_extra_test.cpp.o"
+  "CMakeFiles/spector_extra_test.dir/spector_extra_test.cpp.o.d"
+  "spector_extra_test"
+  "spector_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spector_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

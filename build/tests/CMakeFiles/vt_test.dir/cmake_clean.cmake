@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vt_test.dir/vt_test.cpp.o"
+  "CMakeFiles/vt_test.dir/vt_test.cpp.o.d"
+  "vt_test"
+  "vt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waitlist_test.dir/waitlist_test.cpp.o"
+  "CMakeFiles/waitlist_test.dir/waitlist_test.cpp.o.d"
+  "waitlist_test"
+  "waitlist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waitlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

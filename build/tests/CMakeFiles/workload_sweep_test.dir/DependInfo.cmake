@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_sweep_test.cpp" "tests/CMakeFiles/workload_sweep_test.dir/workload_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/workload_sweep_test.dir/workload_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_devmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bf_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
