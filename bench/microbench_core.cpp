@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/queue.h"
+#include "fault/injector.h"
 #include "proto/messages.h"
 #include "shm/segment.h"
 #include "sim/board.h"
@@ -134,6 +135,27 @@ void BM_GemmKernelFunctional(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_GemmKernelFunctional)->Arg(64)->Arg(128);
+
+void BM_FaultSiteDisarmed(benchmark::State& state) {
+  // The acceptance bar for the instrumentation threaded through net/shm/
+  // devmgr/remote: a disarmed site must cost one relaxed atomic load —
+  // compare against BM_FaultSiteArmedMiss to see the slow path it avoids.
+  for (auto _ : state) {
+    bool fired = fault::should_fire(fault::site::kNetSendDelay);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_FaultSiteDisarmed);
+
+void BM_FaultSiteArmedMiss(benchmark::State& state) {
+  // Armed but untriggered site: the locked map lookup tests pay per hit.
+  fault::ScopedInjection inject(1);
+  for (auto _ : state) {
+    bool fired = fault::should_fire(fault::site::kNetSendDelay);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_FaultSiteArmedMiss);
 
 }  // namespace
 }  // namespace bf

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "fault/injector.h"
 #include "native/native_runtime.h"
 #include "proto/wire.h"
 #include "sim/bitstream.h"
@@ -106,6 +107,12 @@ std::uint64_t DeviceManager::tasks_executed() const {
 std::uint64_t DeviceManager::ops_executed() const {
   std::lock_guard lock(state_mutex_);
   return ops_executed_;
+}
+
+std::vector<DeviceManager::ExecutionRecord> DeviceManager::execution_journal()
+    const {
+  std::lock_guard lock(state_mutex_);
+  return journal_;
 }
 
 vt::Duration DeviceManager::client_busy_between(const std::string& client_id,
@@ -259,7 +266,11 @@ void DeviceManager::handle_sync(std::uint64_t session_id,
       task.program_waiter = std::make_shared<ProgramWaiter>();
       task.seq = next_task_seq_++;
       auto waiter = task.program_waiter;
-      queue_.push(std::move(task));
+      if (Status pushed = queue_.push(std::move(task)); !pushed.ok()) {
+        // Shutdown race: the queue rejected the task; complete the waiter
+        // ourselves so the dispatcher below unblocks with a status.
+        waiter->complete(pushed, at);
+      }
       // Hand the frame's gate hold over to the queued task before blocking,
       // otherwise the worker could never reach the task's stamp.
       connection->done_processing();
@@ -468,19 +479,54 @@ void DeviceManager::seal_task(Session& session, std::uint64_t queue_id,
   task.queue_id = queue_id;
   task.ready = ready;
   task.seq = next_task_seq_++;
-  queue_.push(std::move(task));
+  std::vector<std::uint64_t> op_ids;
+  op_ids.reserve(task.ops.size());
+  for (const Operation& op : task.ops) op_ids.push_back(op.op_id);
+  if (Status pushed = queue_.push(std::move(task)); !pushed.ok()) {
+    // Shutdown race: the central queue already closed. Fail every op's
+    // event with the rejection status so no client event is left hanging
+    // in FIRST/BUFFER (push-after-close must reject, never silently queue).
+    for (const std::uint64_t op_id : op_ids) {
+      proto::OpComplete completion;
+      completion.op_id = op_id;
+      completion.status = proto::StatusMsg::from(pushed);
+      if (session.connection != nullptr && !session.connection->closed()) {
+        session.connection->notify(proto::Method::kOpComplete, op_id,
+                                   encode(completion), ready);
+      }
+    }
+  }
 }
 
 // --- Worker ---------------------------------------------------------------------
 
 void DeviceManager::worker_loop() {
-  while (auto task = queue_.pop(endpoint_.gate())) {
+  bool ordered = true;
+  while (auto task = queue_.pop(endpoint_.gate(), &ordered)) {
+    if (config_.record_execution_journal) {
+      std::lock_guard lock(state_mutex_);
+      journal_.push_back(
+          ExecutionRecord{task->ready, task->seq, task->client_id, ordered});
+    }
+    if (fault::should_fire(fault::site::kDevmgrWorkerStall)) {
+      // Real-time stall only: virtual stamps are untouched, so the modeled
+      // trace must come out identical while thread interleavings get
+      // shaken (the sanitizers' favorite food).
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     execute_task(*task);
   }
 }
 
 void DeviceManager::execute_task(const Task& task) {
   if (task.is_program) {
+    if (fault::should_fire(fault::site::kDevmgrReconfigAbort)) {
+      // Aborted before the board was touched: resident image and every
+      // client buffer stay intact, the requester sees a terminal status.
+      task.program_waiter->complete(
+          Aborted("injected fault: reconfiguration aborted"), task.ready);
+      return;
+    }
     const sim::Bitstream* bitstream =
         sim::BitstreamLibrary::standard().find(task.bitstream_id);
     if (bitstream == nullptr) {
@@ -522,9 +568,29 @@ void DeviceManager::execute_task(const Task& task) {
     }
   }
   vt::Time cursor = task.ready;
+  bool abort_rest = false;
   for (const Operation& op : task.ops) {
     proto::OpComplete completion;
     completion.op_id = op.op_id;
+    if (!abort_rest && fault::should_fire(fault::site::kDevmgrTaskAbort)) {
+      abort_rest = true;
+    }
+    if (abort_rest) {
+      // Mid-task shutdown: this op and everything after it in the task is
+      // failed with a terminal status (earlier ops' effects stand) — no
+      // event may be left dangling in FIRST/BUFFER.
+      completion.status = proto::StatusMsg::from(
+          Aborted("injected fault: mid-task shutdown"));
+      {
+        std::lock_guard lock(state_mutex_);
+        ++ops_executed_;
+        if (&op == &task.ops.back()) ++tasks_executed_;
+      }
+      ops_counter_->increment();
+      if (&op == &task.ops.back()) tasks_counter_->increment();
+      notify_completion(task.session_id, op.op_id, completion, cursor);
+      continue;
+    }
     // Event wait list: delay the op's readiness to its dependencies'
     // completions. A dependency whose command was never flushed is a
     // client-side ordering error (OpenCL would deadlock; we fail fast).

@@ -45,6 +45,10 @@ struct DeviceManagerConfig {
   // on loaded machines never degrade ordering; lower it in tests that
   // intentionally exercise idle-producer liveness.
   std::chrono::milliseconds gate_stall_grace{1000};
+  // Record every executed task's (ready, seq, client, ordered) in an
+  // in-memory journal. Unbounded — test/audit use only (the fault matrix
+  // asserts modeled-FIFO order against it); leave off in load experiments.
+  bool record_execution_journal = false;
 };
 
 class DeviceManager {
@@ -86,6 +90,18 @@ class DeviceManager {
   [[nodiscard]] std::size_t session_count() const;
   [[nodiscard]] std::uint64_t tasks_executed() const;
   [[nodiscard]] std::uint64_t ops_executed() const;
+
+  // One entry per task handed to the worker, in real execution order
+  // (populated only when config.record_execution_journal is set). `ordered`
+  // is false for pops that bypassed the conservative gate (shutdown drain /
+  // stall fallback) and therefore carry no FIFO guarantee.
+  struct ExecutionRecord {
+    vt::Time ready;
+    std::uint64_t seq = 0;
+    std::string client_id;
+    bool ordered = true;
+  };
+  [[nodiscard]] std::vector<ExecutionRecord> execution_journal() const;
 
   // Derives the shared segment name for a session (same formula the remote
   // library uses to open it).
@@ -152,6 +168,7 @@ class DeviceManager {
     sim::Board::Interval interval;
   };
   std::vector<BusyRecord> busy_records_;
+  std::vector<ExecutionRecord> journal_;  // see record_execution_journal
 
   std::mutex threads_mutex_;
   std::vector<std::thread> dispatchers_;

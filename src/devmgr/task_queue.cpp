@@ -2,16 +2,20 @@
 
 namespace bf::devmgr {
 
-void TaskQueue::push(Task task) {
+Status TaskQueue::push(Task task) {
   {
     std::lock_guard lock(mutex_);
-    if (closed_) return;
+    if (closed_) {
+      return Unavailable("task queue closed");
+    }
     tasks_.insert(std::move(task));
   }
   cv_.notify_all();
+  return Status::Ok();
 }
 
-std::optional<Task> TaskQueue::pop(vt::Gate& gate) {
+std::optional<Task> TaskQueue::pop(vt::Gate& gate, bool* ordered) {
+  if (ordered != nullptr) *ordered = true;
   for (;;) {
     vt::Time ready;
     {
@@ -22,15 +26,18 @@ std::optional<Task> TaskQueue::pop(vt::Gate& gate) {
     }
     // Conservative gate: no client can still emit anything earlier. While we
     // wait, only later-stamped tasks can be added, so the head is stable.
-    if (!gate.wait_safe(ready)) {
+    bool fallback = false;
+    if (!gate.wait_safe(ready, &fallback)) {
       // Gate shutdown: drain remaining tasks without ordering guarantees so
       // pending waiters (e.g. ProgramWaiter) are not stranded.
+      if (ordered != nullptr) *ordered = false;
       std::lock_guard lock(mutex_);
       if (tasks_.empty()) return std::nullopt;
       Task task = *tasks_.begin();
       tasks_.erase(tasks_.begin());
       return task;
     }
+    if (fallback && ordered != nullptr) *ordered = false;
     std::lock_guard lock(mutex_);
     if (tasks_.empty()) continue;
     Task task = *tasks_.begin();

@@ -22,11 +22,20 @@ class TaskQueue {
   TaskQueue(const TaskQueue&) = delete;
   TaskQueue& operator=(const TaskQueue&) = delete;
 
-  void push(Task task);
+  // Enqueues a task. After close() every push is rejected deterministically
+  // with kUnavailable — the task is NOT silently queued or dropped, and the
+  // caller must fail the task's events so clients observe a terminal status.
+  // push and close serialize on the queue mutex, so a push racing a
+  // concurrent close either fully succeeds (the task will be drained) or is
+  // fully rejected; there is no in-between.
+  [[nodiscard]] Status push(Task task);
 
   // Blocks until the earliest task is safe to execute (or the queue/gate is
-  // shut down, returning nullopt). Single-consumer.
-  std::optional<Task> pop(vt::Gate& gate);
+  // shut down, returning nullopt). Single-consumer. When `ordered` is
+  // non-null it is set to true iff the pop was conservatively gated (strict
+  // modeled-FIFO); false for gate-shutdown drains and stall-grace
+  // fallbacks, whose ordering is best-effort.
+  std::optional<Task> pop(vt::Gate& gate, bool* ordered = nullptr);
 
   void close();
 

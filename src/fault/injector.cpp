@@ -1,0 +1,119 @@
+#include "fault/injector.h"
+
+namespace bf::fault {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+// FNV-1a, folded with the seed through splitmix64 inside Rng's constructor.
+// Each site gets an independent, reproducible decision stream.
+std::uint64_t site_stream_seed(std::uint64_t seed, const std::string& site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return seed ^ h;
+}
+
+}  // namespace
+
+Injector& Injector::instance() {
+  static Injector* injector = new Injector();  // never destroyed
+  return *injector;
+}
+
+void Injector::arm(std::uint64_t seed) {
+  {
+    std::lock_guard lock(mutex_);
+    seed_ = seed;
+    global_budget_ = kUnlimited;
+    total_fires_ = 0;
+    sites_.clear();
+    fire_log_.clear();
+  }
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Injector::disarm() {
+  internal::g_armed.store(false, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  sites_.clear();
+  fire_log_.clear();
+  total_fires_ = 0;
+  global_budget_ = kUnlimited;
+}
+
+void Injector::set_trigger(const std::string& site, Trigger trigger) {
+  std::lock_guard lock(mutex_);
+  SiteState& state = state_locked(site);
+  state.trigger = trigger;
+  state.triggered = true;
+}
+
+void Injector::clear_trigger(const std::string& site) {
+  std::lock_guard lock(mutex_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.triggered = false;
+}
+
+void Injector::set_global_budget(std::uint64_t fires) {
+  std::lock_guard lock(mutex_);
+  global_budget_ = fires;
+}
+
+Injector::SiteState& Injector::state_locked(const std::string& site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(site, SiteState{}).first;
+    it->second.rng = Rng(site_stream_seed(seed_, site));
+  }
+  return it->second;
+}
+
+bool Injector::should_fire_slow(const char* site_name) {
+  std::lock_guard lock(mutex_);
+  SiteState& state = state_locked(site_name);
+  const std::uint64_t ordinal = state.hits++;
+  if (!state.triggered) return false;
+  // The RNG draw happens on every triggered hit — including budget-capped
+  // and warm-up ones — so a decision depends only on (seed, site, ordinal),
+  // never on how many earlier hits actually fired.
+  const double draw = state.rng.next_double();
+  if (ordinal < state.trigger.after_hits) return false;
+  if (state.fires >= state.trigger.budget) return false;
+  if (total_fires_ >= global_budget_) return false;
+  if (draw >= state.trigger.probability) return false;
+  ++state.fires;
+  ++total_fires_;
+  fire_log_.push_back(std::string(site_name) + ":" +
+                      std::to_string(ordinal));
+  return true;
+}
+
+std::uint64_t Injector::hits(const std::string& site) const {
+  std::lock_guard lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Injector::fires(const std::string& site) const {
+  std::lock_guard lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t Injector::total_fires() const {
+  std::lock_guard lock(mutex_);
+  return total_fires_;
+}
+
+std::vector<std::string> Injector::fire_log() const {
+  std::lock_guard lock(mutex_);
+  return fire_log_;
+}
+
+}  // namespace bf::fault

@@ -1,0 +1,181 @@
+// Deterministic fault injection for the control and data planes.
+//
+// The paper's correctness claims — per-call event state machines (§III-A),
+// the atomic task FIFO gated by virtual time (§III-B), create-before-delete
+// migration (§III-C) — are only meaningful if they hold when components
+// fail. This subsystem lets tests inject failures at *named sites* threaded
+// through the layers where those guarantees are load-bearing, with three
+// properties:
+//
+//   * Deterministic: every decision is a pure function of (seed, site,
+//     hit ordinal). Each site keeps its own RNG stream, so two runs with the
+//     same seed and the same per-site hit sequences make identical
+//     decisions regardless of cross-site thread interleaving.
+//   * Budgeted: triggers carry per-site fire budgets plus an optional
+//     process-wide cap, so a fault storm cannot starve a scenario forever.
+//   * Zero-cost when disarmed: the hot-path check is a single relaxed
+//     atomic load of a process-wide flag (see bf::fault::should_fire); no
+//     lock, no map lookup, no RNG draw. Production binaries never pay for
+//     the instrumentation.
+//
+// Typical use (tests):
+//
+//   fault::ScopedInjection inject(seed);
+//   inject.site(fault::site::kShmStageFail, {.probability = 0.2});
+//   ... drive the workload; sites fire deterministically ...
+//
+// The injector is process-wide (like the real failure surface it models);
+// ScopedInjection arms it on construction and disarms on destruction so
+// tests cannot leak armed state into each other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bf::fault {
+
+// Named injection sites. Using constants (rather than ad-hoc strings at the
+// call sites) keeps tests and instrumentation in agreement; the name encodes
+// subsystem.operation.fault-kind.
+namespace site {
+// net: the gRPC-analogue fabric.
+inline constexpr const char* kNetSendConnLoss = "net.send.conn_loss";
+inline constexpr const char* kNetSendDelay = "net.send.delay";
+inline constexpr const char* kNetNotifyDropEnqueued =
+    "net.notify.drop_enqueued";
+inline constexpr const char* kNetNotifyDupComplete =
+    "net.notify.dup_complete";
+// shm: the shared-memory data plane.
+inline constexpr const char* kShmGrantDeny = "shm.grant.deny";
+inline constexpr const char* kShmAttachFail = "shm.attach.fail";
+inline constexpr const char* kShmStageFail = "shm.stage.fail";
+// devmgr: the Device Manager's worker and central queue.
+inline constexpr const char* kDevmgrWorkerStall = "devmgr.worker.stall";
+inline constexpr const char* kDevmgrTaskAbort = "devmgr.task.abort";
+inline constexpr const char* kDevmgrReconfigAbort = "devmgr.reconfig.abort";
+// remote: the Remote OpenCL Library's completion pump.
+inline constexpr const char* kRemotePumpReorder = "remote.pump.reorder";
+inline constexpr const char* kRemotePumpDupComplete =
+    "remote.pump.dup_complete";
+inline constexpr const char* kRemotePumpDupEnqueued =
+    "remote.pump.dup_enqueued";
+}  // namespace site
+
+inline constexpr std::uint64_t kUnlimited =
+    std::numeric_limits<std::uint64_t>::max();
+
+// When and how often a site fires once armed.
+struct Trigger {
+  double probability = 1.0;        // per-hit fire chance past after_hits
+  std::uint64_t after_hits = 0;    // skip the first N hits entirely
+  std::uint64_t budget = kUnlimited;  // max fires at this site
+};
+
+// Process-wide armed flag. Kept outside the Injector so the inline fast
+// path touches exactly one cache line and nothing else.
+namespace internal {
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+[[nodiscard]] inline bool armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+class Injector {
+ public:
+  static Injector& instance();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  // Arms the injector with a deterministic seed. Resets all site state,
+  // counters and the global budget. Triggers must be (re)installed after
+  // arming.
+  void arm(std::uint64_t seed);
+
+  // Disarms and clears every trigger and counter. Sites degrade back to the
+  // single-atomic-load fast path.
+  void disarm();
+
+  // Installs / replaces the trigger for a site. A site without a trigger
+  // never fires.
+  void set_trigger(const std::string& site, Trigger trigger);
+  void clear_trigger(const std::string& site);
+
+  // Caps total fires across all sites (fault-storm bound). kUnlimited by
+  // default.
+  void set_global_budget(std::uint64_t fires);
+
+  // Slow path behind bf::fault::should_fire(); do not call directly from
+  // instrumented code.
+  [[nodiscard]] bool should_fire_slow(const char* site_name);
+
+  // --- introspection (tests) ------------------------------------------------
+  [[nodiscard]] std::uint64_t hits(const std::string& site) const;
+  [[nodiscard]] std::uint64_t fires(const std::string& site) const;
+  [[nodiscard]] std::uint64_t total_fires() const;
+  // "site:hit_ordinal" for every fire, in per-site deterministic order
+  // (cross-site order follows real scheduling; sort before comparing).
+  [[nodiscard]] std::vector<std::string> fire_log() const;
+
+ private:
+  Injector() = default;
+
+  struct SiteState {
+    Trigger trigger;
+    Rng rng{0};
+    bool triggered = false;  // has an installed trigger
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  // Returns the site's state, creating it (with an RNG stream derived from
+  // the seed and the site name) on first touch. Requires mutex_ held.
+  SiteState& state_locked(const std::string& site);
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t global_budget_ = kUnlimited;
+  std::uint64_t total_fires_ = 0;
+  std::map<std::string, SiteState> sites_;
+  std::vector<std::string> fire_log_;
+};
+
+// The instrumentation entry point. Disarmed cost: one relaxed atomic load.
+[[nodiscard]] inline bool should_fire(const char* site_name) {
+  return armed() && Injector::instance().should_fire_slow(site_name);
+}
+
+// RAII arm/disarm with fluent trigger installation:
+//
+//   fault::ScopedInjection inject(42);
+//   inject.site(fault::site::kNetSendConnLoss, {.after_hits = 3});
+class ScopedInjection {
+ public:
+  explicit ScopedInjection(std::uint64_t seed) {
+    Injector::instance().arm(seed);
+  }
+  ~ScopedInjection() { Injector::instance().disarm(); }
+
+  ScopedInjection(const ScopedInjection&) = delete;
+  ScopedInjection& operator=(const ScopedInjection&) = delete;
+
+  ScopedInjection& site(const std::string& name, Trigger trigger) {
+    Injector::instance().set_trigger(name, trigger);
+    return *this;
+  }
+
+  ScopedInjection& global_budget(std::uint64_t fires) {
+    Injector::instance().set_global_budget(fires);
+    return *this;
+  }
+};
+
+}  // namespace bf::fault

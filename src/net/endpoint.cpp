@@ -1,8 +1,17 @@
 #include "net/endpoint.h"
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace bf::net {
+namespace {
+
+// Extra in-flight latency charged when the delay fault fires: on the order
+// of the ~2 ms control-message floor, so delayed frames genuinely land in a
+// different spot of the modeled timeline.
+constexpr vt::Duration kInjectedDelay = vt::Duration::millis(2);
+
+}  // namespace
 
 Connection::Connection(ServerEndpoint* endpoint, std::string peer,
                        TransportCost cost, vt::Gate::Source source,
@@ -47,6 +56,10 @@ Frame Connection::make_server_frame(Frame::Kind kind, proto::Method method,
 Result<Frame> Connection::call(proto::Method method, Bytes payload,
                                vt::Cursor& cursor) {
   if (closed_.load()) return Unavailable("connection closed");
+  if (fault::should_fire(fault::site::kNetSendConnLoss)) {
+    close();
+    return Unavailable("injected fault: connection lost");
+  }
   std::uint64_t call_id = 0;
   {
     std::lock_guard lock(pending_mutex_);
@@ -55,6 +68,9 @@ Result<Frame> Connection::call(proto::Method method, Bytes payload,
   }
 
   Frame frame = make_request(method, call_id, std::move(payload), cursor);
+  if (fault::should_fire(fault::site::kNetSendDelay)) {
+    frame.arrival_time += kInjectedDelay;
+  }
   {
     std::lock_guard lock(bound_mutex_);
     frame.arrival_time = vt::max(frame.arrival_time, last_arrival_);
@@ -102,7 +118,14 @@ Result<Frame> Connection::call(proto::Method method, Bytes payload,
 Status Connection::send(proto::Method method, std::uint64_t correlation,
                         Bytes payload, vt::Cursor& cursor) {
   if (closed_.load()) return Unavailable("connection closed");
+  if (fault::should_fire(fault::site::kNetSendConnLoss)) {
+    close();
+    return Unavailable("injected fault: connection lost");
+  }
   Frame frame = make_request(method, correlation, std::move(payload), cursor);
+  if (fault::should_fire(fault::site::kNetSendDelay)) {
+    frame.arrival_time += kInjectedDelay;
+  }
   {
     std::lock_guard lock(bound_mutex_);
     frame.arrival_time = vt::max(frame.arrival_time, last_arrival_);
@@ -144,7 +167,10 @@ void Connection::close() {
   inbox_.close();
   notifications_.close();
   pending_cv_.notify_all();
-  // Unregister from the gate so the worker no longer waits on us.
+  // Unregister from the gate so the worker no longer waits on us. The
+  // dispatcher announces through source_ under bound_mutex_ (publish_locked),
+  // so the release must hold the same lock or it races a late announce.
+  std::lock_guard lock(bound_mutex_);
   source_ = vt::Gate::Source();
 }
 
@@ -179,6 +205,12 @@ void Connection::reply(const Frame& request, Bytes payload,
 
 void Connection::notify(proto::Method method, std::uint64_t correlation,
                         Bytes payload, vt::Time server_time) {
+  // OpEnqueued is the advisory admission ack (INIT -> FIRST); dropping it
+  // must leave the event able to complete via OpComplete alone.
+  if (method == proto::Method::kOpEnqueued &&
+      fault::should_fire(fault::site::kNetNotifyDropEnqueued)) {
+    return;
+  }
   Frame frame = make_server_frame(Frame::Kind::kNotify, method, correlation,
                                   std::move(payload), server_time);
   // Op completions wake event waiters. The bound must be re-anchored
@@ -187,6 +219,11 @@ void Connection::notify(proto::Method method, std::uint64_t correlation,
   // task before this client's next (earlier-stamped) request materializes.
   if (method == proto::Method::kOpComplete) {
     wake_announce(WaitTag::kEvent, correlation, frame.arrival_time);
+    if (fault::should_fire(fault::site::kNetNotifyDupComplete)) {
+      // Stale duplicate ack: the receiver's event map / state machine must
+      // absorb the second copy without corrupting the event.
+      notifications_.push(frame);
+    }
   }
   notifications_.push(std::move(frame));
 }

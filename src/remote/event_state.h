@@ -1,0 +1,82 @@
+// The per-call event state machine of the Remote OpenCL Library (paper
+// §III-A): INIT -> FIRST -> BUFFER -> COMPLETE, states only move forward.
+//
+// Extracted from RemoteEvent so the transition relation is a pure,
+// independently testable function. The pump thread applies inputs as acks
+// arrive off the completion stream; because the stream can deliver
+// duplicate or stale acks under faults (and does, under injection), every
+// illegal input must be *ignored* — never regress the state, never crash.
+#pragma once
+
+#include <string_view>
+
+namespace bf::remote {
+
+enum class EventState { kInit, kFirst, kBuffer, kComplete };
+
+enum class EventInput {
+  kEnqueuedAck,   // OpEnqueued: the manager admitted the call (INIT->FIRST)
+  kBufferStaged,  // payload staged in shm / inline bytes (->BUFFER)
+  kCompleted,     // OpComplete (or teardown failure) (->COMPLETE, terminal)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EventState state) {
+  switch (state) {
+    case EventState::kInit: return "INIT";
+    case EventState::kFirst: return "FIRST";
+    case EventState::kBuffer: return "BUFFER";
+    case EventState::kComplete: return "COMPLETE";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(EventInput input) {
+  switch (input) {
+    case EventInput::kEnqueuedAck: return "EnqueuedAck";
+    case EventInput::kBufferStaged: return "BufferStaged";
+    case EventInput::kCompleted: return "Completed";
+  }
+  return "?";
+}
+
+// Transition relation. Legal transitions:
+//   INIT   --EnqueuedAck-->  FIRST
+//   INIT   --BufferStaged--> BUFFER   (data staged before the ack arrives)
+//   FIRST  --BufferStaged--> BUFFER
+//   any non-terminal --Completed--> COMPLETE
+// Everything else (duplicate acks, acks after completion, regressions) is
+// ignored.
+class EventFsm {
+ public:
+  [[nodiscard]] EventState state() const { return state_; }
+  [[nodiscard]] bool complete() const {
+    return state_ == EventState::kComplete;
+  }
+
+  // Applies `input`; returns true if the state advanced, false if the input
+  // was ignored as illegal/stale in the current state.
+  bool apply(EventInput input) {
+    switch (input) {
+      case EventInput::kEnqueuedAck:
+        if (state_ != EventState::kInit) return false;
+        state_ = EventState::kFirst;
+        return true;
+      case EventInput::kBufferStaged:
+        if (state_ != EventState::kInit && state_ != EventState::kFirst) {
+          return false;
+        }
+        state_ = EventState::kBuffer;
+        return true;
+      case EventInput::kCompleted:
+        if (state_ == EventState::kComplete) return false;  // stale ack
+        state_ = EventState::kComplete;
+        return true;
+    }
+    return false;
+  }
+
+ private:
+  EventState state_ = EventState::kInit;
+};
+
+}  // namespace bf::remote

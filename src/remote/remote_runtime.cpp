@@ -1,9 +1,12 @@
 #include "remote/remote_runtime.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/log.h"
+#include "fault/injector.h"
 #include "proto/wire.h"
+#include "remote/event_state.h"
 
 namespace bf::remote {
 namespace {
@@ -39,16 +42,18 @@ ocl::DeviceInfo to_device_info(const proto::DeviceDescriptor& descriptor) {
 
 class RemoteQueue;
 
-// The paper's 4-state event machine. States only move forward.
+// The paper's 4-state event machine (transition relation in
+// remote/event_state.h — states only move forward, stale acks are ignored).
+// Holds the connection by shared_ptr: an application may legally keep an
+// event alive past its context's destruction, and wait() touches the
+// connection after waking.
 class RemoteEvent final : public ocl::Event {
  public:
-  enum class State { kInit, kFirst, kBuffer, kComplete };
-
   RemoteEvent(std::uint64_t op_id, ocl::Session* session,
-              net::Connection* connection, RemoteQueue* queue)
+              std::shared_ptr<net::Connection> connection, RemoteQueue* queue)
       : op_id_(op_id),
         session_(session),
-        connection_(connection),
+        connection_(std::move(connection)),
         queue_(queue) {}
 
   [[nodiscard]] std::uint64_t op_id() const { return op_id_; }
@@ -56,11 +61,11 @@ class RemoteEvent final : public ocl::Event {
   [[nodiscard]] ocl::EventStatus status() const override {
     std::lock_guard lock(mutex_);
     if (!op_status_.ok()) return ocl::EventStatus::kError;
-    switch (state_) {
-      case State::kInit: return ocl::EventStatus::kQueued;
-      case State::kFirst: return ocl::EventStatus::kSubmitted;
-      case State::kBuffer: return ocl::EventStatus::kRunning;
-      case State::kComplete:
+    switch (fsm_.state()) {
+      case EventState::kInit: return ocl::EventStatus::kQueued;
+      case EventState::kFirst: return ocl::EventStatus::kSubmitted;
+      case EventState::kBuffer: return ocl::EventStatus::kRunning;
+      case EventState::kComplete:
         // Completion becomes observable once the application's virtual
         // clock passes the completion stamp (polling costs the app time).
         return completion_ <= session_->now() ? ocl::EventStatus::kComplete
@@ -80,18 +85,21 @@ class RemoteEvent final : public ocl::Event {
 
   void on_enqueued() {
     std::lock_guard lock(mutex_);
-    if (state_ == State::kInit) state_ = State::kFirst;
+    (void)fsm_.apply(EventInput::kEnqueuedAck);  // stale/dup acks ignored
   }
 
   void mark_buffer_staged() {
     std::lock_guard lock(mutex_);
-    if (state_ != State::kComplete) state_ = State::kBuffer;
+    (void)fsm_.apply(EventInput::kBufferStaged);
   }
 
   void complete(Status status, vt::Time at) {
     {
       std::lock_guard lock(mutex_);
-      state_ = State::kComplete;
+      // First completion wins; a stale OpComplete (duplicate delivery,
+      // teardown racing a real completion) must not clobber the recorded
+      // status or completion stamp.
+      if (!fsm_.apply(EventInput::kCompleted)) return;
       op_status_ = std::move(status);
       completion_ = at;
     }
@@ -112,12 +120,12 @@ class RemoteEvent final : public ocl::Event {
  private:
   std::uint64_t op_id_;
   ocl::Session* session_;
-  net::Connection* connection_;
+  std::shared_ptr<net::Connection> connection_;
   RemoteQueue* queue_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  State state_ = State::kInit;
+  EventFsm fsm_;
   Status op_status_;
   vt::Time completion_;
 
@@ -207,6 +215,10 @@ class RemoteContext final : public ocl::Context {
   // --- used by RemoteQueue ----------------------------------------------------
 
   [[nodiscard]] net::Connection& connection() { return *connection_; }
+  [[nodiscard]] const std::shared_ptr<net::Connection>& connection_ptr()
+      const {
+    return connection_;
+  }
   [[nodiscard]] const std::shared_ptr<shm::Segment>& segment() const {
     return segment_;
   }
@@ -221,6 +233,7 @@ class RemoteContext final : public ocl::Context {
 
  private:
   void pump_loop();
+  void process_notification(const net::Frame& frame);
   void fail_pending(const Status& status);
   std::shared_ptr<RemoteEvent> take_event(std::uint64_t op_id);
   std::shared_ptr<RemoteEvent> peek_event(std::uint64_t op_id);
@@ -269,7 +282,7 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               &context_->connection(), this);
+                                               context_->connection_ptr(), this);
     context_->register_event(op_id, event);
 
     auto wait_ids = to_wait_ids(wait_list);
@@ -318,7 +331,7 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               &context_->connection(), this);
+                                               context_->connection_ptr(), this);
     event->set_read_target(out, context_->segment());
     context_->register_event(op_id, event);
 
@@ -350,7 +363,7 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               &context_->connection(), this);
+                                               context_->connection_ptr(), this);
     context_->register_event(op_id, event);
 
     auto wait_ids = to_wait_ids(wait_list);
@@ -402,7 +415,7 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               &context_->connection(), this);
+                                               context_->connection_ptr(), this);
     context_->register_event(op_id, event);
     proto::FinishReq request;
     request.op_id = op_id;
@@ -424,16 +437,26 @@ class RemoteQueue final : public ocl::CommandQueue {
 };
 
 Status RemoteEvent::wait() {
-  if (queue_ != nullptr) {
+  bool pending = false;
+  {
+    std::lock_guard lock(mutex_);
+    pending = !fsm_.complete();
+  }
+  // Only a still-pending wait needs the implied flush. A completed event
+  // already has its terminal status, and skipping the queue here keeps
+  // wait() safe on events the application kept alive past their context
+  // (the queue's context pointer dies with the context; teardown completes
+  // every registered event via fail_pending first).
+  if (pending && queue_ != nullptr) {
     if (Status s = queue_->flush_for_wait(); !s.ok()) return s;
   }
   {
     std::unique_lock lock(mutex_);
-    if (state_ != State::kComplete) {
+    if (!fsm_.complete()) {
       // Register the wake tag so the connection thread re-anchors our gate
       // bound atomically with the completion that wakes us.
       connection_->prepare_wait(net::Connection::WaitTag::kEvent, op_id_);
-      cv_.wait(lock, [&] { return state_ == State::kComplete; });
+      cv_.wait(lock, [&] { return fsm_.complete(); });
     }
   }
   vt::Time completion;
@@ -461,49 +484,74 @@ Result<std::unique_ptr<ocl::CommandQueue>> RemoteContext::create_queue() {
 
 void RemoteContext::pump_loop() {
   while (auto frame = connection_->notifications().pop()) {
-    switch (frame->method) {
-      case proto::Method::kOpEnqueued: {
-        auto note = decode_payload<proto::OpEnqueued>(*frame);
-        if (!note.ok()) break;
-        auto event = peek_event(note.value().op_id);
-        if (event != nullptr) event->on_enqueued();
-        break;
+    // Completion-queue reordering: swap this frame with the next one when
+    // another notification is already queued behind it. Event completion
+    // stamps ride in the frames themselves, so the modeled results are
+    // unchanged — only the pump's processing order is shaken.
+    if (fault::should_fire(fault::site::kRemotePumpReorder)) {
+      if (auto next = connection_->notifications().try_pop()) {
+        process_notification(*next);
       }
-      case proto::Method::kOpComplete: {
-        auto note = decode_payload<proto::OpComplete>(*frame);
-        if (!note.ok()) break;
-        auto event = take_event(note.value().op_id);
-        if (event == nullptr) break;
-        Status status = note.value().status.to_status();
-        vt::Time completion = frame->arrival_time;
-        if (status.ok() && !event->read_target().empty()) {
-          // Deliver read data into the application buffer.
-          if (note.value().shm_slot >= 0 && event->segment() != nullptr) {
-            vt::Cursor copy_clock(frame->arrival_time);
-            status = event->segment()->fetch(note.value().shm_slot,
-                                             event->read_target(), copy_clock);
-            completion = copy_clock.now();
-          } else if (note.value().data.size() == event->read_target().size()) {
-            std::copy(note.value().data.begin(), note.value().data.end(),
-                      event->read_target().begin());
-          } else {
-            status = Internal("read completion size mismatch: got " +
-                              std::to_string(note.value().data.size()) +
-                              "B, want " +
-                              std::to_string(event->read_target().size()) +
-                              "B");
-          }
-        }
-        event->complete(std::move(status), completion);
-        break;
-      }
-      default:
-        BF_LOG_WARN("remote") << "unexpected notification "
-                              << proto::to_string(frame->method);
-        break;
     }
+    process_notification(*frame);
   }
   fail_pending(Unavailable("connection to device manager lost"));
+}
+
+void RemoteContext::process_notification(const net::Frame& frame) {
+  switch (frame.method) {
+    case proto::Method::kOpEnqueued: {
+      auto note = decode_payload<proto::OpEnqueued>(frame);
+      if (!note.ok()) break;
+      auto event = peek_event(note.value().op_id);
+      if (event != nullptr) {
+        event->on_enqueued();
+        if (fault::should_fire(fault::site::kRemotePumpDupEnqueued)) {
+          // Duplicate admission ack: the FSM must ignore FIRST -> FIRST.
+          event->on_enqueued();
+        }
+      }
+      break;
+    }
+    case proto::Method::kOpComplete: {
+      auto note = decode_payload<proto::OpComplete>(frame);
+      if (!note.ok()) break;
+      auto event = take_event(note.value().op_id);
+      if (event == nullptr) break;  // stale/duplicate ack: already retired
+      Status status = note.value().status.to_status();
+      vt::Time completion = frame.arrival_time;
+      if (status.ok() && !event->read_target().empty()) {
+        // Deliver read data into the application buffer.
+        if (note.value().shm_slot >= 0 && event->segment() != nullptr) {
+          vt::Cursor copy_clock(frame.arrival_time);
+          status = event->segment()->fetch(note.value().shm_slot,
+                                           event->read_target(), copy_clock);
+          completion = copy_clock.now();
+        } else if (note.value().data.size() == event->read_target().size()) {
+          std::copy(note.value().data.begin(), note.value().data.end(),
+                    event->read_target().begin());
+        } else {
+          status = Internal("read completion size mismatch: got " +
+                            std::to_string(note.value().data.size()) +
+                            "B, want " +
+                            std::to_string(event->read_target().size()) +
+                            "B");
+        }
+      }
+      event->complete(std::move(status), completion);
+      if (fault::should_fire(fault::site::kRemotePumpDupComplete)) {
+        // Stale OpComplete for an op that already completed: the first
+        // completion's status and stamp must stand.
+        event->complete(Internal("injected fault: stale OpComplete"),
+                        frame.arrival_time);
+      }
+      break;
+    }
+    default:
+      BF_LOG_WARN("remote") << "unexpected notification "
+                            << proto::to_string(frame.method);
+      break;
+  }
 }
 
 void RemoteContext::fail_pending(const Status& status) {

@@ -1,10 +1,17 @@
 #include "shm/namespace.h"
 
+#include "fault/injector.h"
+
 namespace bf::shm {
 
 Result<std::shared_ptr<Segment>> Namespace::create(
     const std::string& name, sim::CopyModel copy_model,
     std::uint64_t capacity_bytes) {
+  // Grant denial: the Device Manager must fall back to the gRPC data path,
+  // exactly as the paper prescribes when no shared area can be created.
+  if (fault::should_fire(fault::site::kShmGrantDeny)) {
+    return ResourceExhausted("injected fault: shm grant denied");
+  }
   std::lock_guard lock(mutex_);
   if (segments_.contains(name)) {
     return AlreadyExists("shm segment '" + name + "' already exists");
@@ -16,6 +23,11 @@ Result<std::shared_ptr<Segment>> Namespace::create(
 
 Result<std::shared_ptr<Segment>> Namespace::open(
     const std::string& name) const {
+  // Attach failure: the manager granted a segment but the client cannot map
+  // it; the remote library falls back to inline gRPC payloads.
+  if (fault::should_fire(fault::site::kShmAttachFail)) {
+    return NotFound("injected fault: shm attach failed");
+  }
   std::lock_guard lock(mutex_);
   auto it = segments_.find(name);
   if (it == segments_.end()) {

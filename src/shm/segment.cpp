@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
+
 namespace bf::shm {
 
 Segment::Segment(sim::CopyModel copy_model, std::uint64_t capacity_bytes)
@@ -10,6 +12,12 @@ Segment::Segment(sim::CopyModel copy_model, std::uint64_t capacity_bytes)
 }
 
 Result<std::int64_t> Segment::stage(ByteSpan data, vt::Cursor& cursor) {
+  // Mid-stream staging failure: the client already sent the op's metadata,
+  // so the manager will see a write with no payload and must fail that op
+  // (not hang on it) when the task is flushed.
+  if (fault::should_fire(fault::site::kShmStageFail)) {
+    return ResourceExhausted("injected fault: shm stage failed");
+  }
   std::int64_t slot = 0;
   {
     std::lock_guard lock(mutex_);

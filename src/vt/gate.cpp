@@ -14,7 +14,8 @@ Gate::Source Gate::register_source(Time initial_bound) {
   return Source(this, id);
 }
 
-bool Gate::wait_safe(Time t) {
+bool Gate::wait_safe(Time t, bool* fallback) {
+  if (fallback != nullptr) *fallback = false;
   std::unique_lock lock(mutex_);
   for (;;) {
     if (shutdown_) return false;
@@ -29,6 +30,7 @@ bool Gate::wait_safe(Time t) {
       // No producer moved for the whole grace period: a blocked or idle
       // producer thread. Proceed in arrival order (liveness over strict
       // virtual-time fidelity).
+      if (fallback != nullptr) *fallback = true;
       return true;
     }
   }

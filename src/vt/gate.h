@@ -89,7 +89,11 @@ class Gate {
   // would otherwise deadlock the consumer; a real (non-virtual-time) system
   // simply executes in arrival order in that situation, which is what the
   // fallback reproduces. Active closed-loop producers never trip it.
-  bool wait_safe(Time t);
+  //
+  // When `fallback` is non-null it is set to true iff the wait proceeded
+  // via the stall-breaker rather than a genuinely safe bound — consumers
+  // that audit ordering (the fault matrix) use it to mark best-effort pops.
+  bool wait_safe(Time t, bool* fallback = nullptr);
 
   void set_stall_grace(std::chrono::milliseconds grace) {
     std::lock_guard lock(mutex_);

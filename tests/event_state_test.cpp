@@ -1,0 +1,170 @@
+// Table-driven tests for the per-call event state machine (paper §III-A):
+// every (state × input) cell of the transition relation, plus the
+// duplicate / out-of-order ack sequences the completion stream can deliver
+// under faults.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "remote/event_state.h"
+
+namespace bf::remote {
+namespace {
+
+// Drives a fresh FSM into `state` via legal inputs.
+EventFsm fsm_in(EventState state) {
+  EventFsm fsm;
+  switch (state) {
+    case EventState::kInit:
+      break;
+    case EventState::kFirst:
+      EXPECT_TRUE(fsm.apply(EventInput::kEnqueuedAck));
+      break;
+    case EventState::kBuffer:
+      EXPECT_TRUE(fsm.apply(EventInput::kEnqueuedAck));
+      EXPECT_TRUE(fsm.apply(EventInput::kBufferStaged));
+      break;
+    case EventState::kComplete:
+      EXPECT_TRUE(fsm.apply(EventInput::kCompleted));
+      break;
+  }
+  EXPECT_EQ(fsm.state(), state);
+  return fsm;
+}
+
+struct TransitionCase {
+  EventState from;
+  EventInput input;
+  bool legal;
+  EventState to;  // == from when !legal (input ignored)
+};
+
+// The full 4×3 transition relation. States only move forward; every illegal
+// input is ignored in place.
+const TransitionCase kTransitions[] = {
+    // INIT
+    {EventState::kInit, EventInput::kEnqueuedAck, true, EventState::kFirst},
+    {EventState::kInit, EventInput::kBufferStaged, true, EventState::kBuffer},
+    {EventState::kInit, EventInput::kCompleted, true, EventState::kComplete},
+    // FIRST
+    {EventState::kFirst, EventInput::kEnqueuedAck, false, EventState::kFirst},
+    {EventState::kFirst, EventInput::kBufferStaged, true, EventState::kBuffer},
+    {EventState::kFirst, EventInput::kCompleted, true, EventState::kComplete},
+    // BUFFER
+    {EventState::kBuffer, EventInput::kEnqueuedAck, false, EventState::kBuffer},
+    {EventState::kBuffer, EventInput::kBufferStaged, false,
+     EventState::kBuffer},
+    {EventState::kBuffer, EventInput::kCompleted, true, EventState::kComplete},
+    // COMPLETE (terminal: everything is stale)
+    {EventState::kComplete, EventInput::kEnqueuedAck, false,
+     EventState::kComplete},
+    {EventState::kComplete, EventInput::kBufferStaged, false,
+     EventState::kComplete},
+    {EventState::kComplete, EventInput::kCompleted, false,
+     EventState::kComplete},
+};
+
+class EventFsmTransitionTest
+    : public ::testing::TestWithParam<TransitionCase> {};
+
+TEST_P(EventFsmTransitionTest, TransitionRelationIsExact) {
+  const TransitionCase& c = GetParam();
+  EventFsm fsm = fsm_in(c.from);
+  EXPECT_EQ(fsm.apply(c.input), c.legal);
+  EXPECT_EQ(fsm.state(), c.to);
+  EXPECT_EQ(fsm.complete(), c.to == EventState::kComplete);
+}
+
+std::string transition_name(
+    const ::testing::TestParamInfo<TransitionCase>& info) {
+  return std::string(to_string(info.param.from)) + "_" +
+         std::string(to_string(info.param.input));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, EventFsmTransitionTest,
+                         ::testing::ValuesIn(kTransitions), transition_name);
+
+TEST(EventFsm, StartsInInit) {
+  EventFsm fsm;
+  EXPECT_EQ(fsm.state(), EventState::kInit);
+  EXPECT_FALSE(fsm.complete());
+}
+
+TEST(EventFsm, DuplicateEnqueuedAckIsIgnored) {
+  // The pump can see the same OpEnqueued twice (duplicated notification).
+  EventFsm fsm;
+  EXPECT_TRUE(fsm.apply(EventInput::kEnqueuedAck));
+  EXPECT_FALSE(fsm.apply(EventInput::kEnqueuedAck));
+  EXPECT_EQ(fsm.state(), EventState::kFirst);
+}
+
+TEST(EventFsm, LateEnqueuedAckAfterBufferDoesNotRegress) {
+  // Out-of-order delivery: data staged locally before the admission ack
+  // arrives. The late ack must not move BUFFER back to FIRST.
+  EventFsm fsm;
+  EXPECT_TRUE(fsm.apply(EventInput::kBufferStaged));
+  EXPECT_FALSE(fsm.apply(EventInput::kEnqueuedAck));
+  EXPECT_EQ(fsm.state(), EventState::kBuffer);
+}
+
+TEST(EventFsm, StaleCompletionIsIgnored) {
+  // Duplicate OpComplete (injected stale ack): the first completion wins and
+  // the second apply reports "ignored" so callers keep the first status.
+  EventFsm fsm = fsm_in(EventState::kBuffer);
+  EXPECT_TRUE(fsm.apply(EventInput::kCompleted));
+  EXPECT_FALSE(fsm.apply(EventInput::kCompleted));
+  EXPECT_TRUE(fsm.complete());
+}
+
+TEST(EventFsm, DroppedEnqueuedAckStillCompletes) {
+  // OpEnqueued is advisory; losing it must leave the event able to complete
+  // via OpComplete alone (INIT --Completed--> COMPLETE is legal).
+  EventFsm fsm;
+  EXPECT_TRUE(fsm.apply(EventInput::kCompleted));
+  EXPECT_TRUE(fsm.complete());
+}
+
+TEST(EventFsm, EveryInputSequenceTerminatesForward) {
+  // Exhaustive sweep of all input strings up to length 4: the state index
+  // never decreases and COMPLETE is absorbing.
+  const EventInput inputs[] = {EventInput::kEnqueuedAck,
+                               EventInput::kBufferStaged,
+                               EventInput::kCompleted};
+  std::vector<std::vector<EventInput>> sequences{{}};
+  for (int len = 0; len < 4; ++len) {
+    std::vector<std::vector<EventInput>> next;
+    for (const auto& seq : sequences) {
+      for (EventInput input : inputs) {
+        auto extended = seq;
+        extended.push_back(input);
+        next.push_back(std::move(extended));
+      }
+    }
+    sequences = std::move(next);
+    for (const auto& seq : sequences) {
+      EventFsm fsm;
+      int rank = 0;  // INIT
+      for (EventInput input : seq) {
+        const bool was_complete = fsm.complete();
+        fsm.apply(input);
+        int new_rank = 0;
+        switch (fsm.state()) {
+          case EventState::kInit: new_rank = 0; break;
+          case EventState::kFirst: new_rank = 1; break;
+          case EventState::kBuffer: new_rank = 2; break;
+          case EventState::kComplete: new_rank = 3; break;
+        }
+        EXPECT_GE(new_rank, rank) << "state regressed";
+        if (was_complete) {
+          EXPECT_EQ(fsm.state(), EventState::kComplete)
+              << "COMPLETE is not absorbing";
+        }
+        rank = new_rank;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bf::remote

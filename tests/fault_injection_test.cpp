@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "devmgr/device_manager.h"
+#include "fault/injector.h"
 #include "loadgen/loadgen.h"
 #include "remote/remote_runtime.h"
 #include "shm/namespace.h"
@@ -107,6 +108,88 @@ TEST(FaultInjection, ContextDestructionWithOutstandingOpsIsClean) {
   }
   EXPECT_EQ(rig.manager->session_count(), 0u);
   EXPECT_EQ(rig.node_shm.segment_count(), 0u);
+}
+
+TEST(FaultInjection, TeardownFailsFirstStateEventsWithStatus) {
+  // Ops stuck in FIRST (admitted, never completed because the manager died)
+  // must be failed with a terminal status by the connection-thread teardown
+  // — a waiter polling the event may never hang, and the event object stays
+  // valid even though the context that created it is being destroyed.
+  Rig rig;
+  ocl::Session session("t");
+  auto context = rig.runtime->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+  auto buffer = context.value()->create_buffer(1024);
+  ASSERT_TRUE(buffer.ok());
+  auto queue = context.value()->create_queue();
+  ASSERT_TRUE(queue.ok());
+  Bytes data(1024);
+  auto event =
+      queue.value()->enqueue_write(buffer.value(), 0, ByteSpan{data}, false);
+  ASSERT_TRUE(event.ok());
+  // Keep the event alive past the context so a stale completion would have a
+  // corpse to corrupt.
+  ocl::EventPtr survivor = event.value();
+  rig.manager->shutdown();
+  Status status = survivor->wait();
+  EXPECT_FALSE(status.ok());
+  context.value().reset();  // connection-thread teardown with a live event
+  EXPECT_EQ(survivor->status(), ocl::EventStatus::kError);
+  EXPECT_FALSE(survivor->wait().ok());  // status sticks after teardown
+}
+
+TEST(FaultInjection, InjectedConnectionLossFailsPendingAndRecovers) {
+  // The net.send.conn_loss site severs the control connection mid-stream:
+  // pending events must fail with a terminal status, and a *new* session
+  // must work (the fault is per-connection, not a poisoned manager).
+  Rig rig;
+  {
+    fault::ScopedInjection inject(42);
+    ocl::Session session("t");
+    auto context = rig.runtime->create_context("fpga-b", session);
+    ASSERT_TRUE(context.ok());
+    ASSERT_TRUE(context.value()->program(sim::BitstreamLibrary::kVadd).ok());
+    auto buffer = context.value()->create_buffer(1024);
+    ASSERT_TRUE(buffer.ok());
+    auto queue = context.value()->create_queue();
+    ASSERT_TRUE(queue.ok());
+    // Arm after setup so the loss hits the enqueue path.
+    inject.site(fault::site::kNetSendConnLoss, {.probability = 1.0});
+    Bytes data(1024);
+    auto event =
+        queue.value()->enqueue_write(buffer.value(), 0, ByteSpan{data}, false);
+    if (event.ok()) {
+      EXPECT_FALSE(event.value()->wait().ok());
+    } else {
+      EXPECT_EQ(event.status().code(), StatusCode::kUnavailable);
+    }
+    // Every later call on the severed connection fails fast, never hangs.
+    EXPECT_FALSE(context.value()->create_buffer(64).ok());
+  }
+  ocl::Session fresh("t2");
+  auto context = rig.runtime->create_context("fpga-b", fresh);
+  ASSERT_TRUE(context.ok());
+  EXPECT_TRUE(context.value()->create_buffer(64).ok());
+}
+
+TEST(FaultInjection, ShmGrantDenialFallsBackToGrpcDataPath) {
+  // Paper §III-C: shared memory is an optimization; denial must degrade to
+  // the gRPC data path, not fail the session. The workload still runs and
+  // no segment is ever created.
+  Rig rig;
+  fault::ScopedInjection inject(7);
+  inject.site(fault::site::kShmGrantDeny, {.probability = 1.0});
+  ocl::Session session("t");
+  auto context = rig.runtime->create_context("fpga-b", session);
+  ASSERT_TRUE(context.ok());
+  EXPECT_EQ(rig.node_shm.segment_count(), 0u);
+  workloads::SobelWorkload sobel(64, 48);
+  ASSERT_TRUE(sobel.setup(*context.value()).ok());
+  ASSERT_TRUE(sobel.handle_request(*context.value()).ok());
+  EXPECT_EQ(sobel.last_output(),
+            workloads::sobel_reference(sobel.input_frame(), 64, 48));
+  sobel.teardown();
 }
 
 TEST(FaultInjection, DoubleShutdownIsIdempotent) {

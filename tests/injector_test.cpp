@@ -1,0 +1,165 @@
+// bf::fault::Injector unit tests: trigger semantics (probability, warm-up,
+// budgets), seed determinism of per-site decision streams, and the disarmed
+// fast path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace bf::fault {
+namespace {
+
+// Replays a site's decision stream for `hits` hits under one arming.
+std::vector<bool> decisions(std::uint64_t seed, const char* site,
+                            Trigger trigger, int hits) {
+  ScopedInjection inject(seed);
+  Injector::instance().set_trigger(site, trigger);
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(hits));
+  for (int i = 0; i < hits; ++i) out.push_back(should_fire(site));
+  return out;
+}
+
+TEST(Injector, DisarmedNeverFires) {
+  // No ScopedInjection: the fast path must refuse without touching state.
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(should_fire(site::kShmStageFail));
+  EXPECT_EQ(Injector::instance().hits(site::kShmStageFail), 0u);
+}
+
+TEST(Injector, SiteWithoutTriggerNeverFires) {
+  ScopedInjection inject(1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(should_fire(site::kShmGrantDeny));
+  EXPECT_EQ(Injector::instance().hits(site::kShmGrantDeny), 100u);
+  EXPECT_EQ(Injector::instance().fires(site::kShmGrantDeny), 0u);
+}
+
+TEST(Injector, CertainTriggerFiresEveryHit) {
+  auto fired = decisions(7, site::kNetSendConnLoss, {.probability = 1.0}, 10);
+  for (bool f : fired) EXPECT_TRUE(f);
+}
+
+TEST(Injector, AfterHitsSkipsWarmup) {
+  auto fired = decisions(
+      7, site::kNetSendConnLoss,
+      {.probability = 1.0, .after_hits = 3}, 6);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, true, true}));
+}
+
+TEST(Injector, SiteBudgetCapsFires) {
+  auto fired = decisions(7, site::kDevmgrTaskAbort,
+                         {.probability = 1.0, .budget = 2}, 5);
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, false, false}));
+  EXPECT_EQ(Injector::instance().fires(site::kDevmgrTaskAbort), 0u);  // disarmed
+}
+
+TEST(Injector, GlobalBudgetCapsAcrossSites) {
+  ScopedInjection inject(7);
+  inject.site(site::kShmStageFail, {.probability = 1.0})
+      .site(site::kShmAttachFail, {.probability = 1.0})
+      .global_budget(3);
+  int fires = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (should_fire(site::kShmStageFail)) ++fires;
+    if (should_fire(site::kShmAttachFail)) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(Injector::instance().total_fires(), 3u);
+}
+
+TEST(Injector, SameSeedSameDecisionStream) {
+  Trigger coin{.probability = 0.5};
+  auto a = decisions(1234, site::kNetSendDelay, coin, 200);
+  auto b = decisions(1234, site::kNetSendDelay, coin, 200);
+  EXPECT_EQ(a, b);
+  // Not degenerate: a fair coin over 200 hits fires somewhere in (0, 200).
+  int fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 200);
+}
+
+TEST(Injector, DifferentSeedsDiverge) {
+  Trigger coin{.probability = 0.5};
+  auto a = decisions(1, site::kNetSendDelay, coin, 200);
+  auto b = decisions(2, site::kNetSendDelay, coin, 200);
+  EXPECT_NE(a, b);
+}
+
+TEST(Injector, SitesHaveIndependentStreams) {
+  // The same (seed, ordinal) must not produce correlated decisions across
+  // sites — streams are salted by the site name.
+  Trigger coin{.probability = 0.5};
+  auto a = decisions(42, site::kNetSendDelay, coin, 200);
+  auto b = decisions(42, site::kShmStageFail, coin, 200);
+  EXPECT_NE(a, b);
+}
+
+TEST(Injector, DecisionDependsOnOrdinalNotOnEarlierBudgets) {
+  // A budget cap must not shift later draws: hit N's decision is a pure
+  // function of (seed, site, N) whether or not earlier fires were allowed.
+  Trigger unlimited{.probability = 0.5};
+  Trigger capped{.probability = 0.5, .budget = 1};
+  auto full = decisions(99, site::kNetNotifyDropEnqueued, unlimited, 100);
+  ScopedInjection inject(99);
+  Injector::instance().set_trigger(site::kNetNotifyDropEnqueued, capped);
+  bool seen_first_fire = false;
+  for (int i = 0; i < 100; ++i) {
+    bool fired = should_fire(site::kNetNotifyDropEnqueued);
+    if (!seen_first_fire) {
+      EXPECT_EQ(fired, full[static_cast<std::size_t>(i)]) << "hit " << i;
+      seen_first_fire = fired;
+    } else {
+      EXPECT_FALSE(fired) << "budget of 1 exceeded at hit " << i;
+    }
+  }
+}
+
+TEST(Injector, FireLogRecordsSiteAndOrdinal) {
+  ScopedInjection inject(5);
+  inject.site(site::kShmGrantDeny, {.probability = 1.0, .after_hits = 1});
+  (void)should_fire(site::kShmGrantDeny);  // ordinal 0: warm-up
+  (void)should_fire(site::kShmGrantDeny);  // ordinal 1: fires
+  auto log = Injector::instance().fire_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], std::string(site::kShmGrantDeny) + ":1");
+}
+
+TEST(Injector, RearmResetsCountersAndTriggers) {
+  {
+    ScopedInjection inject(5);
+    inject.site(site::kShmGrantDeny, {.probability = 1.0});
+    EXPECT_TRUE(should_fire(site::kShmGrantDeny));
+  }
+  ScopedInjection inject(5);
+  // Trigger gone after re-arm; hit counters restart.
+  EXPECT_FALSE(should_fire(site::kShmGrantDeny));
+  EXPECT_EQ(Injector::instance().hits(site::kShmGrantDeny), 1u);
+  EXPECT_EQ(Injector::instance().total_fires(), 0u);
+}
+
+TEST(Injector, ConcurrentHitsAreSafeAndBudgetHolds) {
+  // Hammer one site from several threads: no crash, and the budget is an
+  // exact cap even under contention.
+  ScopedInjection inject(11);
+  inject.site(site::kDevmgrWorkerStall, {.probability = 1.0, .budget = 64});
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (should_fire(site::kDevmgrWorkerStall)) fires.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(fires.load(), 64);
+  EXPECT_EQ(Injector::instance().hits(site::kDevmgrWorkerStall), 800u);
+}
+
+}  // namespace
+}  // namespace bf::fault

@@ -26,9 +26,9 @@ Task make_task(std::uint64_t seq, const std::string& client,
 TEST(TaskQueue, PopsInReadyOrderNotPushOrder) {
   TaskQueue queue;
   vt::Gate gate;  // no sources: always safe
-  queue.push(make_task(1, "b", vt::Time::millis(30)));
-  queue.push(make_task(2, "a", vt::Time::millis(10)));
-  queue.push(make_task(3, "c", vt::Time::millis(20)));
+  ASSERT_TRUE(queue.push(make_task(1, "b", vt::Time::millis(30))).ok());
+  ASSERT_TRUE(queue.push(make_task(2, "a", vt::Time::millis(10))).ok());
+  ASSERT_TRUE(queue.push(make_task(3, "c", vt::Time::millis(20))).ok());
   EXPECT_EQ(queue.pop(gate)->ready, vt::Time::millis(10));
   EXPECT_EQ(queue.pop(gate)->ready, vt::Time::millis(20));
   EXPECT_EQ(queue.pop(gate)->ready, vt::Time::millis(30));
@@ -37,9 +37,9 @@ TEST(TaskQueue, PopsInReadyOrderNotPushOrder) {
 TEST(TaskQueue, EqualStampsBreakTiesByClientThenSeq) {
   TaskQueue queue;
   vt::Gate gate;
-  queue.push(make_task(5, "zeta", vt::Time::millis(10)));
-  queue.push(make_task(9, "alpha", vt::Time::millis(10)));
-  queue.push(make_task(7, "alpha", vt::Time::millis(10)));
+  ASSERT_TRUE(queue.push(make_task(5, "zeta", vt::Time::millis(10))).ok());
+  ASSERT_TRUE(queue.push(make_task(9, "alpha", vt::Time::millis(10))).ok());
+  ASSERT_TRUE(queue.push(make_task(7, "alpha", vt::Time::millis(10))).ok());
   auto first = queue.pop(gate);
   auto second = queue.pop(gate);
   auto third = queue.pop(gate);
@@ -54,7 +54,7 @@ TEST(TaskQueue, PopWaitsForGateSafety) {
   TaskQueue queue;
   vt::Gate gate;
   auto source = gate.register_source(vt::Time::millis(1));
-  queue.push(make_task(1, "a", vt::Time::millis(100)));
+  ASSERT_TRUE(queue.push(make_task(1, "a", vt::Time::millis(100))).ok());
   std::atomic<bool> popped{false};
   std::thread consumer([&] {
     auto task = queue.pop(gate);
@@ -72,10 +72,10 @@ TEST(TaskQueue, EarlierTaskArrivingDuringWaitIsServedFirst) {
   TaskQueue queue;
   vt::Gate gate;
   auto source = gate.register_source(vt::Time::millis(1));
-  queue.push(make_task(1, "late", vt::Time::millis(100)));
+  ASSERT_TRUE(queue.push(make_task(1, "late", vt::Time::millis(100))).ok());
   std::thread producer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    queue.push(make_task(2, "early", vt::Time::millis(50)));
+    EXPECT_TRUE(queue.push(make_task(2, "early", vt::Time::millis(50))).ok());
     source.announce(vt::Time::millis(300));
   });
   auto first = queue.pop(gate);
@@ -92,16 +92,63 @@ TEST(TaskQueue, CloseDrainsWaiters) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   queue.close();
   consumer.join();
-  // Pushes after close are dropped.
-  queue.push(make_task(1, "a", vt::Time::millis(1)));
+  // Pushes after close are rejected with a deterministic status.
+  Status rejected = queue.push(make_task(1, "a", vt::Time::millis(1)));
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
   EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(TaskQueue, PushAfterCloseAlwaysRejected) {
+  TaskQueue queue;
+  queue.close();
+  for (int i = 0; i < 10; ++i) {
+    Status status = queue.push(make_task(static_cast<std::uint64_t>(i), "a",
+                                         vt::Time::millis(i)));
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(TaskQueue, ConcurrentCloseAndPushNeverLosesAcceptedTasks) {
+  // A push racing close() must either be accepted (and then drainable) or
+  // rejected with kUnavailable — never silently dropped.
+  for (int round = 0; round < 20; ++round) {
+    TaskQueue queue;
+    vt::Gate gate;
+    gate.shutdown();  // pops drain without gating
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 50; ++i) {
+          Status status = queue.push(
+              make_task(static_cast<std::uint64_t>(p * 50 + i),
+                        "client-" + std::to_string(p), vt::Time::millis(i)));
+          if (status.ok()) {
+            accepted.fetch_add(1);
+          } else {
+            EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    queue.close();
+    for (auto& producer : producers) producer.join();
+    int drained = 0;
+    while (queue.pop(gate).has_value()) ++drained;
+    EXPECT_EQ(drained, accepted.load());
+    // After close has been observed by every producer, rejection is sticky.
+    EXPECT_EQ(queue.push(make_task(999, "late", vt::Time::zero())).code(),
+              StatusCode::kUnavailable);
+  }
 }
 
 TEST(TaskQueue, GateShutdownStillDrainsTasks) {
   // ProgramWaiter holders must not be stranded at shutdown.
   TaskQueue queue;
   vt::Gate gate;
-  queue.push(make_task(1, "a", vt::Time::millis(10)));
+  ASSERT_TRUE(queue.push(make_task(1, "a", vt::Time::millis(10))).ok());
   gate.shutdown();
   auto task = queue.pop(gate);
   ASSERT_TRUE(task.has_value());
@@ -128,9 +175,12 @@ TEST(TaskQueue, StressManyProducersOrderPreserved) {
   for (int p = 0; p < 4; ++p) {
     producers.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        queue.push(make_task(static_cast<std::uint64_t>(p * kPerProducer + i),
-                             "client-" + std::to_string(p),
-                             vt::Time::millis(1 + (i * 7 + p * 3) % 1000)));
+        EXPECT_TRUE(
+            queue
+                .push(make_task(static_cast<std::uint64_t>(p * kPerProducer + i),
+                                "client-" + std::to_string(p),
+                                vt::Time::millis(1 + (i * 7 + p * 3) % 1000)))
+                .ok());
       }
     });
   }
