@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,14 @@
 #include "workloads/sobel.h"
 
 namespace bf::bench {
+
+// Set BF_FIG_SMOKE=1 to cap the figure sweeps at small sizes. Used by the
+// perf-smoke ctest label so CI exercises every data path in seconds; the
+// per-point numbers are identical to a full run (the sweep is just shorter).
+inline bool fig_smoke() {
+  const char* env = std::getenv("BF_FIG_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 // ---- Paper Table I: load configurations (rq/s per function) -----------------
 

@@ -39,10 +39,11 @@ int main() {
   using namespace bf;
   using namespace bf::bench;
 
-  const std::vector<std::pair<std::size_t, std::size_t>> sizes = {
+  std::vector<std::pair<std::size_t, std::size_t>> sizes = {
       {10, 10},    {64, 64},    {128, 128},  {256, 256},
       {512, 512},  {800, 600},  {1024, 768}, {1280, 720},
       {1600, 900}, {1920, 1080}};
+  if (fig_smoke()) sizes.resize(4);  // cap at 256x256
 
   std::printf("Figure 4(b): Sobel operator latency vs image size\n");
   std::printf("%-11s | %10s | %12s | %16s | %18s | %9s\n", "image",

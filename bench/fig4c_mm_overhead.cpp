@@ -44,11 +44,12 @@ int main() {
               "shm ovh%");
   std::printf("%s\n", std::string(86, '-').c_str());
 
+  const std::size_t max_n = fig_smoke() ? 128 : 4096;
   double native_small = 0.0;
   double native_large = 0.0;
   double grpc_large = 0.0;
   double shm_large = 0.0;
-  for (std::size_t n = 16; n <= 4096; n *= 2) {
+  for (std::size_t n = 16; n <= max_n; n *= 2) {
     OverheadRig native(DataPath::kNative);
     OverheadRig grpc(DataPath::kGrpc);
     OverheadRig shm(DataPath::kShm);

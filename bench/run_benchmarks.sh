@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds Release and records the core micro-benchmarks to BENCH_CORE.json at
+# the repo root (committed, so perf regressions show up in review diffs),
+# then smoke-runs the figure sweeps at small sizes as an end-to-end check of
+# every data path.
+#
+# Usage: bench/run_benchmarks.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+echo "=== configure + build ($build) ==="
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j"$(nproc)" --target \
+  microbench_core fig4a_rw_overhead fig4b_sobel_overhead fig4c_mm_overhead
+
+echo "=== microbench_core -> BENCH_CORE.json ==="
+"$build/bench/microbench_core" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$repo/BENCH_CORE.json"
+
+echo "=== figure smoke runs (BF_FIG_SMOKE=1) ==="
+for fig in fig4a_rw_overhead fig4b_sobel_overhead fig4c_mm_overhead; do
+  echo "--- $fig ---"
+  BF_FIG_SMOKE=1 "$build/bench/$fig"
+done
+
+echo "Wrote $repo/BENCH_CORE.json"

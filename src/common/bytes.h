@@ -21,13 +21,26 @@ inline MutableByteSpan as_writable_bytes(void* data, std::size_t size) {
   return {static_cast<std::uint8_t*>(data), size};
 }
 
-// Deterministic, fast content fingerprint (FNV-1a 64) used by tests and the
-// data-integrity checks in the shared-memory path.
+// Deterministic, fast content fingerprint used by tests and the
+// data-integrity checks in the shared-memory path. FNV-1a folded 8 bytes at
+// a time (one xor/multiply per word instead of per byte) with the classic
+// byte-at-a-time tail — callers rely only on equality of fingerprints, not
+// on matching any external FNV vector, so the wider fold is free speedup.
 inline std::uint64_t fingerprint(ByteSpan data) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (std::uint8_t byte : data) {
-    hash ^= byte;
-    hash *= 0x100000001b3ULL;
+  const std::uint8_t* ptr = data.data();
+  std::size_t size = data.size();
+  while (size >= 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, ptr, 8);
+    hash = (hash ^ word) * 0x100000001b3ULL;
+    ptr += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    hash = (hash ^ *ptr) * 0x100000001b3ULL;
+    ++ptr;
+    --size;
   }
   return hash;
 }

@@ -1,0 +1,80 @@
+#include "common/parallel.h"
+
+namespace bf {
+
+WorkerPool::WorkerPool(unsigned threads)
+    : worker_count_(threads == 0 ? 0 : threads - 1) {
+  threads_.reserve(worker_count_);
+  for (unsigned i = 0; i < worker_count_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerPool::parallel_for(std::size_t tasks,
+                              const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (worker_count_ == 0 || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard job_lock(job_mutex_);
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    job_tasks_ = tasks;
+    next_task_ = 0;
+    pending_ = tasks;
+    gen = ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock lock(mutex_);
+  run_tasks(lock, gen);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::run_tasks(std::unique_lock<std::mutex>& lock,
+                           std::uint64_t gen) {
+  while (generation_ == gen && job_ != nullptr && next_task_ < job_tasks_) {
+    const std::size_t index = next_task_++;
+    const auto* job = job_;
+    lock.unlock();
+    (*job)(index);
+    lock.lock();
+    // This task was part of pending_, so the owning parallel_for is still
+    // waiting and the generation cannot have moved on: the decrement always
+    // belongs to `gen`.
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && generation_ != seen);
+    });
+    if (shutdown_) return;
+    seen = generation_;
+    run_tasks(lock, seen);
+  }
+}
+
+WorkerPool& WorkerPool::shared() {
+  // Leaked on purpose: boards may launch kernels during static teardown.
+  static auto* pool = new WorkerPool(std::thread::hardware_concurrency());
+  return *pool;
+}
+
+}  // namespace bf

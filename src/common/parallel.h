@@ -1,0 +1,72 @@
+// A small shared worker pool for data-parallel host work (the functional
+// kernels in sim/). This parallelism is *wall-clock only*: it never touches
+// virtual time, and callers are required to partition work so that every
+// output element is computed by exactly one task with a fixed per-element
+// operation order — results must be byte-exact no matter how many workers
+// the pool has (see docs/PERFORMANCE.md for the determinism contract).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bf {
+
+class WorkerPool {
+ public:
+  // A pool of `threads` total lanes: the calling thread participates in
+  // every parallel_for, so `threads == 1` means no extra threads and fully
+  // inline execution. `threads == 0` is treated as 1.
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Total lanes (workers + the participating caller).
+  [[nodiscard]] unsigned size() const { return worker_count_ + 1; }
+
+  // Runs fn(0) .. fn(tasks - 1), each exactly once, and returns when all
+  // have finished. Task-to-thread assignment is dynamic (first come, first
+  // served) and NOT deterministic — fn must write only task-private output.
+  // Concurrent parallel_for calls from different threads are serialized.
+  void parallel_for(std::size_t tasks,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Process-wide pool sized to the hardware, created on first use and never
+  // destroyed (kernel launches may still run during static teardown).
+  static WorkerPool& shared();
+
+ private:
+  void worker_loop();
+  // Claims and runs tasks of generation `gen` until none remain. `lock`
+  // must hold mutex_ on entry; it is released around each fn call. The
+  // generation check keeps a straggler from claiming into a later job
+  // whose counter was reset while it was finishing its last task.
+  void run_tasks(std::unique_lock<std::mutex>& lock, std::uint64_t gen);
+
+  unsigned worker_count_;
+  std::vector<std::thread> threads_;
+
+  // Serializes whole parallel_for invocations (e.g. two boards sharing the
+  // pool); mutex_ protects the per-job fields below. Tasks are claimed
+  // under mutex_ — callers pass at most a handful of coarse chunks, so the
+  // per-claim lock is noise next to the chunk work.
+  std::mutex job_mutex_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_tasks_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace bf

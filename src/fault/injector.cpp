@@ -2,9 +2,57 @@
 
 namespace bf::fault {
 
+namespace {
+
+// Registry of the named Site constants (built during static init, before
+// any threads exist; the mutex guards against hypothetical dynamic sites).
+struct SiteRegistry {
+  std::mutex mutex;
+  std::vector<site::Site*> sites;
+};
+
+SiteRegistry& site_registry() {
+  static auto* registry = new SiteRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace
+
 namespace internal {
+
 std::atomic<bool> g_armed{false};
+
+void register_site(site::Site* site) {
+  SiteRegistry& registry = site_registry();
+  std::lock_guard lock(registry.mutex);
+  registry.sites.push_back(site);
+}
+
 }  // namespace internal
+
+namespace site {
+
+Site::Site(const char* name) : name_(name) { internal::register_site(this); }
+
+}  // namespace site
+
+void Injector::update_site_flag(const std::string& name, bool value) {
+  SiteRegistry& registry = site_registry();
+  std::lock_guard lock(registry.mutex);
+  for (site::Site* site : registry.sites) {
+    if (name == site->name_) {
+      site->armed_.store(value, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Injector::clear_site_flags() {
+  SiteRegistry& registry = site_registry();
+  std::lock_guard lock(registry.mutex);
+  for (site::Site* site : registry.sites) {
+    site->armed_.store(false, std::memory_order_relaxed);
+  }
+}
 
 namespace {
 
@@ -35,11 +83,13 @@ void Injector::arm(std::uint64_t seed) {
     sites_.clear();
     fire_log_.clear();
   }
+  clear_site_flags();  // a fresh plan starts with no triggers installed
   internal::g_armed.store(true, std::memory_order_relaxed);
 }
 
 void Injector::disarm() {
   internal::g_armed.store(false, std::memory_order_relaxed);
+  clear_site_flags();
   std::lock_guard lock(mutex_);
   sites_.clear();
   fire_log_.clear();
@@ -48,16 +98,22 @@ void Injector::disarm() {
 }
 
 void Injector::set_trigger(const std::string& site, Trigger trigger) {
-  std::lock_guard lock(mutex_);
-  SiteState& state = state_locked(site);
-  state.trigger = trigger;
-  state.triggered = true;
+  {
+    std::lock_guard lock(mutex_);
+    SiteState& state = state_locked(site);
+    state.trigger = trigger;
+    state.triggered = true;
+  }
+  update_site_flag(site, true);
 }
 
 void Injector::clear_trigger(const std::string& site) {
-  std::lock_guard lock(mutex_);
-  auto it = sites_.find(site);
-  if (it != sites_.end()) it->second.triggered = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = sites_.find(site);
+    if (it != sites_.end()) it->second.triggered = false;
+  }
+  update_site_flag(site, false);
 }
 
 void Injector::set_global_budget(std::uint64_t fires) {

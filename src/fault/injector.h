@@ -41,31 +41,61 @@
 
 namespace bf::fault {
 
+class Injector;
+
 // Named injection sites. Using constants (rather than ad-hoc strings at the
 // call sites) keeps tests and instrumentation in agreement; the name encodes
 // subsystem.operation.fault-kind.
 namespace site {
+
+// A named site with its own arm flag. The flag is flipped by the Injector
+// when a trigger is (un)installed for the name, so an armed run pays the
+// locked slow path only at sites the active plan actually names — every
+// other site stays at two relaxed loads (global + per-site). Converts to
+// its name so string-keyed APIs (set_trigger, logs, tests) are unchanged.
+// Note the per-site fast path means armed-but-untriggered sites do not
+// record hits; hit ordinals only ever count at triggered sites.
+class Site {
+ public:
+  explicit Site(const char* name);
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  [[nodiscard]] const char* name() const { return name_; }
+  // Implicit conversions keep string-keyed APIs (set_trigger, hits, logs,
+  // tests) source-compatible with the former const char* constants.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator const char*() const { return name_; }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator std::string() const { return name_; }
+  [[nodiscard]] bool triggered() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class bf::fault::Injector;
+  const char* name_;
+  std::atomic<bool> armed_{false};
+};
+
 // net: the gRPC-analogue fabric.
-inline constexpr const char* kNetSendConnLoss = "net.send.conn_loss";
-inline constexpr const char* kNetSendDelay = "net.send.delay";
-inline constexpr const char* kNetNotifyDropEnqueued =
-    "net.notify.drop_enqueued";
-inline constexpr const char* kNetNotifyDupComplete =
-    "net.notify.dup_complete";
+inline Site kNetSendConnLoss{"net.send.conn_loss"};
+inline Site kNetSendDelay{"net.send.delay"};
+inline Site kNetNotifyDropEnqueued{"net.notify.drop_enqueued"};
+inline Site kNetNotifyDupComplete{"net.notify.dup_complete"};
 // shm: the shared-memory data plane.
-inline constexpr const char* kShmGrantDeny = "shm.grant.deny";
-inline constexpr const char* kShmAttachFail = "shm.attach.fail";
-inline constexpr const char* kShmStageFail = "shm.stage.fail";
+inline Site kShmGrantDeny{"shm.grant.deny"};
+inline Site kShmAttachFail{"shm.attach.fail"};
+inline Site kShmStageFail{"shm.stage.fail"};
 // devmgr: the Device Manager's worker and central queue.
-inline constexpr const char* kDevmgrWorkerStall = "devmgr.worker.stall";
-inline constexpr const char* kDevmgrTaskAbort = "devmgr.task.abort";
-inline constexpr const char* kDevmgrReconfigAbort = "devmgr.reconfig.abort";
+inline Site kDevmgrWorkerStall{"devmgr.worker.stall"};
+inline Site kDevmgrTaskAbort{"devmgr.task.abort"};
+inline Site kDevmgrReconfigAbort{"devmgr.reconfig.abort"};
 // remote: the Remote OpenCL Library's completion pump.
-inline constexpr const char* kRemotePumpReorder = "remote.pump.reorder";
-inline constexpr const char* kRemotePumpDupComplete =
-    "remote.pump.dup_complete";
-inline constexpr const char* kRemotePumpDupEnqueued =
-    "remote.pump.dup_enqueued";
+inline Site kRemotePumpReorder{"remote.pump.reorder"};
+inline Site kRemotePumpDupComplete{"remote.pump.dup_complete"};
+inline Site kRemotePumpDupEnqueued{"remote.pump.dup_enqueued"};
 }  // namespace site
 
 inline constexpr std::uint64_t kUnlimited =
@@ -82,6 +112,9 @@ struct Trigger {
 // path touches exactly one cache line and nothing else.
 namespace internal {
 extern std::atomic<bool> g_armed;
+// Site self-registration (called from site::Site's constructor) so the
+// Injector can flip per-site arm flags by name.
+void register_site(site::Site* site);
 }  // namespace internal
 
 [[nodiscard]] inline bool armed() {
@@ -140,6 +173,12 @@ class Injector {
   // the seed and the site name) on first touch. Requires mutex_ held.
   SiteState& state_locked(const std::string& site);
 
+  // Flip the per-site arm flag of the registered site::Site constant with
+  // this name (no-op for dynamic string names). Takes the registry lock,
+  // never mutex_ — call outside the state lock.
+  static void update_site_flag(const std::string& name, bool value);
+  static void clear_site_flags();
+
   mutable std::mutex mutex_;
   std::uint64_t seed_ = 0;
   std::uint64_t global_budget_ = kUnlimited;
@@ -148,7 +187,15 @@ class Injector {
   std::vector<std::string> fire_log_;
 };
 
-// The instrumentation entry point. Disarmed cost: one relaxed atomic load.
+// The instrumentation entry point. Disarmed cost: one relaxed atomic load;
+// armed but untriggered (the active plan does not name this site): two.
+[[nodiscard]] inline bool should_fire(const site::Site& site) {
+  return armed() && site.triggered() &&
+         Injector::instance().should_fire_slow(site.name());
+}
+
+// String-keyed fallback for dynamic site names (tests): armed runs pay the
+// locked lookup on every hit, and hits are recorded even without a trigger.
 [[nodiscard]] inline bool should_fire(const char* site_name) {
   return armed() && Injector::instance().should_fire_slow(site_name);
 }

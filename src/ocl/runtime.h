@@ -53,6 +53,18 @@ class CommandQueue {
                                          bool blocking,
                                          EventWaitList wait_list = {}) = 0;
 
+  // Ownership-transfer variant: the queue may move `data` into its
+  // transport instead of copying (modeled transfer costs are charged
+  // identically). Default implementation copies via the span overload;
+  // transports that can take ownership override it. On failure the buffer
+  // may or may not have been consumed.
+  virtual Result<EventPtr> enqueue_write(const Buffer& buffer,
+                                         std::uint64_t offset, Bytes&& data,
+                                         bool blocking,
+                                         EventWaitList wait_list = {}) {
+    return enqueue_write(buffer, offset, ByteSpan{data}, blocking, wait_list);
+  }
+
   // clEnqueueReadBuffer. `out` must stay alive until the event completes
   // when non-blocking.
   virtual Result<EventPtr> enqueue_read(const Buffer& buffer,

@@ -497,7 +497,8 @@ void WriteData::encode(Writer& writer) const {
   writer.field_uint(1, op_id);
   writer.field_uint(2, size);
   writer.field_int(3, shm_slot);
-  if (!data.empty()) writer.field_bytes(4, ByteSpan{data});
+  const ByteSpan payload = data_view.empty() ? ByteSpan{data} : data_view;
+  if (!payload.empty()) writer.field_bytes(4, payload);
 }
 
 Result<WriteData> WriteData::decode(Reader& reader) {
@@ -655,11 +656,16 @@ void OpComplete::encode(Writer& writer) const {
   status.encode(status_writer);
   writer.field_bytes(2, ByteSpan{status_writer.bytes()});
   writer.field_int(3, shm_slot);
-  if (!data.empty()) writer.field_bytes(4, ByteSpan{data});
+  const ByteSpan payload = data_view.empty() ? ByteSpan{data} : data_view;
+  if (!payload.empty()) writer.field_bytes(4, payload);
   writer.field_uint(5, size);
 }
 
-Result<OpComplete> OpComplete::decode(Reader& reader) {
+namespace {
+
+// Shared field loop for OpComplete::decode / decode_view; `view` selects
+// whether the payload field is copied or aliased.
+Result<OpComplete> decode_op_complete(Reader& reader, bool view) {
   OpComplete out;
   Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
     switch (h.field) {
@@ -674,13 +680,29 @@ Result<OpComplete> OpComplete::decode(Reader& reader) {
         return Status::Ok();
       }
       case 3: return take_zigzag(reader, out.shm_slot);
-      case 4: return take_bytes(reader, out.data);
+      case 4: {
+        if (!view) return take_bytes(reader, out.data);
+        auto span = reader.read_bytes_view();
+        if (!span.ok()) return span.status();
+        out.data_view = span.value();
+        return Status::Ok();
+      }
       case 5: return take_uint(reader, out.size);
       default: return reader.skip(h.type);
     }
   });
   if (!s.ok()) return s;
   return out;
+}
+
+}  // namespace
+
+Result<OpComplete> OpComplete::decode(Reader& reader) {
+  return decode_op_complete(reader, /*view=*/false);
+}
+
+Result<OpComplete> OpComplete::decode_view(Reader& reader) {
+  return decode_op_complete(reader, /*view=*/true);
 }
 
 }  // namespace bf::proto

@@ -196,6 +196,11 @@ struct WriteData {
   std::uint64_t size = 0;
   std::int64_t shm_slot = -1;
   Bytes data;
+  // Encode-only alternative to `data`: when non-empty, encode() serializes
+  // this view instead of copying the payload into the message first. The
+  // caller must keep the viewed buffer alive across encode(). decode()
+  // always fills `data`.
+  ByteSpan data_view;
 
   void encode(Writer& writer) const;
   static Result<WriteData> decode(Reader& reader);
@@ -258,9 +263,17 @@ struct OpComplete {
   std::int64_t shm_slot = -1;
   Bytes data;
   std::uint64_t size = 0;
+  // Set by decode_view() instead of `data`; views the decoded frame's
+  // payload buffer, so it is valid only while that buffer lives. encode()
+  // serializes it when non-empty (same contract as WriteData::data_view).
+  ByteSpan data_view;
 
   void encode(Writer& writer) const;
   static Result<OpComplete> decode(Reader& reader);
+  // Zero-copy decode: identical to decode() except the payload field lands
+  // in `data_view` rather than being copied into `data`. Do not use with
+  // reencode() or any reader whose buffer dies before the message.
+  static Result<OpComplete> decode_view(Reader& reader);
 };
 
 // Round-trips any message type through its wire encoding (test helper).

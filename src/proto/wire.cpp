@@ -5,11 +5,19 @@
 namespace bf::proto {
 
 void Writer::varint(std::uint64_t value) {
+  // Single-byte fast path: tags and small lengths dominate real messages.
+  if (value < 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(value));
+    return;
+  }
+  std::uint8_t encoded[10];
+  std::size_t length = 0;
   while (value >= 0x80) {
-    buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80U);
+    encoded[length++] = static_cast<std::uint8_t>(value) | 0x80U;
     value >>= 7;
   }
-  buffer_.push_back(static_cast<std::uint8_t>(value));
+  encoded[length++] = static_cast<std::uint8_t>(value);
+  buffer_.insert(buffer_.end(), encoded, encoded + length);
 }
 
 void Writer::tag(std::uint32_t field, WireType type) {
@@ -45,6 +53,9 @@ void Writer::field_string(std::uint32_t field, std::string_view value) {
 }
 
 void Writer::field_bytes(std::uint32_t field, ByteSpan value) {
+  // One reservation for tag + length + payload keeps large payload fields
+  // from growing the buffer in doubling steps.
+  buffer_.reserve(buffer_.size() + value.size() + 16);
   tag(field, WireType::kLengthDelimited);
   varint(value.size());
   buffer_.insert(buffer_.end(), value.begin(), value.end());
@@ -106,12 +117,18 @@ Result<std::string> Reader::read_string() {
 }
 
 Result<Bytes> Reader::read_bytes() {
+  auto view = read_bytes_view();
+  if (!view.ok()) return view.status();
+  return Bytes(view.value().begin(), view.value().end());
+}
+
+Result<ByteSpan> Reader::read_bytes_view() {
   auto length = read_varint();
   if (!length.ok()) return length.status();
   if (length.value() > remaining()) {
     return InvalidArgument("truncated length-delimited field");
   }
-  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + length.value());
+  ByteSpan out = data_.subspan(pos_, length.value());
   pos_ += length.value();
   return out;
 }

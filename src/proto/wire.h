@@ -25,6 +25,10 @@ class Writer {
  public:
   Writer() = default;
 
+  // Pre-size the output buffer (e.g. before appending a large payload
+  // field) so encoding never reallocates mid-message.
+  void reserve(std::size_t capacity) { buffer_.reserve(capacity); }
+
   void varint(std::uint64_t value);
   void tag(std::uint32_t field, WireType type);
 
@@ -63,6 +67,10 @@ class Reader {
   Result<double> read_double();
   Result<std::string> read_string();
   Result<Bytes> read_bytes();
+
+  // Zero-copy variant of read_bytes: a view into the reader's underlying
+  // buffer, valid only while that buffer outlives the span.
+  Result<ByteSpan> read_bytes_view();
 
   // Skips a field of the given wire type (unknown-field tolerance).
   Status skip(WireType type);

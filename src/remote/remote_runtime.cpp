@@ -279,6 +279,25 @@ class RemoteQueue final : public ocl::CommandQueue {
                                       std::uint64_t offset, ByteSpan data,
                                       bool blocking,
                                       ocl::EventWaitList wait_list) override {
+    return enqueue_write_impl(buffer, offset, data, /*owned=*/nullptr,
+                              blocking, wait_list);
+  }
+
+  // Ownership transfer: the shm path moves the caller's buffer straight
+  // into the slot; the gRPC path moves it into the WriteData message. Either
+  // way the modeled copy/transfer charges are unchanged.
+  Result<ocl::EventPtr> enqueue_write(const ocl::Buffer& buffer,
+                                      std::uint64_t offset, Bytes&& data,
+                                      bool blocking,
+                                      ocl::EventWaitList wait_list) override {
+    return enqueue_write_impl(buffer, offset, ByteSpan{data}, &data, blocking,
+                              wait_list);
+  }
+
+  Result<ocl::EventPtr> enqueue_write_impl(const ocl::Buffer& buffer,
+                                           std::uint64_t offset, ByteSpan data,
+                                           Bytes* owned, bool blocking,
+                                           ocl::EventWaitList wait_list) {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
@@ -299,17 +318,24 @@ class RemoteQueue final : public ocl::CommandQueue {
         proto::Method::kEnqueueWrite, op_id, encode(request), session.clock());
     if (!sent.ok()) return sent;
 
-    // BUFFER: stage the payload. Shared memory when granted (one copy,
-    // charged to our clock); otherwise inline protobuf bytes.
+    // BUFFER: stage the payload. Shared memory when granted (one modeled
+    // copy, charged to our clock); otherwise inline protobuf bytes. The
+    // payload is either moved (owned) or serialized directly from the
+    // caller's span — never duplicated into the message first.
     proto::WriteData payload;
     payload.op_id = op_id;
     payload.size = data.size();
     if (context_->shm_enabled()) {
-      auto slot = context_->segment()->stage(data, session.clock());
+      auto slot = owned != nullptr
+                      ? context_->segment()->stage(std::move(*owned),
+                                                   session.clock())
+                      : context_->segment()->stage(data, session.clock());
       if (!slot.ok()) return slot.status();
       payload.shm_slot = slot.value();
+    } else if (owned != nullptr) {
+      payload.data = std::move(*owned);
     } else {
-      payload.data.assign(data.begin(), data.end());
+      payload.data_view = data;
     }
     sent = context_->connection().send(proto::Method::kWriteData, op_id,
                                        encode(payload), session.clock());
@@ -514,7 +540,11 @@ void RemoteContext::process_notification(const net::Frame& frame) {
       break;
     }
     case proto::Method::kOpComplete: {
-      auto note = decode_payload<proto::OpComplete>(frame);
+      // decode_view: the payload field stays a view into frame.payload
+      // (alive for this whole call), so inline read data is copied exactly
+      // once — wire buffer straight into the application buffer.
+      proto::Reader reader{ByteSpan{frame.payload}};
+      auto note = proto::OpComplete::decode_view(reader);
       if (!note.ok()) break;
       auto event = take_event(note.value().op_id);
       if (event == nullptr) break;  // stale/duplicate ack: already retired
@@ -527,12 +557,14 @@ void RemoteContext::process_notification(const net::Frame& frame) {
           status = event->segment()->fetch(note.value().shm_slot,
                                            event->read_target(), copy_clock);
           completion = copy_clock.now();
-        } else if (note.value().data.size() == event->read_target().size()) {
-          std::copy(note.value().data.begin(), note.value().data.end(),
+        } else if (note.value().data_view.size() ==
+                   event->read_target().size()) {
+          std::copy(note.value().data_view.begin(),
+                    note.value().data_view.end(),
                     event->read_target().begin());
         } else {
           status = Internal("read completion size mismatch: got " +
-                            std::to_string(note.value().data.size()) +
+                            std::to_string(note.value().data_view.size()) +
                             "B, want " +
                             std::to_string(event->read_target().size()) +
                             "B");

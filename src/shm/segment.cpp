@@ -1,10 +1,20 @@
 #include "shm/segment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "fault/injector.h"
 
 namespace bf::shm {
+namespace {
+
+// Recycled-buffer cache bounds: enough to keep a few in-flight transfer
+// buffers warm, small enough that huge one-off sweeps (the 2 GiB Fig 4a
+// points) do not pin host memory.
+constexpr std::size_t kMaxSpareBuffers = 4;
+constexpr std::uint64_t kMaxSpareBytes = 64ULL << 20;
+
+}  // namespace
 
 Segment::Segment(sim::CopyModel copy_model, std::uint64_t capacity_bytes)
     : copy_model_(copy_model), capacity_(capacity_bytes) {
@@ -21,15 +31,35 @@ Result<std::int64_t> Segment::stage(ByteSpan data, vt::Cursor& cursor) {
   std::int64_t slot = 0;
   {
     std::lock_guard lock(mutex_);
-    auto allocated = allocate_locked(data.size());
+    // No zero-fill: the copy below overwrites the slot's full logical size.
+    auto allocated = allocate_locked(data.size(), /*zero=*/false);
     if (!allocated.ok()) return allocated.status();
     slot = allocated.value();
-    Bytes& storage = slots_[slot];
-    std::copy(data.begin(), data.end(), storage.begin());
+    std::copy(data.begin(), data.end(), slots_[slot].storage.begin());
     bytes_copied_ += data.size();
     ++copies_;
   }
   cursor.advance(copy_model_.copy_time(data.size()));
+  return slot;
+}
+
+Result<std::int64_t> Segment::stage(Bytes&& data, vt::Cursor& cursor) {
+  if (fault::should_fire(fault::site::kShmStageFail)) {
+    return ResourceExhausted("injected fault: shm stage failed");
+  }
+  const std::uint64_t size = data.size();
+  std::int64_t slot = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto inserted = insert_locked(std::move(data));
+    if (!inserted.ok()) return inserted.status();
+    slot = inserted.value();
+    // The modeled copy still happens (paper §III-B keeps one client-side
+    // copy); only the host-side byte shuffling is elided.
+    bytes_copied_ += size;
+    ++copies_;
+  }
+  cursor.advance(copy_model_.copy_time(size));
   return slot;
 }
 
@@ -41,20 +71,44 @@ Status Segment::fetch(std::int64_t slot, MutableByteSpan out,
     if (it == slots_.end()) {
       return NotFound("unknown shm slot " + std::to_string(slot));
     }
-    if (it->second.size() != out.size()) {
+    if (it->second.size != out.size()) {
       return InvalidArgument("shm fetch size mismatch: slot holds " +
-                             std::to_string(it->second.size()) +
+                             std::to_string(it->second.size) +
                              "B, caller expects " +
                              std::to_string(out.size()) + "B");
     }
-    std::copy(it->second.begin(), it->second.end(), out.begin());
+    std::copy_n(it->second.storage.begin(), it->second.size, out.begin());
     bytes_copied_ += out.size();
     ++copies_;
-    used_ -= it->second.size();
+    used_ -= it->second.size;
+    recycle_locked(std::move(it->second.storage));
     slots_.erase(it);
   }
   cursor.advance(copy_model_.copy_time(out.size()));
   return Status::Ok();
+}
+
+Result<Bytes> Segment::fetch_take(std::int64_t slot, vt::Cursor& cursor) {
+  Bytes out;
+  std::uint64_t size = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = slots_.find(slot);
+    if (it == slots_.end()) {
+      return NotFound("unknown shm slot " + std::to_string(slot));
+    }
+    size = it->second.size;
+    out = std::move(it->second.storage);
+    // Recycled backing may be larger than the slot's logical size; shrink
+    // (no reallocation, contents preserved) so callers see exact payloads.
+    out.resize(size);
+    bytes_copied_ += size;
+    ++copies_;
+    used_ -= size;
+    slots_.erase(it);
+  }
+  cursor.advance(copy_model_.copy_time(size));
+  return out;
 }
 
 Result<ByteSpan> Segment::view(std::int64_t slot) const {
@@ -63,12 +117,12 @@ Result<ByteSpan> Segment::view(std::int64_t slot) const {
   if (it == slots_.end()) {
     return NotFound("unknown shm slot " + std::to_string(slot));
   }
-  return ByteSpan{it->second};
+  return ByteSpan{it->second.storage.data(), it->second.size};
 }
 
 Result<std::int64_t> Segment::allocate(std::uint64_t size) {
   std::lock_guard lock(mutex_);
-  return allocate_locked(size);
+  return allocate_locked(size, /*zero=*/true);
 }
 
 Result<MutableByteSpan> Segment::writable_view(std::int64_t slot) {
@@ -77,7 +131,7 @@ Result<MutableByteSpan> Segment::writable_view(std::int64_t slot) {
   if (it == slots_.end()) {
     return NotFound("unknown shm slot " + std::to_string(slot));
   }
-  return MutableByteSpan{it->second};
+  return MutableByteSpan{it->second.storage.data(), it->second.size};
 }
 
 Status Segment::release(std::int64_t slot) {
@@ -86,7 +140,8 @@ Status Segment::release(std::int64_t slot) {
   if (it == slots_.end()) {
     return NotFound("unknown shm slot " + std::to_string(slot));
   }
-  used_ -= it->second.size();
+  used_ -= it->second.size;
+  recycle_locked(std::move(it->second.storage));
   slots_.erase(it);
   return Status::Ok();
 }
@@ -111,16 +166,64 @@ std::size_t Segment::slot_count() const {
   return slots_.size();
 }
 
-Result<std::int64_t> Segment::allocate_locked(std::uint64_t size) {
+Result<std::int64_t> Segment::allocate_locked(std::uint64_t size, bool zero) {
   if (size == 0) return InvalidArgument("zero-size shm slot");
   if (used_ + size > capacity_) {
     return ResourceExhausted("shm segment full: " + std::to_string(used_) +
                              "B used of " + std::to_string(capacity_) + "B");
   }
-  const std::int64_t slot = next_slot_++;
-  slots_[slot] = Bytes(size);
+  Slot slot;
+  slot.size = size;
+  // Reuse the smallest spare buffer that fits before allocating fresh.
+  std::size_t best = spare_.size();
+  for (std::size_t i = 0; i < spare_.size(); ++i) {
+    if (spare_[i].capacity() < size) continue;
+    if (best == spare_.size() ||
+        spare_[i].capacity() < spare_[best].capacity()) {
+      best = i;
+    }
+  }
+  if (best != spare_.size()) {
+    slot.storage = std::move(spare_[best]);
+    spare_bytes_ -= slot.storage.capacity();
+    spare_.erase(spare_.begin() + static_cast<std::ptrdiff_t>(best));
+    if (slot.storage.size() < size) slot.storage.resize(size);
+    if (zero) {
+      std::fill_n(slot.storage.begin(), size, std::uint8_t{0});
+    }
+  } else {
+    slot.storage = Bytes(size);  // fresh buffers start zeroed either way
+  }
+  const std::int64_t id = next_slot_++;
+  slots_.emplace(id, std::move(slot));
   used_ += size;
-  return slot;
+  return id;
+}
+
+Result<std::int64_t> Segment::insert_locked(Bytes&& storage) {
+  const std::uint64_t size = storage.size();
+  if (size == 0) return InvalidArgument("zero-size shm slot");
+  if (used_ + size > capacity_) {
+    return ResourceExhausted("shm segment full: " + std::to_string(used_) +
+                             "B used of " + std::to_string(capacity_) + "B");
+  }
+  Slot slot;
+  slot.size = size;
+  slot.storage = std::move(storage);
+  const std::int64_t id = next_slot_++;
+  slots_.emplace(id, std::move(slot));
+  used_ += size;
+  return id;
+}
+
+void Segment::recycle_locked(Bytes storage) {
+  const std::uint64_t bytes = storage.capacity();
+  if (bytes == 0 || spare_.size() >= kMaxSpareBuffers ||
+      spare_bytes_ + bytes > kMaxSpareBytes) {
+    return;  // let it free
+  }
+  spare_bytes_ += bytes;
+  spare_.push_back(std::move(storage));
 }
 
 }  // namespace bf::shm

@@ -4,8 +4,12 @@
 // buffer payloads through a shared memory area instead of gRPC, cutting the
 // data copies from four to one (paper §III-B). The one remaining copy — kept
 // for OpenCL compatibility — is the application-buffer <-> shared-slot copy
-// on the client side; it is performed for real (so data integrity is
-// testable) and charged to the client's cursor via the node's memcpy model.
+// on the client side; it is charged to the client's cursor via the node's
+// memcpy model. The span-based stage/fetch overloads perform that copy for
+// real (so data integrity is testable); the Bytes&&/fetch_take overloads
+// transfer ownership instead — zero host work — while still charging the
+// same modeled cost and counting the same modeled copy, so virtual-time
+// results and copy accounting are identical either way.
 //
 // The Device Manager side hands slots to the board's DMA engine directly
 // (PCIe cost charged by the board, no host copy).
@@ -14,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -36,16 +41,24 @@ class Segment {
   // Copies application data into a fresh slot (the single modeled copy).
   Result<std::int64_t> stage(ByteSpan data, vt::Cursor& cursor);
 
+  // Ownership-transfer variant: moves the buffer into the slot without
+  // touching its bytes. Same modeled charge and copy accounting as the
+  // copying overload. On error the argument is left untouched.
+  Result<std::int64_t> stage(Bytes&& data, vt::Cursor& cursor);
+
   // Copies a slot's contents out into an application buffer (the single
   // modeled copy on the read path) and releases the slot.
   Status fetch(std::int64_t slot, MutableByteSpan out, vt::Cursor& cursor);
+
+  // Ownership-transfer variant of fetch: returns the slot's buffer itself.
+  Result<Bytes> fetch_take(std::int64_t slot, vt::Cursor& cursor);
 
   // --- manager side ---------------------------------------------------------
 
   // Zero-copy view of a staged slot for board DMA. Valid until release().
   Result<ByteSpan> view(std::int64_t slot) const;
 
-  // Allocates an uninitialized slot the board DMA will fill (read path).
+  // Allocates a zero-filled slot the board DMA will fill (read path).
   Result<std::int64_t> allocate(std::uint64_t size);
   Result<MutableByteSpan> writable_view(std::int64_t slot);
 
@@ -60,12 +73,26 @@ class Segment {
   [[nodiscard]] std::size_t slot_count() const;
 
  private:
-  Result<std::int64_t> allocate_locked(std::uint64_t size);
+  // A slot's logical size may be smaller than its backing capacity when the
+  // buffer was recycled from a previously released slot.
+  struct Slot {
+    Bytes storage;
+    std::uint64_t size = 0;
+  };
+
+  Result<std::int64_t> allocate_locked(std::uint64_t size, bool zero);
+  // Moves from `storage` only on success.
+  Result<std::int64_t> insert_locked(Bytes&& storage);
+  void recycle_locked(Bytes storage);
 
   sim::CopyModel copy_model_;
   std::uint64_t capacity_;
   mutable std::mutex mutex_;
-  std::map<std::int64_t, Bytes> slots_;
+  std::map<std::int64_t, Slot> slots_;
+  // Bounded cache of released slot buffers, so the steady-state stage/fetch
+  // cycle allocates no fresh host memory.
+  std::vector<Bytes> spare_;
+  std::uint64_t spare_bytes_ = 0;
   std::uint64_t used_ = 0;
   std::int64_t next_slot_ = 1;
   std::uint64_t bytes_copied_ = 0;

@@ -1,9 +1,17 @@
 #include "sim/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <limits>
+#include <span>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define BF_GEMM_AVX2 1
+#endif
 
 namespace bf::sim {
 namespace {
@@ -24,33 +32,230 @@ constexpr double kHistogramPixelsPerSecond = 2.0e9;
 // setup). Visible in Fig 4b/4c as the small-input floor.
 constexpr vt::Duration kLaunchOverhead = vt::Duration::micros(150);
 
-Result<std::vector<float>> read_floats(const DeviceMemory& memory,
-                                       MemHandle handle, std::size_t count) {
-  std::vector<float> values(count);
-  Status s = memory.read(handle, 0,
-                         as_writable_bytes(values.data(),
-                                           values.size() * sizeof(float)));
-  if (!s.ok()) return s;
-  return values;
+// ---- zero-copy typed views over board memory --------------------------------
+//
+// Kernels compute in place on the allocation's backing store instead of
+// round-tripping through temporary vectors. Spans stay valid for the whole
+// execute() call (the board holds its mutex across the launch, and handles
+// cannot be released mid-kernel).
+
+Result<std::span<const float>> borrow_floats(DeviceMemory& memory,
+                                             MemHandle handle,
+                                             std::size_t count) {
+  auto bytes = memory.borrow(handle, 0, count * sizeof(float));
+  if (!bytes.ok()) return bytes.status();
+  return std::span<const float>{
+      reinterpret_cast<const float*>(bytes.value().data()), count};
 }
 
-Status write_floats(DeviceMemory& memory, MemHandle handle,
-                    const std::vector<float>& values) {
-  return memory.write(
-      handle, 0, as_bytes(values.data(), values.size() * sizeof(float)));
+Result<std::span<float>> borrow_floats_mut(DeviceMemory& memory,
+                                           MemHandle handle,
+                                           std::size_t count) {
+  auto bytes = memory.borrow_mut(handle, 0, count * sizeof(float));
+  if (!bytes.ok()) return bytes.status();
+  return std::span<float>{reinterpret_cast<float*>(bytes.value().data()),
+                          count};
 }
 
-Result<std::vector<std::uint32_t>> read_pixels(const DeviceMemory& memory,
-                                               MemHandle handle,
-                                               std::size_t count) {
-  std::vector<std::uint32_t> px(count);
-  Status s = memory.read(
-      handle, 0, as_writable_bytes(px.data(), px.size() * sizeof(px[0])));
-  if (!s.ok()) return s;
-  return px;
+Result<std::span<const std::uint32_t>> borrow_pixels(DeviceMemory& memory,
+                                                     MemHandle handle,
+                                                     std::size_t count) {
+  auto bytes = memory.borrow(handle, 0, count * sizeof(std::uint32_t));
+  if (!bytes.ok()) return bytes.status();
+  return std::span<const std::uint32_t>{
+      reinterpret_cast<const std::uint32_t*>(bytes.value().data()), count};
+}
+
+Result<std::span<std::uint32_t>> borrow_pixels_mut(DeviceMemory& memory,
+                                                   MemHandle handle,
+                                                   std::size_t count) {
+  auto bytes = memory.borrow_mut(handle, 0, count * sizeof(std::uint32_t));
+  if (!bytes.ok()) return bytes.status();
+  return std::span<std::uint32_t>{
+      reinterpret_cast<std::uint32_t*>(bytes.value().data()), count};
+}
+
+// ---- worker-pool plumbing ---------------------------------------------------
+
+std::atomic<WorkerPool*> g_pool_override{nullptr};
+
+WorkerPool& kernel_pool() {
+  auto* pool = g_pool_override.load(std::memory_order_acquire);
+  return pool != nullptr ? *pool : WorkerPool::shared();
+}
+
+// Splits [0, count) into at most pool-size contiguous chunks of at least
+// min_grain items and runs body(begin, end) for each. Small launches stay
+// inline. Chunk boundaries cannot change results: every element is produced
+// by exactly one chunk and the per-element operation order is fixed.
+void run_chunked(std::size_t count, std::size_t min_grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  WorkerPool& pool = kernel_pool();
+  std::size_t chunks =
+      std::min<std::size_t>(pool.size(), min_grain == 0 ? count
+                                                        : count / min_grain);
+  if (chunks <= 1) {
+    body(0, count);
+    return;
+  }
+  const std::size_t per = (count + chunks - 1) / chunks;
+  pool.parallel_for(chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * per;
+    const std::size_t end = std::min(count, begin + per);
+    if (begin < end) body(begin, end);
+  });
+}
+
+// ---- Sobel inner loop -------------------------------------------------------
+//
+// A named helper with __restrict__ parameters (the alias case snapshots
+// before calling, so src and dst never overlap): borrowed spans lack the
+// fresh-allocation no-alias guarantee the old temporary vectors carried,
+// and inside a type-erased run_chunked closure GCC won't vectorize the
+// interior without it (~2x slower).
+void sobel_rows(const std::uint32_t* __restrict__ src,
+                std::uint32_t* __restrict__ dst, std::size_t width,
+                std::size_t row0, std::size_t row1) {
+  constexpr int gx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+  constexpr int gy[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+  for (std::size_t y = row0; y < row1; ++y) {
+    for (std::size_t x = 1; x + 1 < width; ++x) {
+      int sum_x = 0;
+      int sum_y = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const auto value = static_cast<int>(
+              src[(y + static_cast<std::size_t>(dy + 1) - 1) * width +
+                  (x + static_cast<std::size_t>(dx + 1) - 1)] &
+              0xFFU);
+          sum_x += gx[dy + 1][dx + 1] * value;
+          sum_y += gy[dy + 1][dx + 1] * value;
+        }
+      }
+      const int magnitude =
+          std::min(255, static_cast<int>(std::sqrt(static_cast<double>(
+                            sum_x * sum_x + sum_y * sum_y))));
+      dst[y * width + x] = static_cast<std::uint32_t>(magnitude);
+    }
+  }
+}
+
+// ---- GEMM inner loops -------------------------------------------------------
+//
+// All paths accumulate each output element as: acc = 0; acc += a[i,k]*b[k,j]
+// for k ascending; single store. That chain is what the serial reference and
+// the CPU references in tests compute, so SIMD width and row partitioning
+// never change a bit of the result. No path may use FMA: the references are
+// compiled without contraction, and target("avx2") below deliberately leaves
+// the FMA ISA off so neither the intrinsics nor the compiler can fuse.
+
+void gemm_scalar_block(const float* a, const float* b, float* c, std::size_t n,
+                       std::size_t row0, std::size_t row1, std::size_t col0,
+                       std::size_t col1) {
+  for (std::size_t i = row0; i < row1; ++i) {
+    for (std::size_t j = col0; j < col1; ++j) {
+      float acc = 0.0F;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+#if defined(BF_GEMM_AVX2)
+// Register-tiled panels: 4 rows x 16 columns held in 8 ymm accumulators, one
+// pass over k. Loads two B vectors and four A broadcasts per k step; explicit
+// mul-then-add keeps the per-element rounding identical to the scalar chain.
+__attribute__((target("avx2"))) void gemm_rows_avx2(const float* a,
+                                                    const float* b, float* c,
+                                                    std::size_t n,
+                                                    std::size_t row0,
+                                                    std::size_t row1) {
+  constexpr std::size_t kRows = 4;
+  constexpr std::size_t kCols = 16;
+  std::size_t i = row0;
+  for (; i + kRows <= row1; i += kRows) {
+    std::size_t j = 0;
+    for (; j + kCols <= n; j += kCols) {
+      __m256 acc[kRows][2];
+      for (std::size_t r = 0; r < kRows; ++r) {
+        acc[r][0] = _mm256_setzero_ps();
+        acc[r][1] = _mm256_setzero_ps();
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const __m256 b0 = _mm256_loadu_ps(b + k * n + j);
+        const __m256 b1 = _mm256_loadu_ps(b + k * n + j + 8);
+        for (std::size_t r = 0; r < kRows; ++r) {
+          const __m256 a_rk = _mm256_set1_ps(a[(i + r) * n + k]);
+          acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(a_rk, b0));
+          acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(a_rk, b1));
+        }
+      }
+      for (std::size_t r = 0; r < kRows; ++r) {
+        _mm256_storeu_ps(c + (i + r) * n + j, acc[r][0]);
+        _mm256_storeu_ps(c + (i + r) * n + j + 8, acc[r][1]);
+      }
+    }
+    if (j < n) gemm_scalar_block(a, b, c, n, i, i + kRows, j, n);
+  }
+  for (; i < row1; ++i) {
+    std::size_t j = 0;
+    for (; j + kCols <= n; j += kCols) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      for (std::size_t k = 0; k < n; ++k) {
+        const __m256 a_ik = _mm256_set1_ps(a[i * n + k]);
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(a_ik, _mm256_loadu_ps(b + k * n + j)));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(a_ik, _mm256_loadu_ps(b + k * n + j + 8)));
+      }
+      _mm256_storeu_ps(c + i * n + j, acc0);
+      _mm256_storeu_ps(c + i * n + j + 8, acc1);
+    }
+    if (j < n) gemm_scalar_block(a, b, c, n, i, i + 1, j, n);
+  }
+}
+
+bool gemm_use_avx2() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+#endif  // BF_GEMM_AVX2
+
+void gemm_rows(const float* a, const float* b, float* c, std::size_t n,
+               std::size_t row0, std::size_t row1) {
+#if defined(BF_GEMM_AVX2)
+  if (gemm_use_avx2()) {
+    gemm_rows_avx2(a, b, c, n, row0, row1);
+    return;
+  }
+#endif
+  // i-k-j with a zeroed output row: per element this is the same
+  // ascending-k mul/add chain as the tiled path.
+  for (std::size_t i = row0; i < row1; ++i) {
+    float* c_row = c + i * n;
+    std::fill(c_row, c_row + n, 0.0F);
+    for (std::size_t k = 0; k < n; ++k) {
+      const float a_ik = a[i * n + k];
+      const float* b_row = b + k * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
 }
 
 }  // namespace
+
+ScopedKernelParallelism::ScopedKernelParallelism(unsigned threads)
+    : pool_(std::make_unique<WorkerPool>(threads)),
+      previous_(g_pool_override.exchange(pool_.get(),
+                                         std::memory_order_acq_rel)) {}
+
+ScopedKernelParallelism::~ScopedKernelParallelism() {
+  g_pool_override.store(previous_, std::memory_order_release);
+}
 
 Result<MemHandle> arg_buffer(const KernelLaunch& launch, std::size_t index) {
   if (index >= launch.args.size()) {
@@ -122,35 +327,40 @@ Status SobelKernel::execute(const KernelLaunch& launch,
   const auto width = static_cast<std::size_t>(width_r.value());
   const auto height = static_cast<std::size_t>(height_r.value());
 
-  auto pixels = read_pixels(memory, in.value(), width * height);
-  if (!pixels.ok()) return pixels.status();
-  const std::vector<std::uint32_t>& src = pixels.value();
-  std::vector<std::uint32_t> dst(width * height, 0);
+  auto src_span = borrow_pixels(memory, in.value(), width * height);
+  if (!src_span.ok()) return src_span.status();
+  auto dst_span = borrow_pixels_mut(memory, out.value(), width * height);
+  if (!dst_span.ok()) return dst_span.status();
+  // In-place launch (out aliases in): snapshot the source, matching the old
+  // read-everything-first semantics.
+  std::vector<std::uint32_t> aliased;
+  const std::uint32_t* src = src_span.value().data();
+  if (in.value() == out.value()) {
+    aliased.assign(src_span.value().begin(), src_span.value().end());
+    src = aliased.data();
+  }
+  std::uint32_t* dst = dst_span.value().data();
+
+  // Border pixels have no full 3x3 neighborhood and are defined as zero.
+  if (width == 0 || height == 0) return Status::Ok();
+  std::fill(dst, dst + width, 0U);
+  if (height > 1) {
+    std::fill(dst + (height - 1) * width, dst + height * width, 0U);
+  }
+  for (std::size_t y = 1; y + 1 < height; ++y) {
+    dst[y * width] = 0;
+    if (width > 1) dst[y * width + width - 1] = 0;
+  }
 
   // 3x3 Sobel gradient magnitude on the low byte (grayscale), clamped to
-  // [0,255] — mirrors the Spector sobel reference semantics.
-  constexpr int gx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
-  constexpr int gy[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
-  for (std::size_t y = 1; y + 1 < height; ++y) {
-    for (std::size_t x = 1; x + 1 < width; ++x) {
-      int sum_x = 0;
-      int sum_y = 0;
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          const auto value = static_cast<int>(
-              src[(y + dy) * width + (x + dx)] & 0xFFU);
-          sum_x += gx[dy + 1][dx + 1] * value;
-          sum_y += gy[dy + 1][dx + 1] * value;
-        }
-      }
-      const int magnitude = std::min(
-          255, static_cast<int>(std::sqrt(static_cast<double>(
-                   sum_x * sum_x + sum_y * sum_y))));
-      dst[y * width + x] = static_cast<std::uint32_t>(magnitude);
-    }
-  }
-  return memory.write(out.value(), 0,
-                      as_bytes(dst.data(), dst.size() * sizeof(dst[0])));
+  // [0,255] — mirrors the Spector sobel reference semantics. Interior rows
+  // are partitioned across the pool; each row's pixels touch only that row
+  // of dst.
+  if (height < 3 || width < 3) return Status::Ok();
+  run_chunked(height - 2, 64, [&](std::size_t begin, std::size_t end) {
+    sobel_rows(src, dst, width, begin + 1, end + 1);
+  });
+  return Status::Ok();
 }
 
 // --- MatMul -----------------------------------------------------------------
@@ -180,25 +390,30 @@ Status MatMulKernel::execute(const KernelLaunch& launch,
   if (!n_r.ok()) return n_r.status();
   const auto n = static_cast<std::size_t>(n_r.value());
 
-  auto lhs = read_floats(memory, a.value(), n * n);
-  if (!lhs.ok()) return lhs.status();
-  auto rhs = read_floats(memory, b.value(), n * n);
-  if (!rhs.ok()) return rhs.status();
+  auto lhs_span = borrow_floats(memory, a.value(), n * n);
+  if (!lhs_span.ok()) return lhs_span.status();
+  auto rhs_span = borrow_floats(memory, b.value(), n * n);
+  if (!rhs_span.ok()) return rhs_span.status();
+  auto out_span = borrow_floats_mut(memory, c.value(), n * n);
+  if (!out_span.ok()) return out_span.status();
 
-  std::vector<float> out(n * n, 0.0F);
-  // i-k-j loop order for cache friendliness; the FPGA block structure is a
-  // timing concern only, handled by execution_time().
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < n; ++k) {
-      const float lhs_ik = lhs.value()[i * n + k];
-      const float* rhs_row = &rhs.value()[k * n];
-      float* out_row = &out[i * n];
-      for (std::size_t j = 0; j < n; ++j) {
-        out_row[j] += lhs_ik * rhs_row[j];
-      }
-    }
+  // In-place launches (C aliasing A and/or B) snapshot the aliased operand.
+  std::vector<float> lhs_copy;
+  std::vector<float> rhs_copy;
+  const float* lhs = lhs_span.value().data();
+  const float* rhs = rhs_span.value().data();
+  if (c.value() == a.value()) {
+    lhs_copy.assign(lhs, lhs + n * n);
+    lhs = lhs_copy.data();
   }
-  return write_floats(memory, c.value(), out);
+  if (c.value() == b.value()) {
+    rhs_copy.assign(rhs, rhs + n * n);
+    rhs = rhs_copy.data();
+  }
+  run_chunked(n, 16, [&](std::size_t row0, std::size_t row1) {
+    gemm_rows(lhs, rhs, out_span.value().data(), n, row0, row1);
+  });
+  return Status::Ok();
 }
 
 // --- Conv / FC --------------------------------------------------------------
@@ -246,43 +461,70 @@ Status ConvKernel::execute(const KernelLaunch& launch,
   const std::int64_t pad = d[8];
   const bool relu = d[9] != 0;
 
-  auto input = read_floats(memory, in.value(), in_c * in_h * in_w);
-  if (!input.ok()) return input.status();
-  auto w = read_floats(memory, weights.value(), out_c * in_c * ksize * ksize);
-  if (!w.ok()) return w.status();
-  auto bias_values = read_floats(memory, bias.value(), out_c);
-  if (!bias_values.ok()) return bias_values.status();
+  auto input_span = borrow_floats(memory, in.value(), in_c * in_h * in_w);
+  if (!input_span.ok()) return input_span.status();
+  auto w_span =
+      borrow_floats(memory, weights.value(), out_c * in_c * ksize * ksize);
+  if (!w_span.ok()) return w_span.status();
+  auto bias_span = borrow_floats(memory, bias.value(), out_c);
+  if (!bias_span.ok()) return bias_span.status();
+  auto out_span =
+      borrow_floats_mut(memory, out.value(), out_c * out_h * out_w);
+  if (!out_span.ok()) return out_span.status();
 
-  std::vector<float> result(out_c * out_h * out_w, 0.0F);
-  for (std::size_t oc = 0; oc < out_c; ++oc) {
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        float acc = bias_values.value()[oc];
-        for (std::size_t ic = 0; ic < in_c; ++ic) {
-          for (std::size_t ky = 0; ky < ksize; ++ky) {
-            for (std::size_t kx = 0; kx < ksize; ++kx) {
-              const std::int64_t iy =
-                  static_cast<std::int64_t>(oy * stride + ky) - pad;
-              const std::int64_t ix =
-                  static_cast<std::int64_t>(ox * stride + kx) - pad;
-              if (iy < 0 || ix < 0 ||
-                  iy >= static_cast<std::int64_t>(in_h) ||
-                  ix >= static_cast<std::int64_t>(in_w)) {
-                continue;
+  std::vector<float> input_copy;
+  std::vector<float> w_copy;
+  std::vector<float> bias_copy;
+  const float* input = input_span.value().data();
+  const float* w = w_span.value().data();
+  const float* bias_values = bias_span.value().data();
+  if (out.value() == in.value()) {
+    input_copy.assign(input, input + in_c * in_h * in_w);
+    input = input_copy.data();
+  }
+  if (out.value() == weights.value()) {
+    w_copy.assign(w, w + out_c * in_c * ksize * ksize);
+    w = w_copy.data();
+  }
+  if (out.value() == bias.value()) {
+    bias_copy.assign(bias_values, bias_values + out_c);
+    bias_values = bias_copy.data();
+  }
+  float* result = out_span.value().data();
+
+  // Output channels partition across the pool; each task owns the full
+  // spatial plane of its channels.
+  run_chunked(out_c, 1, [&](std::size_t oc0, std::size_t oc1) {
+    for (std::size_t oc = oc0; oc < oc1; ++oc) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          float acc = bias_values[oc];
+          for (std::size_t ic = 0; ic < in_c; ++ic) {
+            for (std::size_t ky = 0; ky < ksize; ++ky) {
+              for (std::size_t kx = 0; kx < ksize; ++kx) {
+                const std::int64_t iy =
+                    static_cast<std::int64_t>(oy * stride + ky) - pad;
+                const std::int64_t ix =
+                    static_cast<std::int64_t>(ox * stride + kx) - pad;
+                if (iy < 0 || ix < 0 ||
+                    iy >= static_cast<std::int64_t>(in_h) ||
+                    ix >= static_cast<std::int64_t>(in_w)) {
+                  continue;
+                }
+                acc += input[(ic * in_h + static_cast<std::size_t>(iy)) *
+                                 in_w +
+                             static_cast<std::size_t>(ix)] *
+                       w[((oc * in_c + ic) * ksize + ky) * ksize + kx];
               }
-              acc += input.value()[(ic * in_h + static_cast<std::size_t>(iy)) *
-                                       in_w +
-                                   static_cast<std::size_t>(ix)] *
-                     w.value()[((oc * in_c + ic) * ksize + ky) * ksize + kx];
             }
           }
+          if (relu && acc < 0.0F) acc = 0.0F;
+          result[(oc * out_h + oy) * out_w + ox] = acc;
         }
-        if (relu && acc < 0.0F) acc = 0.0F;
-        result[(oc * out_h + oy) * out_w + ox] = acc;
       }
     }
-  }
-  return write_floats(memory, out.value(), result);
+  });
+  return Status::Ok();
 }
 
 // --- Pool -------------------------------------------------------------------
@@ -322,27 +564,38 @@ Status PoolKernel::execute(const KernelLaunch& launch,
   const auto ksize = static_cast<std::size_t>(d[5]);
   const auto stride = static_cast<std::size_t>(d[6]);
 
-  auto input = read_floats(memory, in.value(), channels * in_h * in_w);
-  if (!input.ok()) return input.status();
-  std::vector<float> result(channels * out_h * out_w,
-                            -std::numeric_limits<float>::infinity());
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        float best = -std::numeric_limits<float>::infinity();
-        for (std::size_t ky = 0; ky < ksize; ++ky) {
-          for (std::size_t kx = 0; kx < ksize; ++kx) {
-            const std::size_t iy = oy * stride + ky;
-            const std::size_t ix = ox * stride + kx;
-            if (iy >= in_h || ix >= in_w) continue;
-            best = std::max(best, input.value()[(c * in_h + iy) * in_w + ix]);
+  auto input_span = borrow_floats(memory, in.value(), channels * in_h * in_w);
+  if (!input_span.ok()) return input_span.status();
+  auto out_span =
+      borrow_floats_mut(memory, out.value(), channels * out_h * out_w);
+  if (!out_span.ok()) return out_span.status();
+  std::vector<float> input_copy;
+  const float* input = input_span.value().data();
+  if (out.value() == in.value()) {
+    input_copy.assign(input, input + channels * in_h * in_w);
+    input = input_copy.data();
+  }
+  float* result = out_span.value().data();
+
+  run_chunked(channels, 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::size_t ky = 0; ky < ksize; ++ky) {
+            for (std::size_t kx = 0; kx < ksize; ++kx) {
+              const std::size_t iy = oy * stride + ky;
+              const std::size_t ix = ox * stride + kx;
+              if (iy >= in_h || ix >= in_w) continue;
+              best = std::max(best, input[(c * in_h + iy) * in_w + ix]);
+            }
           }
+          result[(c * out_h + oy) * out_w + ox] = best;
         }
-        result[(c * out_h + oy) * out_w + ox] = best;
       }
     }
-  }
-  return write_floats(memory, out.value(), result);
+  });
+  return Status::Ok();
 }
 
 // --- LRN --------------------------------------------------------------------
@@ -376,37 +629,49 @@ Status LrnKernel::execute(const KernelLaunch& launch,
   const auto channels = static_cast<std::size_t>(d[0]);
   const auto height = static_cast<std::size_t>(d[1]);
   const auto width = static_cast<std::size_t>(d[2]);
-  auto input = read_floats(memory, in.value(), channels * height * width);
-  if (!input.ok()) return input.status();
+  auto input_span =
+      borrow_floats(memory, in.value(), channels * height * width);
+  if (!input_span.ok()) return input_span.status();
+  auto out_span =
+      borrow_floats_mut(memory, out.value(), channels * height * width);
+  if (!out_span.ok()) return out_span.status();
+  // LRN reads a cross-channel window, so an in-place launch must snapshot
+  // the whole input, not just one channel.
+  std::vector<float> input_copy;
+  const float* input = input_span.value().data();
+  if (out.value() == in.value()) {
+    input_copy.assign(input, input + channels * height * width);
+    input = input_copy.data();
+  }
+  float* result = out_span.value().data();
 
   // AlexNet LRN: n=5, alpha=1e-4, beta=0.75, k=2 (across channels).
   constexpr int kWindow = 5;
   constexpr float kAlpha = 1e-4F;
   constexpr float kBeta = 0.75F;
   constexpr float kBias = 2.0F;
-  std::vector<float> result(channels * height * width, 0.0F);
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t y = 0; y < height; ++y) {
-      for (std::size_t x = 0; x < width; ++x) {
-        float sum_sq = 0.0F;
-        const int lo = std::max<int>(0, static_cast<int>(c) - kWindow / 2);
-        const int hi = std::min<int>(static_cast<int>(channels) - 1,
-                                     static_cast<int>(c) + kWindow / 2);
-        for (int cc = lo; cc <= hi; ++cc) {
-          const float value =
-              input.value()[(static_cast<std::size_t>(cc) * height + y) *
-                                width +
-                            x];
-          sum_sq += value * value;
+  run_chunked(channels, 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          float sum_sq = 0.0F;
+          const int lo = std::max<int>(0, static_cast<int>(c) - kWindow / 2);
+          const int hi = std::min<int>(static_cast<int>(channels) - 1,
+                                       static_cast<int>(c) + kWindow / 2);
+          for (int cc = lo; cc <= hi; ++cc) {
+            const float value =
+                input[(static_cast<std::size_t>(cc) * height + y) * width + x];
+            sum_sq += value * value;
+          }
+          const float scale =
+              std::pow(kBias + kAlpha * sum_sq / kWindow, -kBeta);
+          result[(c * height + y) * width + x] =
+              input[(c * height + y) * width + x] * scale;
         }
-        const float scale =
-            std::pow(kBias + kAlpha * sum_sq / kWindow, -kBeta);
-        result[(c * height + y) * width + x] =
-            input.value()[(c * height + y) * width + x] * scale;
       }
     }
-  }
-  return write_floats(memory, out.value(), result);
+  });
+  return Status::Ok();
 }
 
 // --- FIR --------------------------------------------------------------------
@@ -442,21 +707,39 @@ Status FirKernel::execute(const KernelLaunch& launch,
   const auto n = static_cast<std::size_t>(n_r.value());
   const auto taps = static_cast<std::size_t>(taps_r.value());
 
-  auto signal = read_floats(memory, in.value(), n);
-  if (!signal.ok()) return signal.status();
-  auto weights = read_floats(memory, coeffs.value(), taps);
-  if (!weights.ok()) return weights.status();
+  auto signal_span = borrow_floats(memory, in.value(), n);
+  if (!signal_span.ok()) return signal_span.status();
+  auto weights_span = borrow_floats(memory, coeffs.value(), taps);
+  if (!weights_span.ok()) return weights_span.status();
+  auto out_span = borrow_floats_mut(memory, out.value(), n);
+  if (!out_span.ok()) return out_span.status();
+  // y[i] reads x[i - taps + 1 .. i], so writing into the signal buffer
+  // corrupts later outputs: snapshot on alias.
+  std::vector<float> signal_copy;
+  std::vector<float> weights_copy;
+  const float* signal = signal_span.value().data();
+  const float* weights = weights_span.value().data();
+  if (out.value() == in.value()) {
+    signal_copy.assign(signal, signal + n);
+    signal = signal_copy.data();
+  }
+  if (out.value() == coeffs.value()) {
+    weights_copy.assign(weights, weights + taps);
+    weights = weights_copy.data();
+  }
+  float* result = out_span.value().data();
 
   // y[i] = sum_t w[t] * x[i - t], zero-padded history.
-  std::vector<float> result(n, 0.0F);
-  for (std::size_t i = 0; i < n; ++i) {
-    float acc = 0.0F;
-    for (std::size_t t = 0; t < taps && t <= i; ++t) {
-      acc += weights.value()[t] * signal.value()[i - t];
+  run_chunked(n, 16 * 1024, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      float acc = 0.0F;
+      for (std::size_t t = 0; t < taps && t <= i; ++t) {
+        acc += weights[t] * signal[i - t];
+      }
+      result[i] = acc;
     }
-    result[i] = acc;
-  }
-  return write_floats(memory, out.value(), result);
+  });
+  return Status::Ok();
 }
 
 // --- Histogram ----------------------------------------------------------------
@@ -482,14 +765,18 @@ Status HistogramKernel::execute(const KernelLaunch& launch,
   if (!n_r.ok()) return n_r.status();
   const auto n = static_cast<std::size_t>(n_r.value());
 
-  auto pixels = read_pixels(memory, in.value(), n);
+  auto pixels = borrow_pixels(memory, in.value(), n);
   if (!pixels.ok()) return pixels.status();
-  std::vector<std::uint32_t> bins(256, 0);
+  auto bins_span = borrow_pixels_mut(memory, hist.value(), 256);
+  if (!bins_span.ok()) return bins_span.status();
+  // Bins accumulate locally (also keeps an in==hist launch well-defined),
+  // then land in board memory with one store pass.
+  std::array<std::uint32_t, 256> bins{};
   for (std::uint32_t px : pixels.value()) {
     ++bins[px & 0xFFU];
   }
-  return memory.write(hist.value(), 0,
-                      as_bytes(bins.data(), bins.size() * sizeof(bins[0])));
+  std::copy(bins.begin(), bins.end(), bins_span.value().begin());
+  return Status::Ok();
 }
 
 // --- Vadd -------------------------------------------------------------------
@@ -516,15 +803,23 @@ Status VaddKernel::execute(const KernelLaunch& launch,
   if (!c.ok()) return c.status();
   if (!n_r.ok()) return n_r.status();
   const auto n = static_cast<std::size_t>(n_r.value());
-  auto lhs = read_floats(memory, a.value(), n);
+  auto lhs = borrow_floats(memory, a.value(), n);
   if (!lhs.ok()) return lhs.status();
-  auto rhs = read_floats(memory, b.value(), n);
+  auto rhs = borrow_floats(memory, b.value(), n);
   if (!rhs.ok()) return rhs.status();
-  std::vector<float> sum(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    sum[i] = lhs.value()[i] + rhs.value()[i];
-  }
-  return write_floats(memory, c.value(), sum);
+  auto sum = borrow_floats_mut(memory, c.value(), n);
+  if (!sum.ok()) return sum.status();
+  // Element i depends only on inputs at i, so c aliasing a or b is safe
+  // without a snapshot.
+  const float* lhs_p = lhs.value().data();
+  const float* rhs_p = rhs.value().data();
+  float* sum_p = sum.value().data();
+  run_chunked(n, 64 * 1024, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      sum_p[i] = lhs_p[i] + rhs_p[i];
+    }
+  });
+  return Status::Ok();
 }
 
 // --- Registry ----------------------------------------------------------------

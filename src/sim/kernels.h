@@ -16,11 +16,32 @@
 #include <variant>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "sim/memory.h"
 #include "vt/time.h"
 
 namespace bf::sim {
+
+// Functional kernels compute directly in borrowed board memory and spread
+// row/channel partitions across WorkerPool::shared(). Partitioning never
+// changes results: every output element is produced by exactly one task with
+// a fixed operation order (see docs/PERFORMANCE.md). This scope swaps in a
+// private pool of the given size so tests can pin byte-exactness across
+// 1, 2, and N lanes. Not reentrant; do not construct concurrently with
+// running kernels.
+class ScopedKernelParallelism {
+ public:
+  explicit ScopedKernelParallelism(unsigned threads);
+  ~ScopedKernelParallelism();
+
+  ScopedKernelParallelism(const ScopedKernelParallelism&) = delete;
+  ScopedKernelParallelism& operator=(const ScopedKernelParallelism&) = delete;
+
+ private:
+  std::unique_ptr<WorkerPool> pool_;
+  WorkerPool* previous_;
+};
 
 // An OpenCL kernel argument: a device buffer or a scalar.
 using KernelArg = std::variant<MemHandle, std::int64_t, double>;

@@ -97,6 +97,33 @@ Status DeviceMemory::read(MemHandle handle, std::uint64_t offset,
   return Status::Ok();
 }
 
+Result<ByteSpan> DeviceMemory::borrow(MemHandle handle, std::uint64_t offset,
+                                      std::uint64_t size) {
+  auto span = borrow_mut(handle, offset, size);
+  if (!span.ok()) return span.status();
+  return ByteSpan{span.value()};
+}
+
+Result<MutableByteSpan> DeviceMemory::borrow_mut(MemHandle handle,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t size) {
+  auto it = allocations_.find(handle.id);
+  if (it == allocations_.end()) {
+    return NotFound("unknown device allocation " + std::to_string(handle.id));
+  }
+  Allocation& alloc = it->second;
+  if (offset + size > alloc.size) {
+    return InvalidArgument("device borrow out of bounds: offset " +
+                           std::to_string(offset) + " + " +
+                           std::to_string(size) + " > " +
+                           std::to_string(alloc.size));
+  }
+  if (alloc.data.size() < alloc.size) {
+    alloc.data.resize(alloc.size);  // materialize (zero-filled) on borrow
+  }
+  return MutableByteSpan{alloc.data.data() + offset, size};
+}
+
 Result<std::uint64_t> DeviceMemory::allocation_size(MemHandle handle) const {
   auto it = allocations_.find(handle.id);
   if (it == allocations_.end()) {

@@ -39,6 +39,18 @@ class DeviceMemory {
   Status read(MemHandle handle, std::uint64_t offset,
               MutableByteSpan out) const;
 
+  // Zero-copy access to the backing store, used by the functional kernels
+  // to compute in place. Both overloads materialize the allocation's host
+  // vector (zero-filled, which is semantically invisible — unwritten DDR
+  // already reads as zeroes), so a borrowed span always observes and
+  // persists real data. Spans stay valid until the allocation is
+  // release()d or the memory is reset(); they alias read()/write() of the
+  // same handle.
+  Result<ByteSpan> borrow(MemHandle handle, std::uint64_t offset,
+                          std::uint64_t size);
+  Result<MutableByteSpan> borrow_mut(MemHandle handle, std::uint64_t offset,
+                                     std::uint64_t size);
+
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t used() const { return used_; }
   [[nodiscard]] std::uint64_t free_bytes() const { return capacity_ - used_; }

@@ -33,9 +33,41 @@ TEST(Injector, DisarmedNeverFires) {
 
 TEST(Injector, SiteWithoutTriggerNeverFires) {
   ScopedInjection inject(1);
+  // Named sites take the per-site fast path: with no trigger installed the
+  // slow path is never entered, so no hits are recorded either.
   for (int i = 0; i < 100; ++i) EXPECT_FALSE(should_fire(site::kShmGrantDeny));
-  EXPECT_EQ(Injector::instance().hits(site::kShmGrantDeny), 100u);
+  EXPECT_EQ(Injector::instance().hits(site::kShmGrantDeny), 0u);
   EXPECT_EQ(Injector::instance().fires(site::kShmGrantDeny), 0u);
+}
+
+TEST(Injector, DynamicNameStillRecordsHitsWithoutTrigger) {
+  // The string-keyed fallback keeps the old contract: armed runs record
+  // every hit even when the site has no trigger.
+  ScopedInjection inject(1);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(should_fire("test.dynamic.site"));
+  EXPECT_EQ(Injector::instance().hits("test.dynamic.site"), 5u);
+}
+
+TEST(Injector, SiteFlagFollowsTriggerInstallAndClear) {
+  ScopedInjection inject(1);
+  EXPECT_FALSE(site::kShmStageFail.triggered());
+  Injector::instance().set_trigger(site::kShmStageFail, {.probability = 1.0});
+  EXPECT_TRUE(site::kShmStageFail.triggered());
+  EXPECT_TRUE(should_fire(site::kShmStageFail));
+  Injector::instance().clear_trigger(site::kShmStageFail);
+  EXPECT_FALSE(site::kShmStageFail.triggered());
+  EXPECT_FALSE(should_fire(site::kShmStageFail));
+  // Only the one hit from the triggered window was recorded.
+  EXPECT_EQ(Injector::instance().hits(site::kShmStageFail), 1u);
+}
+
+TEST(Injector, DisarmClearsSiteFlags) {
+  {
+    ScopedInjection inject(1);
+    Injector::instance().set_trigger(site::kNetSendDelay, {.probability = 0.0});
+    EXPECT_TRUE(site::kNetSendDelay.triggered());
+  }
+  EXPECT_FALSE(site::kNetSendDelay.triggered());
 }
 
 TEST(Injector, CertainTriggerFiresEveryHit) {
@@ -126,7 +158,7 @@ TEST(Injector, FireLogRecordsSiteAndOrdinal) {
   (void)should_fire(site::kShmGrantDeny);  // ordinal 1: fires
   auto log = Injector::instance().fire_log();
   ASSERT_EQ(log.size(), 1u);
-  EXPECT_EQ(log[0], std::string(site::kShmGrantDeny) + ":1");
+  EXPECT_EQ(log[0], std::string(site::kShmGrantDeny.name()) + ":1");
 }
 
 TEST(Injector, RearmResetsCountersAndTriggers) {
@@ -136,9 +168,10 @@ TEST(Injector, RearmResetsCountersAndTriggers) {
     EXPECT_TRUE(should_fire(site::kShmGrantDeny));
   }
   ScopedInjection inject(5);
-  // Trigger gone after re-arm; hit counters restart.
+  // Trigger (and the per-site arm flag) gone after re-arm; the fast path
+  // short-circuits, so the hit is not even recorded.
   EXPECT_FALSE(should_fire(site::kShmGrantDeny));
-  EXPECT_EQ(Injector::instance().hits(site::kShmGrantDeny), 1u);
+  EXPECT_EQ(Injector::instance().hits(site::kShmGrantDeny), 0u);
   EXPECT_EQ(Injector::instance().total_fires(), 0u);
 }
 

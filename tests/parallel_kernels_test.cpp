@@ -1,0 +1,365 @@
+// WorkerPool semantics plus the determinism contract of the parallel
+// functional kernels: every workload output must be byte-exact against the
+// CPU reference no matter how many lanes the pool has. Runs under TSan via
+// bench/run_sanitized.sh (ctest -L parallel).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "sim/kernels.h"
+#include "sim/memory.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+namespace bf {
+namespace {
+
+// ---- WorkerPool --------------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kTasks = 257;
+  std::vector<std::atomic<int>> runs(kTasks);
+  pool.parallel_for(kTasks, [&](std::size_t i) { runs[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(WorkerPool, SingleLaneRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::size_t ran = 0;
+  pool.parallel_for(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;  // safe: single lane means no concurrency
+  });
+  EXPECT_EQ(ran, 16u);
+}
+
+TEST(WorkerPool, ZeroThreadsTreatedAsOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::size_t ran = 0;
+  pool.parallel_for(3, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 3u);
+}
+
+TEST(WorkerPool, ZeroTasksIsANoOp) {
+  WorkerPool pool(4);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(WorkerPool, BackToBackJobsDoNotLeakTasks) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t tasks = 1 + static_cast<std::size_t>(round % 7);
+    std::atomic<std::size_t> ran{0};
+    pool.parallel_for(tasks, [&](std::size_t) { ran.fetch_add(1); });
+    ASSERT_EQ(ran.load(), tasks) << "round " << round;
+  }
+}
+
+TEST(WorkerPool, ConcurrentCallersAreSerializedAndComplete) {
+  WorkerPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::atomic<int>> counts(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(kTasks, [&](std::size_t) { counts[c].fetch_add(1); });
+      }
+    });
+  }
+  for (auto& thread : callers) thread.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(counts[c].load(), 20 * static_cast<int>(kTasks));
+  }
+}
+
+// ---- byte-exact parallel kernels ---------------------------------------------
+
+sim::MemHandle alloc(sim::DeviceMemory& memory, std::uint64_t size) {
+  auto handle = memory.allocate(size);
+  BF_CHECK(handle.ok());
+  return handle.value();
+}
+
+template <typename T>
+void upload(sim::DeviceMemory& memory, sim::MemHandle handle,
+            const std::vector<T>& data) {
+  BF_CHECK(memory.write(handle, 0,
+                        as_bytes(data.data(), data.size() * sizeof(T)))
+               .ok());
+}
+
+template <typename T>
+std::vector<T> download(sim::DeviceMemory& memory, sim::MemHandle handle,
+                        std::size_t count) {
+  std::vector<T> out(count);
+  BF_CHECK(memory.read(handle, 0,
+                       as_writable_bytes(out.data(), count * sizeof(T)))
+               .ok());
+  return out;
+}
+
+template <typename T>
+void expect_bytes_eq(const std::vector<T>& got, const std::vector<T>& want,
+                     const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(T)), 0)
+      << label << ": output not byte-exact";
+}
+
+// Pool sizes the contract is pinned at: serial, two lanes, many lanes.
+const unsigned kLaneCounts[] = {1, 2, 4};
+
+TEST(ParallelKernels, SobelByteExactAcrossLaneCounts) {
+  // Odd dimensions exercise uneven row chunking; > 64 rows to clear the
+  // min-grain threshold so the pool actually partitions.
+  constexpr std::size_t kW = 201;
+  constexpr std::size_t kH = 135;
+  Rng rng(17);
+  std::vector<std::uint32_t> image(kW * kH);
+  for (auto& px : image) px = static_cast<std::uint32_t>(rng.next_below(256));
+  const auto reference = workloads::sobel_reference(image, kW, kH);
+
+  for (unsigned lanes : kLaneCounts) {
+    sim::ScopedKernelParallelism scope(lanes);
+    sim::DeviceMemory memory(1 << 22);
+    sim::MemHandle in = alloc(memory, kW * kH * 4);
+    sim::MemHandle out = alloc(memory, kW * kH * 4);
+    upload(memory, in, image);
+    sim::SobelKernel kernel;
+    sim::KernelLaunch launch;
+    launch.kernel = "sobel";
+    launch.args = {in, out, std::int64_t{kW}, std::int64_t{kH}};
+    ASSERT_TRUE(kernel.execute(launch, memory).ok()) << lanes << " lanes";
+    expect_bytes_eq(download<std::uint32_t>(memory, out, kW * kH), reference,
+                    "sobel");
+  }
+}
+
+TEST(ParallelKernels, GemmByteExactAcrossLaneCounts) {
+  // 67 is odd and non-multiple of every tile width, exercising the AVX2
+  // remainder rows/columns and the scalar fallback blocks on one shape.
+  for (const std::size_t n : {std::size_t{64}, std::size_t{67}}) {
+    Rng rng(23);
+    std::vector<float> a(n * n);
+    std::vector<float> b(n * n);
+    for (auto& v : a) v = static_cast<float>(rng.next_double(-1, 1));
+    for (auto& v : b) v = static_cast<float>(rng.next_double(-1, 1));
+    const auto reference = workloads::matmul_reference(a, b, n);
+
+    for (unsigned lanes : kLaneCounts) {
+      sim::ScopedKernelParallelism scope(lanes);
+      sim::DeviceMemory memory(1 << 22);
+      sim::MemHandle ha = alloc(memory, n * n * 4);
+      sim::MemHandle hb = alloc(memory, n * n * 4);
+      sim::MemHandle hc = alloc(memory, n * n * 4);
+      upload(memory, ha, a);
+      upload(memory, hb, b);
+      sim::MatMulKernel kernel;
+      sim::KernelLaunch launch;
+      launch.kernel = "mm";
+      launch.args = {ha, hb, hc, static_cast<std::int64_t>(n)};
+      ASSERT_TRUE(kernel.execute(launch, memory).ok())
+          << "n=" << n << " lanes=" << lanes;
+      expect_bytes_eq(download<float>(memory, hc, n * n), reference, "mm");
+    }
+  }
+}
+
+TEST(ParallelKernels, ConvByteExactAcrossLaneCounts) {
+  // AlexNet-conv1-shaped (scaled down): 3 input channels, 8 output
+  // channels, 5x5 kernel, stride 2, pad 2, relu.
+  constexpr std::size_t in_c = 3, in_h = 27, in_w = 27;
+  constexpr std::size_t out_c = 8, out_h = 14, out_w = 14;
+  constexpr std::size_t ksize = 5, stride = 2;
+  constexpr std::int64_t pad = 2;
+  Rng rng(31);
+  std::vector<float> input(in_c * in_h * in_w);
+  std::vector<float> weights(out_c * in_c * ksize * ksize);
+  std::vector<float> bias(out_c);
+  for (auto& v : input) v = static_cast<float>(rng.next_double(-1, 1));
+  for (auto& v : weights) v = static_cast<float>(rng.next_double(-1, 1));
+  for (auto& v : bias) v = static_cast<float>(rng.next_double(-1, 1));
+
+  // CPU reference with the kernel's exact accumulation order (bias first,
+  // then ic-ky-kx ascending): byte-exact, not approximately equal.
+  std::vector<float> reference(out_c * out_h * out_w);
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float acc = bias[oc];
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+          for (std::size_t ky = 0; ky < ksize; ++ky) {
+            for (std::size_t kx = 0; kx < ksize; ++kx) {
+              const std::int64_t iy =
+                  static_cast<std::int64_t>(oy * stride + ky) - pad;
+              const std::int64_t ix =
+                  static_cast<std::int64_t>(ox * stride + kx) - pad;
+              if (iy < 0 || ix < 0 || iy >= static_cast<std::int64_t>(in_h) ||
+                  ix >= static_cast<std::int64_t>(in_w)) {
+                continue;
+              }
+              acc += input[(ic * in_h + static_cast<std::size_t>(iy)) * in_w +
+                           static_cast<std::size_t>(ix)] *
+                     weights[((oc * in_c + ic) * ksize + ky) * ksize + kx];
+            }
+          }
+        }
+        if (acc < 0.0F) acc = 0.0F;  // relu
+        reference[(oc * out_h + oy) * out_w + ox] = acc;
+      }
+    }
+  }
+
+  for (unsigned lanes : kLaneCounts) {
+    sim::ScopedKernelParallelism scope(lanes);
+    sim::DeviceMemory memory(1 << 22);
+    sim::MemHandle hin = alloc(memory, input.size() * 4);
+    sim::MemHandle hw = alloc(memory, weights.size() * 4);
+    sim::MemHandle hb = alloc(memory, bias.size() * 4);
+    sim::MemHandle hout = alloc(memory, reference.size() * 4);
+    upload(memory, hin, input);
+    upload(memory, hw, weights);
+    upload(memory, hb, bias);
+    sim::ConvKernel kernel;
+    sim::KernelLaunch launch;
+    launch.kernel = "conv";
+    launch.args = {hin,
+                   hw,
+                   hb,
+                   hout,
+                   std::int64_t{in_c},
+                   std::int64_t{in_h},
+                   std::int64_t{in_w},
+                   std::int64_t{out_c},
+                   std::int64_t{out_h},
+                   std::int64_t{out_w},
+                   std::int64_t{ksize},
+                   std::int64_t{stride},
+                   pad,
+                   std::int64_t{1}};
+    ASSERT_TRUE(kernel.execute(launch, memory).ok()) << lanes << " lanes";
+    expect_bytes_eq(download<float>(memory, hout, reference.size()), reference,
+                    "conv");
+  }
+}
+
+TEST(ParallelKernels, PoolAndLrnAndFirAndVaddMatchSerialRun) {
+  // The remaining parallel kernels are pinned against their own serial
+  // (1-lane) output: the contract is that lane count never changes a bit.
+  constexpr std::size_t channels = 6, in_h = 13, in_w = 13;
+  constexpr std::size_t out_h = 6, out_w = 6;
+  constexpr std::size_t fir_n = 40000, taps = 16;
+  Rng rng(43);
+  std::vector<float> feature(channels * in_h * in_w);
+  std::vector<float> signal(fir_n);
+  std::vector<float> coeffs(taps);
+  for (auto& v : feature) v = static_cast<float>(rng.next_double(-2, 2));
+  for (auto& v : signal) v = static_cast<float>(rng.next_double(-1, 1));
+  for (auto& v : coeffs) v = static_cast<float>(rng.next_double(-1, 1));
+
+  auto run_all = [&](unsigned lanes) {
+    sim::ScopedKernelParallelism scope(lanes);
+    sim::DeviceMemory memory(1 << 22);
+    sim::MemHandle hfeat = alloc(memory, feature.size() * 4);
+    sim::MemHandle hpool = alloc(memory, channels * out_h * out_w * 4);
+    sim::MemHandle hlrn = alloc(memory, feature.size() * 4);
+    sim::MemHandle hsig = alloc(memory, signal.size() * 4);
+    sim::MemHandle hcoef = alloc(memory, coeffs.size() * 4);
+    sim::MemHandle hfir = alloc(memory, signal.size() * 4);
+    sim::MemHandle hsum = alloc(memory, signal.size() * 4);
+    upload(memory, hfeat, feature);
+    upload(memory, hsig, signal);
+    upload(memory, hcoef, coeffs);
+
+    sim::KernelLaunch pool_launch;
+    pool_launch.kernel = "pool";
+    pool_launch.args = {hfeat,
+                        hpool,
+                        std::int64_t{channels},
+                        std::int64_t{in_h},
+                        std::int64_t{in_w},
+                        std::int64_t{out_h},
+                        std::int64_t{out_w},
+                        std::int64_t{3},
+                        std::int64_t{2}};
+    BF_CHECK(sim::PoolKernel().execute(pool_launch, memory).ok());
+
+    sim::KernelLaunch lrn_launch;
+    lrn_launch.kernel = "lrn";
+    lrn_launch.args = {hfeat, hlrn, std::int64_t{channels},
+                       std::int64_t{in_h}, std::int64_t{in_w}};
+    BF_CHECK(sim::LrnKernel().execute(lrn_launch, memory).ok());
+
+    sim::KernelLaunch fir_launch;
+    fir_launch.kernel = "fir";
+    fir_launch.args = {hsig, hcoef, hfir, std::int64_t{fir_n},
+                       std::int64_t{taps}};
+    BF_CHECK(sim::FirKernel().execute(fir_launch, memory).ok());
+
+    sim::KernelLaunch vadd_launch;
+    vadd_launch.kernel = "vadd";
+    vadd_launch.args = {hsig, hfir, hsum, std::int64_t{fir_n}};
+    BF_CHECK(sim::VaddKernel().execute(vadd_launch, memory).ok());
+
+    struct Outputs {
+      std::vector<float> pool, lrn, fir, vadd;
+    } outs;
+    outs.pool = download<float>(memory, hpool, channels * out_h * out_w);
+    outs.lrn = download<float>(memory, hlrn, feature.size());
+    outs.fir = download<float>(memory, hfir, fir_n);
+    outs.vadd = download<float>(memory, hsum, fir_n);
+    return outs;
+  };
+
+  const auto serial = run_all(1);
+  for (unsigned lanes : {2u, 4u}) {
+    const auto parallel = run_all(lanes);
+    expect_bytes_eq(parallel.pool, serial.pool, "pool");
+    expect_bytes_eq(parallel.lrn, serial.lrn, "lrn");
+    expect_bytes_eq(parallel.fir, serial.fir, "fir");
+    expect_bytes_eq(parallel.vadd, serial.vadd, "vadd");
+  }
+}
+
+TEST(ParallelKernels, InPlaceSobelMatchesOutOfPlace) {
+  // out == in is the aliasing case the snapshot paths exist for; it must
+  // produce the same bytes as the two-buffer launch at any lane count.
+  constexpr std::size_t kW = 129;
+  constexpr std::size_t kH = 97;
+  Rng rng(7);
+  std::vector<std::uint32_t> image(kW * kH);
+  for (auto& px : image) px = static_cast<std::uint32_t>(rng.next_below(256));
+  const auto reference = workloads::sobel_reference(image, kW, kH);
+
+  for (unsigned lanes : kLaneCounts) {
+    sim::ScopedKernelParallelism scope(lanes);
+    sim::DeviceMemory memory(1 << 22);
+    sim::MemHandle buf = alloc(memory, kW * kH * 4);
+    upload(memory, buf, image);
+    sim::SobelKernel kernel;
+    sim::KernelLaunch launch;
+    launch.kernel = "sobel";
+    launch.args = {buf, buf, std::int64_t{kW}, std::int64_t{kH}};
+    ASSERT_TRUE(kernel.execute(launch, memory).ok()) << lanes << " lanes";
+    expect_bytes_eq(download<std::uint32_t>(memory, buf, kW * kH), reference,
+                    "sobel in-place");
+  }
+}
+
+}  // namespace
+}  // namespace bf

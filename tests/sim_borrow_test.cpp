@@ -1,0 +1,118 @@
+// sim::DeviceMemory borrow()/borrow_mut(): zero-copy spans over board DDR.
+// The functional kernels compute in place through these, so the contract —
+// aliasing read()/write(), zeroed never-written regions, invalidation on
+// release()/reset() — is load-bearing for every workload result.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory.h"
+
+namespace bf::sim {
+namespace {
+
+TEST(DeviceMemoryBorrow, BorrowSeesPriorWrites) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(64);
+  ASSERT_TRUE(handle.ok());
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(memory
+                  .write(handle.value(), 8,
+                         ByteSpan{payload.data(), payload.size()})
+                  .ok());
+
+  auto span = memory.borrow(handle.value(), 8, payload.size());
+  ASSERT_TRUE(span.ok());
+  ASSERT_EQ(span.value().size(), payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(span.value()[i], payload[i]) << "byte " << i;
+  }
+}
+
+TEST(DeviceMemoryBorrow, BorrowMutWritesAreVisibleToRead) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(32);
+  ASSERT_TRUE(handle.ok());
+  auto span = memory.borrow_mut(handle.value(), 4, 8);
+  ASSERT_TRUE(span.ok());
+  for (std::size_t i = 0; i < 8; ++i) {
+    span.value()[i] = static_cast<std::uint8_t>(0xC0 + i);
+  }
+  std::vector<std::uint8_t> out(32);
+  ASSERT_TRUE(
+      memory.read(handle.value(), 0, MutableByteSpan{out.data(), out.size()})
+          .ok());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[4 + i], 0xC0 + i) << "byte " << i;
+  }
+  // Bytes around the mutated window stay zero (unwritten DDR reads zero).
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[12], 0u);
+}
+
+TEST(DeviceMemoryBorrow, NeverWrittenAllocationBorrowsZeroes) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(256);
+  ASSERT_TRUE(handle.ok());
+  // No write() ever touched this allocation: the borrow must still
+  // materialize a zero-filled backing store, matching read() semantics.
+  auto span = memory.borrow(handle.value(), 0, 256);
+  ASSERT_TRUE(span.ok());
+  for (std::size_t i = 0; i < span.value().size(); ++i) {
+    ASSERT_EQ(span.value()[i], 0u) << "byte " << i;
+  }
+}
+
+TEST(DeviceMemoryBorrow, SameHandleBorrowsAlias) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(16);
+  ASSERT_TRUE(handle.ok());
+  auto mut = memory.borrow_mut(handle.value(), 0, 16);
+  ASSERT_TRUE(mut.ok());
+  auto ro = memory.borrow(handle.value(), 0, 16);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(ro.value().data(), mut.value().data());
+  mut.value()[3] = 0x7E;
+  EXPECT_EQ(ro.value()[3], 0x7E);
+}
+
+TEST(DeviceMemoryBorrow, OutOfBoundsRejected) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(64);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_FALSE(memory.borrow(handle.value(), 0, 65).ok());
+  EXPECT_FALSE(memory.borrow(handle.value(), 60, 8).ok());
+  EXPECT_FALSE(memory.borrow_mut(handle.value(), 64, 1).ok());
+  // The full extent is fine.
+  EXPECT_TRUE(memory.borrow(handle.value(), 0, 64).ok());
+  EXPECT_TRUE(memory.borrow(handle.value(), 64, 0).ok());
+}
+
+TEST(DeviceMemoryBorrow, ReleasedHandleRejected) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(64);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(memory.release(handle.value()).ok());
+  EXPECT_FALSE(memory.borrow(handle.value(), 0, 8).ok());
+  EXPECT_FALSE(memory.borrow_mut(handle.value(), 0, 8).ok());
+}
+
+TEST(DeviceMemoryBorrow, ResetInvalidatesHandles) {
+  DeviceMemory memory(1 << 20);
+  auto handle = memory.allocate(64);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(memory.borrow(handle.value(), 0, 8).ok());
+  memory.reset();  // board reconfiguration wipes DDR
+  EXPECT_FALSE(memory.borrow(handle.value(), 0, 8).ok());
+  EXPECT_FALSE(memory.borrow_mut(handle.value(), 0, 8).ok());
+}
+
+TEST(DeviceMemoryBorrow, UnknownHandleRejected) {
+  DeviceMemory memory(1 << 20);
+  EXPECT_FALSE(memory.borrow(MemHandle{12345}, 0, 1).ok());
+  EXPECT_FALSE(memory.borrow_mut(MemHandle{}, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace bf::sim
