@@ -26,9 +26,9 @@ struct PolicyOutcome {
 
 PolicyOutcome run_policy(const std::string& name,
                          const registry::AllocationPolicy& policy) {
-  testbed::TestbedConfig config;
-  config.policy = policy;
-  testbed::Testbed bed(config);
+  testbed::TestbedOptions options;
+  options.policy = policy;
+  testbed::Testbed bed(options);
   auto factory = [] { return std::make_unique<workloads::SobelWorkload>(); };
   const LoadConfig load = sobel_configs()[1];  // medium
   for (std::size_t i = 0; i < load.rates.size(); ++i) {

@@ -14,9 +14,9 @@ namespace bf::bench {
 namespace {
 
 ScenarioResult run_with_plane(bool use_shared_memory) {
-  testbed::TestbedConfig config;
-  config.use_shared_memory = use_shared_memory;
-  testbed::Testbed bed(config);
+  testbed::TestbedOptions options;
+  options.use_shared_memory = use_shared_memory;
+  testbed::Testbed bed(options);
   auto factory = [] { return std::make_unique<workloads::SobelWorkload>(); };
   const LoadConfig load = sobel_configs()[1];  // medium
   for (std::size_t i = 0; i < load.rates.size(); ++i) {

@@ -23,9 +23,9 @@ struct Outcome {
 };
 
 Outcome run_mixed(unsigned pr_regions) {
-  testbed::TestbedConfig config;
-  config.pr_regions = pr_regions;
-  testbed::Testbed bed(config);
+  testbed::TestbedOptions options;
+  options.pr_regions = pr_regions;
+  testbed::Testbed bed(options);
 
   auto sobel = [] { return std::make_unique<workloads::SobelWorkload>(); };
   auto mm = [] { return std::make_unique<workloads::MatMulWorkload>(); };

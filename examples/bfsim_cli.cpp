@@ -142,9 +142,9 @@ int main(int argc, char** argv) {
     options.rates.resize(3);  // one native function per board
   }
 
-  testbed::TestbedConfig config;
-  config.pr_regions = options.pr_regions;
-  testbed::Testbed bed(config);
+  testbed::TestbedOptions bed_options;
+  bed_options.pr_regions = options.pr_regions;
+  testbed::Testbed bed(bed_options);
 
   std::printf("deploying %zu %s function(s) (%s scenario)...\n",
               options.rates.size(), options.workload.c_str(),

@@ -2,7 +2,7 @@
 
 namespace bf {
 
-std::string_view to_string(StatusCode code) {
+std::string_view to_string(ErrorCode code) {
   switch (code) {
     case StatusCode::kOk: return "OK";
     case StatusCode::kCancelled: return "CANCELLED";
@@ -31,8 +31,21 @@ std::string Status::to_string() const {
   return out;
 }
 
+bool is_retryable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kDeadlineExceeded;
+}
+
+Status Cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
 Status InvalidArgument(std::string msg) {
   return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+Status PermissionDenied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+Status OutOfRange(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
 }
 Status NotFound(std::string msg) {
   return {StatusCode::kNotFound, std::move(msg)};

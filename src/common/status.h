@@ -13,7 +13,11 @@
 
 namespace bf {
 
-enum class StatusCode {
+// The single error-code vocabulary used at every cross-module service
+// boundary (net, remote, devmgr, registry, faas). The values follow gRPC's
+// canonical code set so the in-process fabric, the StatusMsg wire form and
+// the bfcl C API (see ocl/capi.h to_bfcl) all speak the same language.
+enum class ErrorCode {
   kOk = 0,
   kCancelled,
   kInvalidArgument,
@@ -30,7 +34,16 @@ enum class StatusCode {
   kDeadlineExceeded,
 };
 
-std::string_view to_string(StatusCode code);
+// Historical name, kept as an alias so pre-ErrorCode code compiles
+// unchanged. New code should spell it ErrorCode.
+using StatusCode = ErrorCode;
+
+std::string_view to_string(ErrorCode code);
+
+// True for codes that indicate a transient condition where retrying an
+// *idempotent* call may succeed (connection torn down, reply lost past its
+// deadline). Permanent errors (InvalidArgument, NotFound, ...) never are.
+[[nodiscard]] bool is_retryable(ErrorCode code);
 
 class Status {
  public:
@@ -56,8 +69,11 @@ class Status {
   std::string message_;
 };
 
+Status Cancelled(std::string msg);
 Status InvalidArgument(std::string msg);
 Status NotFound(std::string msg);
+Status PermissionDenied(std::string msg);
+Status OutOfRange(std::string msg);
 Status AlreadyExists(std::string msg);
 Status FailedPrecondition(std::string msg);
 Status Internal(std::string msg);

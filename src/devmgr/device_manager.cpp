@@ -56,6 +56,11 @@ DeviceManager::DeviceManager(DeviceManagerConfig config, sim::Board* board,
   busy_ms_gauge_ = metrics_.gauge("bf_devmgr_busy_ms", labels);
   sessions_gauge_ = metrics_.gauge("bf_devmgr_sessions", labels);
   task_span_ms_ = metrics_.histogram("bf_devmgr_task_span_ms", labels);
+  queue_depth_gauge_ = metrics_.gauge("bf_devmgr_queue_depth", labels);
+  health_probes_counter_ =
+      metrics_.counter("bf_devmgr_health_probes_total", labels);
+  tasks_cancelled_counter_ =
+      metrics_.counter("bf_devmgr_tasks_cancelled_total", labels);
 
   endpoint_.gate().set_stall_grace(config_.gate_stall_grace);
   endpoint_.set_handler([this](std::shared_ptr<net::Connection> connection) {
@@ -141,6 +146,28 @@ std::vector<DeviceManager::ClientBusy> DeviceManager::busy_snapshot(
   return out;
 }
 
+Result<DeviceManager::HealthSnapshot> DeviceManager::health() {
+  if (shutdown_.load()) {
+    return Unavailable("device manager " + config_.id + " is shut down");
+  }
+  HealthSnapshot snapshot;
+  snapshot.queue_depth = queue_.size();
+  snapshot.accepting = true;
+  {
+    std::lock_guard lock(state_mutex_);
+    snapshot.sessions = sessions_.size();
+    snapshot.ops_executed = ops_executed_;
+  }
+  health_probes_counter_->increment();
+  queue_depth_gauge_->set(static_cast<double>(snapshot.queue_depth));
+  return snapshot;
+}
+
+std::uint64_t DeviceManager::tasks_cancelled() const {
+  std::lock_guard lock(state_mutex_);
+  return tasks_cancelled_;
+}
+
 std::string DeviceManager::segment_name(std::uint64_t session_id) const {
   return config_.id + ":sess:" + std::to_string(session_id);
 }
@@ -201,6 +228,29 @@ void DeviceManager::serve_connection(
       }
       resp.session_id = session_id;
       resp.shared_memory_granted = shm_granted;
+      resp.device = describe(*board_);
+      connection->reply(*frame, encode(resp),
+                        frame->arrival_time + config_.sync_handling);
+      continue;
+    }
+
+    if (frame->method == proto::Method::kOpenSession) {
+      // Duplicate open on an established connection: the first reply was
+      // lost (or dropped by fault injection) and the client retried. Re-ack
+      // the existing session instead of opening a second one — this is what
+      // makes OpenSession idempotent (proto::is_idempotent).
+      proto::OpenSessionResp resp;
+      {
+        std::lock_guard lock(state_mutex_);
+        auto it = sessions_.find(session_id);
+        if (it != sessions_.end()) {
+          resp.session_id = session_id;
+          resp.shared_memory_granted = it->second.segment != nullptr;
+        } else {
+          resp.status = proto::StatusMsg::from(
+              Unavailable("session torn down during open retry"));
+        }
+      }
       resp.device = describe(*board_);
       connection->reply(*frame, encode(resp),
                         frame->arrival_time + config_.sync_handling);
@@ -352,6 +402,17 @@ void DeviceManager::handle_sync(std::uint64_t session_id,
       connection->reply(frame, encode(resp), at);
       return;
     }
+    case proto::Method::kHealthCheck: {
+      proto::HealthResp resp;
+      resp.queue_depth = queue_.size();
+      resp.sessions = sessions_.size();
+      resp.ops_executed = ops_executed_;
+      resp.accepting = !shutdown_.load();
+      health_probes_counter_->increment();
+      queue_depth_gauge_->set(static_cast<double>(resp.queue_depth));
+      connection->reply(frame, encode(resp), at);
+      return;
+    }
     default: {
       proto::AckResp resp;
       resp.status = proto::StatusMsg::from(
@@ -374,7 +435,14 @@ void DeviceManager::handle_command(std::uint64_t session_id,
   auto ack_enqueued = [&](std::uint64_t op_id) {
     proto::OpEnqueued ack;
     ack.op_id = op_id;
-    connection->notify(proto::Method::kOpEnqueued, op_id, encode(ack), at);
+    if (Status sent = connection->notify(proto::Method::kOpEnqueued, op_id,
+                                         encode(ack), at);
+        !sent.ok()) {
+      // Client already gone: its events will be poisoned by the connection
+      // loss, not by this ack, so the drop is benign but worth a trace.
+      BF_LOG_WARN("devmgr") << config_.id << ": OpEnqueued for op " << op_id
+                            << " undeliverable: " << sent.to_string();
+    }
   };
 
   switch (frame.method) {
@@ -491,8 +559,13 @@ void DeviceManager::seal_task(Session& session, std::uint64_t queue_id,
       completion.op_id = op_id;
       completion.status = proto::StatusMsg::from(pushed);
       if (session.connection != nullptr && !session.connection->closed()) {
-        session.connection->notify(proto::Method::kOpComplete, op_id,
-                                   encode(completion), ready);
+        if (Status sent = session.connection->notify(
+                proto::Method::kOpComplete, op_id, encode(completion), ready);
+            !sent.ok()) {
+          BF_LOG_WARN("devmgr")
+              << config_.id << ": rejection notice for op " << op_id
+              << " undeliverable: " << sent.to_string();
+        }
       }
     }
   }
@@ -790,12 +863,39 @@ void DeviceManager::notify_completion(std::uint64_t session_id,
     connection = it->second.connection;
   }
   if (connection != nullptr && !connection->closed()) {
-    connection->notify(proto::Method::kOpComplete, op_id, encode(completion),
-                       at);
+    if (Status sent = connection->notify(proto::Method::kOpComplete, op_id,
+                                         encode(completion), at);
+        !sent.ok()) {
+      // The stream closed between the check above and the push (or the
+      // completion was dropped by fault injection inside notify). The
+      // client's event is resolved by connection-loss poisoning instead.
+      BF_LOG_WARN("devmgr") << config_.id << ": OpComplete for op " << op_id
+                            << " undeliverable: " << sent.to_string();
+    }
   }
 }
 
 void DeviceManager::cleanup_session(std::uint64_t session_id) {
+  // The client is gone: recall its still-queued tasks so the worker never
+  // spends board time on work nobody can observe. Program waiters are
+  // completed with kCancelled (the dispatcher blocked on them belongs to
+  // this very connection, but a shutdown drain may also reach here).
+  std::vector<Task> cancelled = queue_.cancel_session(session_id);
+  for (Task& task : cancelled) {
+    if (task.program_waiter != nullptr) {
+      task.program_waiter->complete(
+          Cancelled("client disconnected before reconfiguration ran"),
+          task.ready);
+    }
+  }
+  if (!cancelled.empty()) {
+    BF_LOG_INFO("devmgr") << config_.id << ": cancelled " << cancelled.size()
+                          << " queued task(s) of dead session " << session_id;
+    tasks_cancelled_counter_->increment(
+        static_cast<double>(cancelled.size()));
+    std::lock_guard lock(state_mutex_);
+    tasks_cancelled_ += cancelled.size();
+  }
   std::shared_ptr<shm::Segment> segment;
   {
     std::lock_guard lock(state_mutex_);

@@ -103,6 +103,21 @@ class DeviceManager {
   };
   [[nodiscard]] std::vector<ExecutionRecord> execution_journal() const;
 
+  // Point-in-time liveness/load snapshot — the in-process twin of the
+  // kHealthCheck RPC (the registry's prober uses whichever channel it has).
+  // Unavailable once shutdown has begun; a probing registry treats that the
+  // same as an unreachable manager.
+  struct HealthSnapshot {
+    std::size_t queue_depth = 0;   // sealed tasks waiting in the FIFO
+    std::size_t sessions = 0;      // open client sessions
+    std::uint64_t ops_executed = 0;
+    bool accepting = true;
+  };
+  [[nodiscard]] Result<HealthSnapshot> health();
+
+  // Queued-but-unexecuted tasks discarded because their client vanished.
+  [[nodiscard]] std::uint64_t tasks_cancelled() const;
+
   // Derives the shared segment name for a session (same formula the remote
   // library uses to open it).
   [[nodiscard]] std::string segment_name(std::uint64_t session_id) const;
@@ -163,6 +178,7 @@ class DeviceManager {
   std::uint64_t next_task_seq_ = 1;
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t ops_executed_ = 0;
+  std::uint64_t tasks_cancelled_ = 0;
   struct BusyRecord {
     std::string client_id;
     sim::Board::Interval interval;
@@ -182,6 +198,9 @@ class DeviceManager {
   std::shared_ptr<metrics::Gauge> busy_ms_gauge_;
   std::shared_ptr<metrics::Gauge> sessions_gauge_;
   std::shared_ptr<metrics::Histogram> task_span_ms_;
+  std::shared_ptr<metrics::Gauge> queue_depth_gauge_;
+  std::shared_ptr<metrics::Counter> health_probes_counter_;
+  std::shared_ptr<metrics::Counter> tasks_cancelled_counter_;
 };
 
 }  // namespace bf::devmgr

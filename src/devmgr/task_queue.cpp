@@ -46,6 +46,20 @@ std::optional<Task> TaskQueue::pop(vt::Gate& gate, bool* ordered) {
   }
 }
 
+std::vector<Task> TaskQueue::cancel_session(std::uint64_t session_id) {
+  std::vector<Task> cancelled;
+  std::lock_guard lock(mutex_);
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->session_id == session_id) {
+      cancelled.push_back(*it);
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return cancelled;
+}
+
 void TaskQueue::close() {
   {
     std::lock_guard lock(mutex_);

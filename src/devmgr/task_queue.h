@@ -10,6 +10,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "devmgr/task.h"
 #include "vt/gate.h"
@@ -36,6 +37,12 @@ class TaskQueue {
   // modeled-FIFO); false for gate-shutdown drains and stall-grace
   // fallbacks, whose ordering is best-effort.
   std::optional<Task> pop(vt::Gate& gate, bool* ordered = nullptr);
+
+  // Removes every still-queued task of `session_id` and returns them so the
+  // caller can fail their waiters (program waiters, per-op events). Tasks
+  // already handed to the worker are not recalled — the worker completes
+  // them and the completion notification is dropped at the closed stream.
+  [[nodiscard]] std::vector<Task> cancel_session(std::uint64_t session_id);
 
   void close();
 

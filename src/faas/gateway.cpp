@@ -5,9 +5,24 @@
 #include "common/log.h"
 
 namespace bf::faas {
+namespace {
 
-Gateway::Gateway(cluster::Cluster* cluster, BindingResolver resolver)
-    : cluster_(cluster), resolver_(std::move(resolver)) {
+// The gateway offers at-least-once semantics, so its retryable set is wider
+// than the net layer's transport-transient pair: resource exhaustion (a shm
+// slot denied under pressure) and mid-task aborts are also worth another
+// attempt — the request itself is re-submittable even when the underlying
+// RPC was not. Genuine caller errors (invalid argument, not found) and
+// terminal states still fail immediately.
+bool is_invoke_retryable(ErrorCode code) {
+  return is_retryable(code) || code == ErrorCode::kResourceExhausted ||
+         code == ErrorCode::kAborted;
+}
+
+}  // namespace
+
+Gateway::Gateway(cluster::Cluster* cluster, BindingResolver resolver,
+                 GatewayPolicy policy)
+    : cluster_(cluster), resolver_(std::move(resolver)), policy_(policy) {
   BF_CHECK(cluster_ != nullptr);
   BF_CHECK(resolver_ != nullptr);
   cluster_->add_watcher(
@@ -85,20 +100,84 @@ Status Gateway::scale(const std::string& function, unsigned replicas) {
 }
 
 Result<InvokeResult> Gateway::invoke(const std::string& function) {
-  std::shared_ptr<FunctionInstance> target;
+  std::vector<std::shared_ptr<FunctionInstance>> candidates;
+  std::size_t start = 0;
   {
     std::lock_guard lock(mutex_);
-    std::vector<std::shared_ptr<FunctionInstance>> candidates;
     for (const auto& [pod_name, instance] : pods_) {
       if (instance->function() == function) candidates.push_back(instance);
     }
     if (candidates.empty()) {
       return NotFound("no running instance of '" + function + "'");
     }
-    const std::size_t index = round_robin_[function]++ % candidates.size();
-    target = candidates[index];
+    start = round_robin_[function]++;
   }
-  return target->invoke();
+
+  // Circuit breaker: shed the request without touching a replica while the
+  // circuit is open, except for one half-open trial after the cooldown.
+  // now() is read outside mutex_ (instances take their own lock).
+  if (policy_.breaker_threshold > 0) {
+    vt::Time now = vt::Time::zero();
+    for (const auto& candidate : candidates) {
+      now = vt::max(now, candidate->now());
+    }
+    std::lock_guard lock(mutex_);
+    Breaker& breaker = breakers_[function];
+    if (breaker.open &&
+        now < breaker.opened_at + policy_.breaker_cooldown) {
+      return Unavailable("circuit open for function '" + function +
+                         "', request shed (HTTP 503)");
+    }
+  }
+
+  const unsigned attempts = std::max(1u, policy_.max_invoke_attempts);
+  Status last_error;
+  std::shared_ptr<FunctionInstance> target;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    target = candidates[(start + attempt) % candidates.size()];
+    if (attempt > 0 && policy_.retry_backoff.ns() > 0) {
+      target->advance_clock_to(target->now() + policy_.retry_backoff);
+    }
+    auto result = target->invoke();
+    if (result.ok()) {
+      if (policy_.breaker_threshold > 0) {
+        std::lock_guard lock(mutex_);
+        breakers_[function] = Breaker{};  // close + reset on any success
+      }
+      return result;
+    }
+    last_error = result.status();
+    if (!is_invoke_retryable(last_error.code())) break;
+    if (attempt + 1 < attempts) {
+      BF_LOG_WARN("faas") << "invoke of '" << function << "' failed ("
+                          << last_error.to_string() << "), retrying on next "
+                          << "replica (attempt " << attempt + 2 << "/"
+                          << attempts << ")";
+    }
+  }
+
+  if (policy_.breaker_threshold > 0) {
+    const vt::Time now = target->now();
+    std::lock_guard lock(mutex_);
+    Breaker& breaker = breakers_[function];
+    ++breaker.consecutive_failures;
+    if (breaker.open) {
+      breaker.opened_at = now;  // failed half-open trial: re-arm cooldown
+    } else if (breaker.consecutive_failures >= policy_.breaker_threshold) {
+      breaker.open = true;
+      breaker.opened_at = now;
+      BF_LOG_WARN("faas") << "circuit opened for function '" << function
+                          << "' after " << breaker.consecutive_failures
+                          << " consecutive failures";
+    }
+  }
+  return last_error;
+}
+
+bool Gateway::is_circuit_open(const std::string& function) const {
+  std::lock_guard lock(mutex_);
+  auto it = breakers_.find(function);
+  return it != breakers_.end() && it->second.open;
 }
 
 std::shared_ptr<FunctionInstance> Gateway::instance(

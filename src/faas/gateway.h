@@ -15,9 +15,29 @@
 
 namespace bf::faas {
 
+// Graceful degradation knobs. Defaults are zero-cost: one attempt, breaker
+// disabled — modeled timelines are bit-identical to the pre-policy gateway.
+struct GatewayPolicy {
+  // Bounded retry: total invoke attempts per request, round-robined across
+  // replicas. 1 = fail on the first error (no retry). Only transient
+  // failures (kUnavailable, kDeadlineExceeded, kResourceExhausted,
+  // kAborted — at-least-once request semantics) consume extra attempts.
+  unsigned max_invoke_attempts = 1;
+  // Modeled pause charged to the retrying replica's clock between attempts.
+  vt::Duration retry_backoff = vt::Duration::millis(2);
+  // Per-function circuit breaker: after this many *consecutive* failed
+  // requests the gateway fast-fails with kUnavailable ("HTTP 503") instead
+  // of touching a replica. 0 disables the breaker.
+  unsigned breaker_threshold = 0;
+  // An open circuit admits one half-open trial request after this long; a
+  // success closes the circuit, a failure re-arms the cooldown.
+  vt::Duration breaker_cooldown = vt::Duration::seconds(1);
+};
+
 class Gateway {
  public:
-  Gateway(cluster::Cluster* cluster, BindingResolver resolver);
+  Gateway(cluster::Cluster* cluster, BindingResolver resolver,
+          GatewayPolicy policy = {});
 
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
@@ -32,8 +52,14 @@ class Gateway {
   Status scale(const std::string& function, unsigned replicas);
 
   // Routes one request to an instance of the function (round robin across
-  // replicas). Runs on the caller's thread.
+  // replicas). Runs on the caller's thread. Applies GatewayPolicy: retryable
+  // failures are retried on the next replica up to max_invoke_attempts, and
+  // once the function's circuit is open requests fast-fail kUnavailable
+  // without reaching any replica.
   Result<InvokeResult> invoke(const std::string& function);
+
+  // True while the function's breaker is open (requests are being shed).
+  [[nodiscard]] bool is_circuit_open(const std::string& function) const;
 
   // Stable handle for load drivers that pin one connection per function.
   [[nodiscard]] std::shared_ptr<FunctionInstance> instance(
@@ -47,16 +73,24 @@ class Gateway {
   void shutdown_instances();
 
  private:
+  struct Breaker {
+    unsigned consecutive_failures = 0;
+    bool open = false;
+    vt::Time opened_at;  // cooldown anchor (modeled time)
+  };
+
   void on_event(const cluster::WatchEvent& event);
 
   cluster::Cluster* cluster_;
   BindingResolver resolver_;
+  GatewayPolicy policy_;
 
   mutable std::mutex mutex_;
   std::map<std::string, FunctionConfig> configs_;
   // pod name -> instance
   std::map<std::string, std::shared_ptr<FunctionInstance>> pods_;
   std::map<std::string, std::size_t> round_robin_;
+  std::map<std::string, Breaker> breakers_;
 };
 
 }  // namespace bf::faas

@@ -79,11 +79,15 @@ class Site {
   std::atomic<bool> armed_{false};
 };
 
-// net: the gRPC-analogue fabric.
+// net: the gRPC-analogue fabric. The two *drop-toward-client* sites
+// (drop_complete, reply.drop) wedge a caller that has no deadline armed —
+// only use them in recovery tests that pass CallOptions with a timeout.
 inline Site kNetSendConnLoss{"net.send.conn_loss"};
 inline Site kNetSendDelay{"net.send.delay"};
 inline Site kNetNotifyDropEnqueued{"net.notify.drop_enqueued"};
+inline Site kNetNotifyDropComplete{"net.notify.drop_complete"};
 inline Site kNetNotifyDupComplete{"net.notify.dup_complete"};
+inline Site kNetReplyDrop{"net.reply.drop"};
 // shm: the shared-memory data plane.
 inline Site kShmGrantDeny{"shm.grant.deny"};
 inline Site kShmAttachFail{"shm.attach.fail"};

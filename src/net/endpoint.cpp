@@ -1,5 +1,7 @@
 #include "net/endpoint.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "fault/injector.h"
 
@@ -55,11 +57,43 @@ Frame Connection::make_server_frame(Frame::Kind kind, proto::Method method,
 
 Result<Frame> Connection::call(proto::Method method, Bytes payload,
                                vt::Cursor& cursor) {
+  return call(method, std::move(payload), cursor, CallOptions{});
+}
+
+Result<Frame> Connection::call(proto::Method method, Bytes payload,
+                               vt::Cursor& cursor,
+                               const CallOptions& options) {
+  const unsigned attempts = std::max(1u, options.retry.max_attempts);
+  Backoff backoff(options.retry);
+  for (unsigned attempt = 1;; ++attempt) {
+    const bool last = attempt >= attempts;
+    // Retain the payload for a possible re-send; the final attempt moves it.
+    auto result = call_attempt(
+        method, last ? std::move(payload) : Bytes(payload), cursor, options);
+    if (result.ok() || last || !is_retryable(result.status().code()) ||
+        closed_.load()) {
+      return result;
+    }
+    const vt::Duration delay = backoff.next();
+    BF_LOG_WARN("net") << "retrying " << proto::to_string(method) << " on "
+                       << peer_ << " after " << result.status().to_string()
+                       << " (attempt " << attempt << "/" << attempts
+                       << ", backoff " << delay.us() << "us)";
+    cursor.advance(delay);
+  }
+}
+
+Result<Frame> Connection::call_attempt(proto::Method method, Bytes payload,
+                                       vt::Cursor& cursor,
+                                       const CallOptions& options) {
   if (closed_.load()) return Unavailable("connection closed");
   if (fault::should_fire(fault::site::kNetSendConnLoss)) {
     close();
     return Unavailable("injected fault: connection lost");
   }
+  // The deadline is anchored to the attempt's start, before transport costs
+  // accrue — exactly a gRPC per-call deadline.
+  const vt::Time deadline = options.deadline_from(cursor.now());
   std::uint64_t call_id = 0;
   {
     std::lock_guard lock(pending_mutex_);
@@ -95,11 +129,26 @@ Result<Frame> Connection::call(proto::Method method, Bytes payload,
   Frame reply;
   {
     std::unique_lock lock(pending_mutex_);
-    pending_cv_.wait(lock, [&] {
+    auto ready = [&] {
       auto it = pending_replies_.find(call_id);
       return closed_.load() || it == pending_replies_.end() ||
              it->second.has_value();
-    });
+    };
+    if (deadline.is_infinite()) {
+      pending_cv_.wait(lock, ready);
+    } else if (!pending_cv_.wait_for(lock, options.wedge_grace, ready)) {
+      // Wedged server: nothing landed for wedge_grace of wall time, so the
+      // modeled wait ran out at the deadline. Abandon the tag — a late reply
+      // hits the unknown-call drop path — and complete at the deadline
+      // stamp. Announcing the deadline is safe: our bound has been infinite
+      // since the send, so the worker cannot have passed it.
+      pending_replies_.erase(call_id);
+      lock.unlock();
+      cursor.advance_to(deadline);
+      announce(cursor.now());
+      return DeadlineExceeded("call " + std::string(proto::to_string(method)) +
+                              " abandoned at deadline (no reply)");
+    }
     auto it = pending_replies_.find(call_id);
     if (it == pending_replies_.end() || !it->second.has_value()) {
       pending_replies_.erase(call_id);
@@ -112,6 +161,13 @@ Result<Frame> Connection::call(proto::Method method, Bytes payload,
   cursor.advance_to(reply.arrival_time);
   // First action after waking: re-own the bound at our new position.
   announce(cursor.now());
+  if (reply.arrival_time > deadline) {
+    // The reply landed, but past the deadline. The timeout is observed at
+    // the arrival stamp (not the deadline): wake_announce already anchored
+    // the gate bound there, and a VT clock never runs backwards.
+    return DeadlineExceeded("call " + std::string(proto::to_string(method)) +
+                            " reply landed past deadline");
+  }
   return reply;
 }
 
@@ -186,6 +242,14 @@ void Connection::done_processing() { on_processed(); }
 
 void Connection::reply(const Frame& request, Bytes payload,
                        vt::Time server_time) {
+  // Reply lost on the wire: the caller stays blocked and (with a deadline
+  // armed) completes with DEADLINE_EXCEEDED at the modeled deadline. The
+  // drop happens before wake_announce — a lost frame must not move bounds.
+  if (fault::should_fire(fault::site::kNetReplyDrop)) {
+    BF_LOG_WARN("net") << "injected fault: dropping reply for call "
+                       << request.correlation << " on " << peer_;
+    return;
+  }
   Frame frame = make_server_frame(Frame::Kind::kReply, request.method,
                                   request.correlation, std::move(payload),
                                   server_time);
@@ -203,13 +267,22 @@ void Connection::reply(const Frame& request, Bytes payload,
                      << frame.correlation << " on " << peer_;
 }
 
-void Connection::notify(proto::Method method, std::uint64_t correlation,
-                        Bytes payload, vt::Time server_time) {
+Status Connection::notify(proto::Method method, std::uint64_t correlation,
+                          Bytes payload, vt::Time server_time) {
   // OpEnqueued is the advisory admission ack (INIT -> FIRST); dropping it
   // must leave the event able to complete via OpComplete alone.
   if (method == proto::Method::kOpEnqueued &&
       fault::should_fire(fault::site::kNetNotifyDropEnqueued)) {
-    return;
+    return Status::Ok();  // modeled as lost in flight, not a send failure
+  }
+  // Completion lost on the wire: the event FSM never leaves its pending
+  // state and a bounded wait must end in TIMED_OUT. Dropped before
+  // wake_announce — a lost frame must not move bounds.
+  if (method == proto::Method::kOpComplete &&
+      fault::should_fire(fault::site::kNetNotifyDropComplete)) {
+    BF_LOG_WARN("net") << "injected fault: dropping completion for op "
+                       << correlation << " on " << peer_;
+    return Status::Ok();
   }
   Frame frame = make_server_frame(Frame::Kind::kNotify, method, correlation,
                                   std::move(payload), server_time);
@@ -225,7 +298,10 @@ void Connection::notify(proto::Method method, std::uint64_t correlation,
       notifications_.push(frame);
     }
   }
-  notifications_.push(std::move(frame));
+  if (!notifications_.push(std::move(frame))) {
+    return Unavailable("notification stream closed by " + peer_);
+  }
+  return Status::Ok();
 }
 
 // ---- bound arbitration -------------------------------------------------------

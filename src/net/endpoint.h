@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/call_options.h"
 #include "common/queue.h"
 #include "common/status.h"
 #include "net/transport.h"
@@ -79,6 +80,19 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // advances the cursor to the reply's arrival time.
   Result<Frame> call(proto::Method method, Bytes payload, vt::Cursor& cursor);
 
+  // Unary call with failure handling. A finite options.timeout arms a
+  // VT deadline: the call completes with DEADLINE_EXCEEDED instead of
+  // blocking forever when the reply lands past the deadline (observed at
+  // the reply's arrival stamp) or never lands at all (abandoned after
+  // options.wedge_grace of wall time, completed at the deadline stamp; a
+  // late reply then hits the unknown-call drop path). options.retry re-sends
+  // on retryable codes with capped, seeded-jitter backoff charged to the
+  // cursor — only pass a retry policy for idempotent methods
+  // (proto::is_idempotent). Default options reproduce the plain overload
+  // bit-for-bit.
+  Result<Frame> call(proto::Method method, Bytes payload, vt::Cursor& cursor,
+                     const CallOptions& options);
+
   // One-way async request (command-queue methods). Charges encode cost,
   // stamps and delivers the frame.
   Status send(proto::Method method, std::uint64_t correlation, Bytes payload,
@@ -118,12 +132,20 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // reply is emitted.
   void reply(const Frame& request, Bytes payload, vt::Time server_time);
 
-  // Pushes a notification frame (op enqueued / op complete).
-  void notify(proto::Method method, std::uint64_t correlation, Bytes payload,
-              vt::Time server_time);
+  // Pushes a notification frame (op enqueued / op complete). Returns
+  // UNAVAILABLE when the stream is already closed (client gone) so the
+  // server can account undeliverable completions instead of silently
+  // dropping them.
+  Status notify(proto::Method method, std::uint64_t correlation, Bytes payload,
+                vt::Time server_time);
 
  private:
   friend class ServerEndpoint;
+
+  // One attempt of the deadline-aware call(); the retry loop lives in the
+  // public overload.
+  Result<Frame> call_attempt(proto::Method method, Bytes payload,
+                             vt::Cursor& cursor, const CallOptions& options);
 
   // Stamps a client->server frame: send time from the cursor, in-order
   // arrival (TCP semantics: arrivals on one connection are monotonic).

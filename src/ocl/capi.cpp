@@ -25,17 +25,7 @@ struct ObjectTable {
 
 thread_local ObjectTable g_table;
 
-bfcl_int map_status(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kOk: return BFCL_SUCCESS;
-    case StatusCode::kNotFound: return BFCL_INVALID_KERNEL_NAME;
-    case StatusCode::kResourceExhausted:
-      return BFCL_MEM_OBJECT_ALLOCATION_FAILURE;
-    case StatusCode::kInvalidArgument: return BFCL_INVALID_VALUE;
-    case StatusCode::kFailedPrecondition: return BFCL_INVALID_OPERATION;
-    default: return BFCL_OUT_OF_RESOURCES;
-  }
-}
+bfcl_int map_status(const Status& status) { return to_bfcl(status.code()); }
 
 template <typename T, typename Vec>
 bool known(const Vec& vec, const T* handle) {
@@ -46,6 +36,27 @@ bool known(const Vec& vec, const T* handle) {
 }
 
 }  // namespace
+
+bfcl_int to_bfcl(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return BFCL_SUCCESS;
+    case ErrorCode::kCancelled: return BFCL_CANCELLED;
+    case ErrorCode::kInvalidArgument: return BFCL_INVALID_VALUE;
+    case ErrorCode::kNotFound: return BFCL_INVALID_KERNEL_NAME;  // legacy
+    case ErrorCode::kAlreadyExists: return BFCL_INVALID_VALUE;
+    case ErrorCode::kPermissionDenied: return BFCL_INVALID_OPERATION;
+    case ErrorCode::kResourceExhausted:
+      return BFCL_MEM_OBJECT_ALLOCATION_FAILURE;
+    case ErrorCode::kFailedPrecondition: return BFCL_INVALID_OPERATION;
+    case ErrorCode::kAborted: return BFCL_INVALID_OPERATION;
+    case ErrorCode::kOutOfRange: return BFCL_INVALID_VALUE;
+    case ErrorCode::kUnimplemented: return BFCL_INVALID_OPERATION;
+    case ErrorCode::kInternal: return BFCL_OUT_OF_RESOURCES;
+    case ErrorCode::kUnavailable: return BFCL_DEVICE_NOT_AVAILABLE;
+    case ErrorCode::kDeadlineExceeded: return BFCL_DEADLINE_EXCEEDED;
+  }
+  return BFCL_OUT_OF_RESOURCES;
+}
 
 struct PlatformHandle {
   PlatformInfo info;

@@ -63,6 +63,17 @@ inline constexpr bfcl_int BFCL_INVALID_KERNEL = -48;
 inline constexpr bfcl_int BFCL_INVALID_ARG_INDEX = -49;
 inline constexpr bfcl_int BFCL_INVALID_EVENT = -58;
 inline constexpr bfcl_int BFCL_INVALID_OPERATION = -59;
+inline constexpr bfcl_int BFCL_DEVICE_NOT_AVAILABLE = -2;
+// Extension codes for failure handling the CL 1.2 table has no slot for
+// (vendor ranges start below -1000, like CL_PLATFORM_NOT_FOUND_KHR).
+inline constexpr bfcl_int BFCL_DEADLINE_EXCEEDED = -1060;
+inline constexpr bfcl_int BFCL_CANCELLED = -1061;
+
+// The single authoritative ErrorCode -> cl_int mapping used by every shim
+// entry point (the transparency layer's one place where bf::Status surfaces
+// to host code). kNotFound keeps its legacy INVALID_KERNEL_NAME mapping —
+// lookups through the shim overwhelmingly name kernels.
+[[nodiscard]] bfcl_int to_bfcl(ErrorCode code);
 
 inline constexpr bfcl_bool BFCL_TRUE = 1;
 inline constexpr bfcl_bool BFCL_FALSE = 0;

@@ -65,6 +65,7 @@ std::string_view to_string(Method method) {
     case Method::kCreateKernel: return "CreateKernel";
     case Method::kCreateQueue: return "CreateQueue";
     case Method::kReleaseQueue: return "ReleaseQueue";
+    case Method::kHealthCheck: return "HealthCheck";
     case Method::kEnqueueWrite: return "EnqueueWrite";
     case Method::kWriteData: return "WriteData";
     case Method::kEnqueueRead: return "EnqueueRead";
@@ -75,6 +76,18 @@ std::string_view to_string(Method method) {
     case Method::kOpComplete: return "OpComplete";
   }
   return "Unknown";
+}
+
+bool is_idempotent(Method method) {
+  switch (method) {
+    case Method::kOpenSession:   // duplicate open re-acks the live session
+    case Method::kGetDeviceInfo:
+    case Method::kProgram:       // already-loaded bitstream is a no-op
+    case Method::kHealthCheck:
+      return true;
+    default:
+      return false;
+  }
 }
 
 bool is_command_queue_method(Method method) {
@@ -452,6 +465,40 @@ Result<AckResp> AckResp::decode(Reader& reader) {
         out.status = decoded.value();
         return Status::Ok();
       }
+      default: return reader.skip(h.type);
+    }
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+void HealthResp::encode(Writer& writer) const {
+  Writer status_writer;
+  status.encode(status_writer);
+  writer.field_bytes(1, ByteSpan{status_writer.bytes()});
+  writer.field_uint(2, queue_depth);
+  writer.field_uint(3, sessions);
+  writer.field_uint(4, ops_executed);
+  writer.field_uint(5, accepting ? 1 : 0);
+}
+
+Result<HealthResp> HealthResp::decode(Reader& reader) {
+  HealthResp out;
+  Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
+    switch (h.field) {
+      case 1: {
+        auto raw = reader.read_bytes();
+        if (!raw.ok()) return raw.status();
+        Reader sub(ByteSpan{raw.value()});
+        auto decoded = StatusMsg::decode(sub);
+        if (!decoded.ok()) return decoded.status();
+        out.status = decoded.value();
+        return Status::Ok();
+      }
+      case 2: return take_uint(reader, out.queue_depth);
+      case 3: return take_uint(reader, out.sessions);
+      case 4: return take_uint(reader, out.ops_executed);
+      case 5: return take_bool(reader, out.accepting);
       default: return reader.skip(h.type);
     }
   });

@@ -34,6 +34,7 @@ enum class Method : std::uint32_t {
   kCreateKernel = 6,
   kCreateQueue = 7,
   kReleaseQueue = 8,
+  kHealthCheck = 9,
   kEnqueueWrite = 16,
   kWriteData = 17,
   kEnqueueRead = 18,
@@ -47,6 +48,14 @@ enum class Method : std::uint32_t {
 
 std::string_view to_string(Method method);
 [[nodiscard]] bool is_command_queue_method(Method method);
+
+// Methods safe to retry after a lost reply: re-execution (or a duplicate
+// server-side execution whose first reply was dropped) does not change
+// observable state. Resource *creation* methods are excluded — a retried
+// CreateBuffer whose first reply was lost would leak the first buffer.
+// OpenSession qualifies because the Device Manager re-acks the existing
+// session on a duplicate open over the same connection.
+[[nodiscard]] bool is_idempotent(Method method);
 
 // --- Shared submessages -----------------------------------------------------
 
@@ -171,6 +180,20 @@ struct AckResp {
 
   void encode(Writer& writer) const;
   static Result<AckResp> decode(Reader& reader);
+};
+
+// Liveness + load probe (request body is empty). The registry's gatherer
+// polls this to drive unhealthy-board detection and migration; `accepting`
+// goes false once the manager has begun shutting down.
+struct HealthResp {
+  StatusMsg status;
+  std::uint64_t queue_depth = 0;    // sealed tasks waiting in the FIFO
+  std::uint64_t sessions = 0;       // open client sessions
+  std::uint64_t ops_executed = 0;   // lifetime completed operations
+  bool accepting = true;
+
+  void encode(Writer& writer) const;
+  static Result<HealthResp> decode(Reader& reader);
 };
 
 // --- Command-queue methods ----------------------------------------------------

@@ -88,6 +88,53 @@ DeviceSample Registry::sample_locked(const DeviceState& device) const {
   return sample;
 }
 
+void Registry::probe_devices() {
+  std::lock_guard lock(mutex_);
+  for (auto& [id, state] : devices_) {
+    bool alive = false;
+    if (state.record.manager != nullptr) {
+      auto health = state.record.manager->health();
+      alive = health.ok() && health.value().accepting;
+    }
+    if (alive) {
+      state.probe_misses = 0;
+      if (!state.healthy) {
+        state.healthy = true;
+        BF_LOG_INFO("registry") << "device " << id
+                                << " healthy again after successful probe";
+      }
+      continue;
+    }
+    ++state.probe_misses;
+    if (state.healthy &&
+        state.probe_misses >= policy_.health.miss_threshold) {
+      state.healthy = false;
+      BF_LOG_WARN("registry")
+          << "device " << id << " unhealthy after " << state.probe_misses
+          << " missed probe(s)"
+          << (policy_.health.migrate_on_unhealthy ? ", migrating tenants"
+                                                  : "");
+      if (policy_.health.migrate_on_unhealthy) {
+        // Create-before-delete, same as a reconfiguration-driven migration.
+        // Replacement pods re-enter the admission hook, whose allocate()
+        // now skips this board.
+        Status migrated = migrate_instances_away(id, "");
+        if (!migrated.ok()) {
+          BF_LOG_WARN("registry")
+              << "evacuation of unhealthy device " << id
+              << " incomplete: " << migrated.to_string();
+        }
+      }
+    }
+  }
+}
+
+bool Registry::is_device_healthy(const std::string& device_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = devices_.find(device_id);
+  return it != devices_.end() && it->second.healthy;
+}
+
 // --- Functions Service ----------------------------------------------------------
 
 Status Registry::register_function(const std::string& name,
@@ -188,6 +235,7 @@ Result<Allocation> Registry::allocate(
     if (std::find(excluded.begin(), excluded.end(), id) != excluded.end()) {
       continue;
     }
+    if (!state.healthy) continue;  // missed its probes: not a candidate
     if (!compatible_hardware(state, query)) continue;
     DeviceSample sample = sample_locked(state);
     // A device flagged for (or expecting) a different accelerator is not a
@@ -297,6 +345,7 @@ bool Registry::redistributable_locked(const std::string& device_id) {
     bool movable = false;
     for (auto& [other_id, other] : devices_) {
       if (other_id == device_id) continue;
+      if (!other.healthy) continue;
       if (!compatible_hardware(other, fn->second)) continue;
       DeviceSample sample = sample_locked(other);
       if (sample.utilization > policy_.max_utilization) continue;

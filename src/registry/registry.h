@@ -64,6 +64,18 @@ struct DeviceSample {
 
 enum class MetricKey { kUtilization, kConnectedInstances };
 
+// Unhealthy-board detection (driven by probe_devices(), which the testbed's
+// gatherer calls on its sampling cadence). A probe "miss" is a health check
+// that fails or reports the manager no longer accepting work; K consecutive
+// misses mark the board unhealthy. Unhealthy boards are excluded from
+// allocation and (optionally) evacuated create-before-delete, exactly like a
+// reconfiguration-driven migration. A later successful probe restores the
+// board.
+struct HealthPolicy {
+  unsigned miss_threshold = 3;
+  bool migrate_on_unhealthy = true;
+};
+
 struct AllocationPolicy {
   // filterby_metrics: drop devices above this utilization.
   double max_utilization = 0.95;
@@ -76,6 +88,7 @@ struct AllocationPolicy {
   // Spread (ascending metrics, the default) or pack (descending) tenants.
   // Packing is the ablation baseline showing why least-loaded-first matters.
   bool pack_tenants = false;
+  HealthPolicy health;
 };
 
 struct Allocation {
@@ -102,6 +115,15 @@ class Registry {
   [[nodiscard]] std::vector<DeviceRecord> devices() const;
   [[nodiscard]] Result<DeviceSample> sample_device(
       const std::string& device_id) const;
+
+  // One liveness sweep over every registered Device Manager (call it from
+  // the gatherer's sampling loop). Applies HealthPolicy: K consecutive
+  // failed probes mark a board unhealthy, exclude it from allocation and —
+  // when migrate_on_unhealthy — move its instances create-before-delete to
+  // healthy boards. A succeeding probe resets the miss count and restores
+  // the board.
+  void probe_devices();
+  [[nodiscard]] bool is_device_healthy(const std::string& device_id) const;
 
   // --- Functions Service ------------------------------------------------------
   Status register_function(const std::string& name, DeviceQuery query);
@@ -144,6 +166,8 @@ class Registry {
     DeviceRecord record;
     std::string expected_accelerator;  // set by allocations that reconfigure
     bool flagged_for_reconfiguration = false;
+    unsigned probe_misses = 0;  // consecutive failed health probes
+    bool healthy = true;        // cleared at HealthPolicy::miss_threshold
   };
 
   [[nodiscard]] DeviceSample sample_locked(const DeviceState& device) const;

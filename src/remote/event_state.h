@@ -1,23 +1,30 @@
 // The per-call event state machine of the Remote OpenCL Library (paper
-// §III-A): INIT -> FIRST -> BUFFER -> COMPLETE, states only move forward.
+// §III-A): INIT -> FIRST -> BUFFER -> COMPLETE, states only move forward,
+// plus two terminal *failure* states (FAILED, TIMED_OUT) so a lost or
+// failed call poisons its dependents instead of wedging the connection
+// thread.
 //
 // Extracted from RemoteEvent so the transition relation is a pure,
 // independently testable function. The pump thread applies inputs as acks
 // arrive off the completion stream; because the stream can deliver
 // duplicate or stale acks under faults (and does, under injection), every
 // illegal input must be *ignored* — never regress the state, never crash.
+// In particular, once any terminal state is reached every further input
+// (including a late OpComplete racing a client-side timeout) is stale.
 #pragma once
 
 #include <string_view>
 
 namespace bf::remote {
 
-enum class EventState { kInit, kFirst, kBuffer, kComplete };
+enum class EventState { kInit, kFirst, kBuffer, kComplete, kFailed, kTimedOut };
 
 enum class EventInput {
   kEnqueuedAck,   // OpEnqueued: the manager admitted the call (INIT->FIRST)
   kBufferStaged,  // payload staged in shm / inline bytes (->BUFFER)
-  kCompleted,     // OpComplete (or teardown failure) (->COMPLETE, terminal)
+  kCompleted,     // OpComplete with OK status (->COMPLETE, terminal)
+  kFailed,        // OpComplete with error / teardown (->FAILED, terminal)
+  kTimedOut,      // client-side deadline expiry (->TIMED_OUT, terminal)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(EventState state) {
@@ -26,6 +33,8 @@ enum class EventInput {
     case EventState::kFirst: return "FIRST";
     case EventState::kBuffer: return "BUFFER";
     case EventState::kComplete: return "COMPLETE";
+    case EventState::kFailed: return "FAILED";
+    case EventState::kTimedOut: return "TIMED_OUT";
   }
   return "?";
 }
@@ -35,6 +44,8 @@ enum class EventInput {
     case EventInput::kEnqueuedAck: return "EnqueuedAck";
     case EventInput::kBufferStaged: return "BufferStaged";
     case EventInput::kCompleted: return "Completed";
+    case EventInput::kFailed: return "Failed";
+    case EventInput::kTimedOut: return "TimedOut";
   }
   return "?";
 }
@@ -44,18 +55,27 @@ enum class EventInput {
 //   INIT   --BufferStaged--> BUFFER   (data staged before the ack arrives)
 //   FIRST  --BufferStaged--> BUFFER
 //   any non-terminal --Completed--> COMPLETE
-// Everything else (duplicate acks, acks after completion, regressions) is
-// ignored.
+//   any non-terminal --Failed-->    FAILED
+//   any non-terminal --TimedOut-->  TIMED_OUT
+// Everything else (duplicate acks, inputs after any terminal state,
+// regressions) is ignored — "first terminal input wins", so a completion
+// racing a client-side timeout cannot resurrect the event.
 class EventFsm {
  public:
   [[nodiscard]] EventState state() const { return state_; }
   [[nodiscard]] bool complete() const {
     return state_ == EventState::kComplete;
   }
+  // Any terminal state: the event's outcome is decided (waiters may wake).
+  [[nodiscard]] bool terminal() const {
+    return state_ == EventState::kComplete || state_ == EventState::kFailed ||
+           state_ == EventState::kTimedOut;
+  }
 
   // Applies `input`; returns true if the state advanced, false if the input
   // was ignored as illegal/stale in the current state.
   bool apply(EventInput input) {
+    if (terminal()) return false;  // stale: outcome already decided
     switch (input) {
       case EventInput::kEnqueuedAck:
         if (state_ != EventState::kInit) return false;
@@ -68,8 +88,13 @@ class EventFsm {
         state_ = EventState::kBuffer;
         return true;
       case EventInput::kCompleted:
-        if (state_ == EventState::kComplete) return false;  // stale ack
         state_ = EventState::kComplete;
+        return true;
+      case EventInput::kFailed:
+        state_ = EventState::kFailed;
+        return true;
+      case EventInput::kTimedOut:
+        state_ = EventState::kTimedOut;
         return true;
     }
     return false;

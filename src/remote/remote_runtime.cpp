@@ -50,11 +50,13 @@ class RemoteQueue;
 class RemoteEvent final : public ocl::Event {
  public:
   RemoteEvent(std::uint64_t op_id, ocl::Session* session,
-              std::shared_ptr<net::Connection> connection, RemoteQueue* queue)
+              std::shared_ptr<net::Connection> connection, RemoteQueue* queue,
+              CallOptions options = {})
       : op_id_(op_id),
         session_(session),
         connection_(std::move(connection)),
-        queue_(queue) {}
+        queue_(queue),
+        options_(options) {}
 
   [[nodiscard]] std::uint64_t op_id() const { return op_id_; }
 
@@ -70,6 +72,9 @@ class RemoteEvent final : public ocl::Event {
         // clock passes the completion stamp (polling costs the app time).
         return completion_ <= session_->now() ? ocl::EventStatus::kComplete
                                               : ocl::EventStatus::kRunning;
+      case EventState::kFailed:
+      case EventState::kTimedOut:
+        return ocl::EventStatus::kError;
     }
     return ocl::EventStatus::kError;
   }
@@ -96,14 +101,29 @@ class RemoteEvent final : public ocl::Event {
   void complete(Status status, vt::Time at) {
     {
       std::lock_guard lock(mutex_);
-      // First completion wins; a stale OpComplete (duplicate delivery,
-      // teardown racing a real completion) must not clobber the recorded
-      // status or completion stamp.
-      if (!fsm_.apply(EventInput::kCompleted)) return;
+      // First terminal input wins; a stale OpComplete (duplicate delivery,
+      // teardown racing a real completion, a late ack after a client-side
+      // timeout) must not clobber the recorded status or completion stamp.
+      // Error completions land in FAILED so dependents can fast-fail.
+      const EventInput input =
+          status.ok() ? EventInput::kCompleted : EventInput::kFailed;
+      if (!fsm_.apply(input)) return;
       op_status_ = std::move(status);
       completion_ = at;
     }
     cv_.notify_all();
+  }
+
+  // Non-OK iff the event reached a terminal failure state (FAILED or
+  // TIMED_OUT): dependents waiting on it must fail fast instead of being
+  // enqueued behind an outcome that will never arrive.
+  [[nodiscard]] Status poison_status() const {
+    std::lock_guard lock(mutex_);
+    if (fsm_.state() == EventState::kFailed ||
+        fsm_.state() == EventState::kTimedOut) {
+      return op_status_;
+    }
+    return Status::Ok();
   }
 
   // Read destination plumbing (set at enqueue time).
@@ -123,6 +143,8 @@ class RemoteEvent final : public ocl::Event {
   std::shared_ptr<net::Connection> connection_;
   RemoteQueue* queue_;
 
+  CallOptions options_;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   EventFsm fsm_;
@@ -140,12 +162,14 @@ class RemoteContext final : public ocl::Context {
   RemoteContext(std::shared_ptr<net::Connection> connection,
                 ocl::Session* session, std::uint64_t session_id,
                 ocl::DeviceInfo device,
-                std::shared_ptr<shm::Segment> segment)
+                std::shared_ptr<shm::Segment> segment,
+                CallOptions call_options = {})
       : connection_(std::move(connection)),
         session_(session),
         session_id_(session_id),
         device_(std::move(device)),
-        segment_(std::move(segment)) {
+        segment_(std::move(segment)),
+        call_options_(call_options) {
     pump_ = std::thread([this] { pump_loop(); });
   }
 
@@ -166,8 +190,7 @@ class RemoteContext final : public ocl::Context {
   Status program(const std::string& bitstream_id) override {
     proto::ProgramReq request;
     request.bitstream_id = bitstream_id;
-    auto reply = connection_->call(proto::Method::kProgram, encode(request),
-                                   session_->clock());
+    auto reply = unary(proto::Method::kProgram, encode(request));
     if (!reply.ok()) return reply.status();
     auto resp = decode_payload<proto::ProgramResp>(reply.value());
     if (!resp.ok()) return resp.status();
@@ -178,8 +201,7 @@ class RemoteContext final : public ocl::Context {
   Result<ocl::Buffer> create_buffer(std::uint64_t size) override {
     proto::CreateBufferReq request;
     request.size = size;
-    auto reply = connection_->call(proto::Method::kCreateBuffer,
-                                   encode(request), session_->clock());
+    auto reply = unary(proto::Method::kCreateBuffer, encode(request));
     if (!reply.ok()) return reply.status();
     auto resp = decode_payload<proto::CreateBufferResp>(reply.value());
     if (!resp.ok()) return resp.status();
@@ -190,8 +212,7 @@ class RemoteContext final : public ocl::Context {
   Status release_buffer(const ocl::Buffer& buffer) override {
     proto::ReleaseBufferReq request;
     request.buffer_id = buffer.id;
-    auto reply = connection_->call(proto::Method::kReleaseBuffer,
-                                   encode(request), session_->clock());
+    auto reply = unary(proto::Method::kReleaseBuffer, encode(request));
     if (!reply.ok()) return reply.status();
     auto resp = decode_payload<proto::AckResp>(reply.value());
     if (!resp.ok()) return resp.status();
@@ -201,8 +222,7 @@ class RemoteContext final : public ocl::Context {
   Result<ocl::Kernel> create_kernel(const std::string& name) override {
     proto::CreateKernelReq request;
     request.name = name;
-    auto reply = connection_->call(proto::Method::kCreateKernel,
-                                   encode(request), session_->clock());
+    auto reply = unary(proto::Method::kCreateKernel, encode(request));
     if (!reply.ok()) return reply.status();
     auto resp = decode_payload<proto::CreateKernelResp>(reply.value());
     if (!resp.ok()) return resp.status();
@@ -223,6 +243,9 @@ class RemoteContext final : public ocl::Context {
     return segment_;
   }
   [[nodiscard]] bool shm_enabled() const { return segment_ != nullptr; }
+  [[nodiscard]] const CallOptions& call_options() const {
+    return call_options_;
+  }
 
   std::uint64_t next_op_id() { return op_counter_.fetch_add(1) + 1; }
 
@@ -232,6 +255,16 @@ class RemoteContext final : public ocl::Context {
   }
 
  private:
+  // Unary call with this channel's CallOptions; the retry policy is only
+  // honoured for idempotent methods (a retried CreateBuffer whose first
+  // reply was lost would leak the first buffer).
+  Result<net::Frame> unary(proto::Method method, Bytes payload) {
+    CallOptions options = call_options_;
+    if (!proto::is_idempotent(method)) options.retry.max_attempts = 1;
+    return connection_->call(method, std::move(payload), session_->clock(),
+                             options);
+  }
+
   void pump_loop();
   void process_notification(const net::Frame& frame);
   void fail_pending(const Status& status);
@@ -243,6 +276,7 @@ class RemoteContext final : public ocl::Context {
   std::uint64_t session_id_;
   ocl::DeviceInfo device_;
   std::shared_ptr<shm::Segment> segment_;
+  CallOptions call_options_;
 
   std::atomic<std::uint64_t> op_counter_{0};
   std::mutex events_mutex_;
@@ -254,7 +288,11 @@ class RemoteContext final : public ocl::Context {
 // --- RemoteQueue -----------------------------------------------------------------
 
 // Converts an event wait list into the server-side op-id dependency list.
-// Only events produced by this runtime carry op ids.
+// Only events produced by this runtime carry op ids. A dependency that
+// already reached a terminal failure state (FAILED / TIMED_OUT) poisons the
+// new op: fail fast client-side with FAILED_PRECONDITION rather than ship a
+// call whose prerequisite outcome will never arrive. (The Device Manager
+// applies the same rule server-side against its completed-op set.)
 Result<std::vector<std::uint64_t>> to_wait_ids(ocl::EventWaitList wait_list) {
   std::vector<std::uint64_t> out;
   out.reserve(wait_list.size());
@@ -264,6 +302,11 @@ Result<std::vector<std::uint64_t>> to_wait_ids(ocl::EventWaitList wait_list) {
     if (remote_event == nullptr) {
       return InvalidArgument(
           "wait-list event was not created by this remote runtime");
+    }
+    if (Status poison = remote_event->poison_status(); !poison.ok()) {
+      return FailedPrecondition(
+          "wait-list op " + std::to_string(remote_event->op_id()) +
+          " reached a terminal failure state: " + poison.to_string());
     }
     out.push_back(remote_event->op_id());
   }
@@ -301,7 +344,8 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               context_->connection_ptr(), this);
+                                               context_->connection_ptr(), this,
+                                               context_->call_options());
     context_->register_event(op_id, event);
 
     auto wait_ids = to_wait_ids(wait_list);
@@ -357,7 +401,8 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               context_->connection_ptr(), this);
+                                               context_->connection_ptr(), this,
+                                               context_->call_options());
     event->set_read_target(out, context_->segment());
     context_->register_event(op_id, event);
 
@@ -389,7 +434,8 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               context_->connection_ptr(), this);
+                                               context_->connection_ptr(), this,
+                                               context_->call_options());
     context_->register_event(op_id, event);
 
     auto wait_ids = to_wait_ids(wait_list);
@@ -441,7 +487,8 @@ class RemoteQueue final : public ocl::CommandQueue {
     auto& session = context_->session();
     const std::uint64_t op_id = context_->next_op_id();
     auto event = std::make_shared<RemoteEvent>(op_id, &session,
-                                               context_->connection_ptr(), this);
+                                               context_->connection_ptr(), this,
+                                               context_->call_options());
     context_->register_event(op_id, event);
     proto::FinishReq request;
     request.op_id = op_id;
@@ -466,23 +513,37 @@ Status RemoteEvent::wait() {
   bool pending = false;
   {
     std::lock_guard lock(mutex_);
-    pending = !fsm_.complete();
+    pending = !fsm_.terminal();
   }
-  // Only a still-pending wait needs the implied flush. A completed event
-  // already has its terminal status, and skipping the queue here keeps
-  // wait() safe on events the application kept alive past their context
-  // (the queue's context pointer dies with the context; teardown completes
-  // every registered event via fail_pending first).
+  // Only a still-pending wait needs the implied flush. A terminal event
+  // already has its status, and skipping the queue here keeps wait() safe
+  // on events the application kept alive past their context (the queue's
+  // context pointer dies with the context; teardown completes every
+  // registered event via fail_pending first).
   if (pending && queue_ != nullptr) {
     if (Status s = queue_->flush_for_wait(); !s.ok()) return s;
   }
   {
     std::unique_lock lock(mutex_);
-    if (!fsm_.complete()) {
+    if (!fsm_.terminal()) {
       // Register the wake tag so the connection thread re-anchors our gate
       // bound atomically with the completion that wakes us.
       connection_->prepare_wait(net::Connection::WaitTag::kEvent, op_id_);
-      cv_.wait(lock, [&] { return fsm_.complete(); });
+      auto done = [&] { return fsm_.terminal(); };
+      const vt::Time deadline = options_.deadline_from(session_->now());
+      if (deadline.is_infinite()) {
+        cv_.wait(lock, done);
+      } else if (!cv_.wait_for(lock, options_.wedge_grace, done)) {
+        // No completion materialized in wedge_grace of wall time (lost
+        // OpComplete, dead worker): the modeled wait ran out at the
+        // deadline. TIMED_OUT is terminal — a completion that straggles in
+        // later is stale by the FSM's first-terminal-wins rule, and any
+        // dependent op fails fast via poison_status().
+        (void)fsm_.apply(EventInput::kTimedOut);
+        op_status_ = DeadlineExceeded("wait on op " + std::to_string(op_id_) +
+                                      " abandoned at deadline");
+        completion_ = deadline;
+      }
     }
   }
   vt::Time completion;
@@ -498,8 +559,7 @@ Status RemoteEvent::wait() {
 }
 
 Result<std::unique_ptr<ocl::CommandQueue>> RemoteContext::create_queue() {
-  auto reply = connection_->call(proto::Method::kCreateQueue, Bytes{},
-                                 session_->clock());
+  auto reply = unary(proto::Method::kCreateQueue, Bytes{});
   if (!reply.ok()) return reply.status();
   auto resp = decode_payload<proto::CreateQueueResp>(reply.value());
   if (!resp.ok()) return resp.status();
@@ -614,6 +674,73 @@ std::shared_ptr<RemoteEvent> RemoteContext::peek_event(std::uint64_t op_id) {
 
 // --- RemoteRuntime ----------------------------------------------------------------
 
+namespace {
+
+struct OpenedSession {
+  std::shared_ptr<net::Connection> connection;
+  proto::OpenSessionResp resp;
+};
+
+// Connect + OpenSession with reconnect-level retry driven by the manager's
+// CallOptions: a retryable failure (UNAVAILABLE connect/call, a call that
+// ran out its deadline) tears the connection down, charges backoff to the
+// session clock and dials again. Non-retryable outcomes return immediately.
+// The per-call retry policy is stripped — attempt accounting lives here,
+// where a fresh connection can actually fix a broken channel.
+Result<OpenedSession> open_session_with_retry(const ManagerAddress& manager,
+                                              ocl::Session& session,
+                                              bool use_shared_memory,
+                                              bool keep_connection) {
+  CallOptions per_call = manager.call_options;
+  per_call.retry.max_attempts = 1;
+  const unsigned attempts =
+      std::max(1u, manager.call_options.retry.max_attempts);
+  Backoff backoff(manager.call_options.retry);
+  Status last = Unavailable("session open not attempted");
+  for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      session.clock().advance(backoff.next());
+      BF_LOG_WARN("remote") << "reconnecting to "
+                            << manager.endpoint->address() << " after "
+                            << last.to_string() << " (attempt " << attempt
+                            << "/" << attempts << ")";
+    }
+    auto connection = manager.endpoint->connect(
+        session.client_id(), manager.transport, session.clock());
+    if (!connection.ok()) {
+      last = connection.status();
+      if (!is_retryable(last.code())) return last;
+      continue;
+    }
+    proto::OpenSessionReq request;
+    request.client_id = session.client_id();
+    request.use_shared_memory = use_shared_memory;
+    auto reply = connection.value()->call(proto::Method::kOpenSession,
+                                          encode(request), session.clock(),
+                                          per_call);
+    if (!reply.ok()) {
+      connection.value()->close();
+      last = reply.status();
+      if (!is_retryable(last.code())) return last;
+      continue;
+    }
+    auto resp = decode_payload<proto::OpenSessionResp>(reply.value());
+    if (!resp.ok()) {
+      connection.value()->close();
+      return resp.status();
+    }
+    if (Status s = resp.value().status.to_status(); !s.ok()) {
+      connection.value()->close();
+      return s;
+    }
+    if (!keep_connection) connection.value()->close();
+    return OpenedSession{connection.value(), std::move(resp.value())};
+  }
+  return last;
+}
+
+}  // namespace
+
 RemoteRuntime::RemoteRuntime(std::vector<ManagerAddress> managers)
     : managers_(std::move(managers)) {
   for (const ManagerAddress& manager : managers_) {
@@ -658,21 +785,11 @@ Result<std::vector<ocl::DeviceInfo>> RemoteRuntime::devices() {
 
 Result<ocl::DeviceInfo> RemoteRuntime::probe(const ManagerAddress& manager,
                                              ocl::Session& session) {
-  auto connection = manager.endpoint->connect(session.client_id(),
-                                              manager.transport,
-                                              session.clock());
-  if (!connection.ok()) return connection.status();
-  proto::OpenSessionReq request;
-  request.client_id = session.client_id();
-  request.use_shared_memory = false;
-  auto reply = connection.value()->call(proto::Method::kOpenSession,
-                                        encode(request), session.clock());
-  connection.value()->close();
-  if (!reply.ok()) return reply.status();
-  auto resp = decode_payload<proto::OpenSessionResp>(reply.value());
-  if (!resp.ok()) return resp.status();
-  if (Status s = resp.value().status.to_status(); !s.ok()) return s;
-  return to_device_info(resp.value().device);
+  auto opened = open_session_with_retry(manager, session,
+                                        /*use_shared_memory=*/false,
+                                        /*keep_connection=*/false);
+  if (!opened.ok()) return opened.status();
+  return to_device_info(opened.value().resp.device);
 }
 
 Result<std::unique_ptr<ocl::Context>> RemoteRuntime::create_context(
@@ -701,39 +818,31 @@ Result<std::unique_ptr<ocl::Context>> RemoteRuntime::create_context(
   }
   const ManagerAddress& manager = managers_[*index];
 
-  auto connection = manager.endpoint->connect(session.client_id(),
-                                              manager.transport,
-                                              session.clock());
-  if (!connection.ok()) return connection.status();
-
-  proto::OpenSessionReq request;
-  request.client_id = session.client_id();
-  request.use_shared_memory =
-      manager.prefer_shared_memory && manager.node_shm != nullptr;
-  auto reply = connection.value()->call(proto::Method::kOpenSession,
-                                        encode(request), session.clock());
-  if (!reply.ok()) return reply.status();
-  auto resp = decode_payload<proto::OpenSessionResp>(reply.value());
-  if (!resp.ok()) return resp.status();
-  if (Status s = resp.value().status.to_status(); !s.ok()) return s;
+  auto opened = open_session_with_retry(
+      manager, session,
+      manager.prefer_shared_memory && manager.node_shm != nullptr,
+      /*keep_connection=*/true);
+  if (!opened.ok()) return opened.status();
+  const proto::OpenSessionResp& resp = opened.value().resp;
 
   std::shared_ptr<shm::Segment> segment;
-  if (resp.value().shared_memory_granted && manager.node_shm != nullptr) {
+  if (resp.shared_memory_granted && manager.node_shm != nullptr) {
     const std::string name = manager.endpoint->address() + ":sess:" +
-                             std::to_string(resp.value().session_id);
-    auto opened = manager.node_shm->open(name);
-    if (opened.ok()) {
-      segment = opened.value();
+                             std::to_string(resp.session_id);
+    auto shm_segment = manager.node_shm->open(name);
+    if (shm_segment.ok()) {
+      segment = shm_segment.value();
     } else {
       BF_LOG_WARN("remote") << "shm granted but segment missing: "
-                            << opened.status().to_string()
+                            << shm_segment.status().to_string()
                             << " — falling back to gRPC data path";
     }
   }
 
   return std::unique_ptr<ocl::Context>(std::make_unique<RemoteContext>(
-      connection.value(), &session, resp.value().session_id,
-      to_device_info(resp.value().device), std::move(segment)));
+      opened.value().connection, &session, resp.session_id,
+      to_device_info(resp.device), std::move(segment),
+      manager.call_options));
 }
 
 }  // namespace bf::remote

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/call_options.h"
 #include "net/endpoint.h"
 #include "ocl/runtime.h"
 #include "shm/namespace.h"
@@ -42,6 +43,11 @@ struct ManagerAddress {
   net::TransportCost transport;        // control/data cost model
   shm::Namespace* node_shm = nullptr;  // non-null when co-located
   bool prefer_shared_memory = true;
+  // Failure handling for every control-plane call on this channel: deadline
+  // for unary calls and event waits, retry-with-backoff for idempotent
+  // methods and (re)connects. Defaults are zero-cost (no deadline, one
+  // attempt) — modeled timelines are bit-identical to pre-CallOptions runs.
+  CallOptions call_options;
 };
 
 class RemoteContext;

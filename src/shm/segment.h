@@ -39,18 +39,28 @@ class Segment {
   // --- client side ----------------------------------------------------------
 
   // Copies application data into a fresh slot (the single modeled copy).
+  // Use this overload only when the caller does NOT own the buffer — the
+  // OpenCL write path, where `data` views application memory the host code
+  // keeps. If the caller holds a Bytes it will not reuse, prefer the
+  // Bytes&& overload: same modeled cost, no real memcpy.
   Result<std::int64_t> stage(ByteSpan data, vt::Cursor& cursor);
 
   // Ownership-transfer variant: moves the buffer into the slot without
   // touching its bytes. Same modeled charge and copy accounting as the
-  // copying overload. On error the argument is left untouched.
+  // copying overload (virtual-time results are identical either way); the
+  // difference is purely real-time — no memcpy of the payload. On error the
+  // argument is left untouched, so the caller can fall back or retry.
   Result<std::int64_t> stage(Bytes&& data, vt::Cursor& cursor);
 
   // Copies a slot's contents out into an application buffer (the single
-  // modeled copy on the read path) and releases the slot.
+  // modeled copy on the read path) and releases the slot. Use when the
+  // destination is caller-owned memory (OpenCL blocking-read semantics).
   Status fetch(std::int64_t slot, MutableByteSpan out, vt::Cursor& cursor);
 
-  // Ownership-transfer variant of fetch: returns the slot's buffer itself.
+  // Ownership-transfer variant of fetch: returns the slot's buffer itself
+  // and releases the slot. Prefer this when the caller would otherwise
+  // allocate a Bytes just to fetch into it — same modeled charge as fetch,
+  // no real memcpy.
   Result<Bytes> fetch_take(std::int64_t slot, vt::Cursor& cursor);
 
   // --- manager side ---------------------------------------------------------

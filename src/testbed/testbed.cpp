@@ -7,7 +7,7 @@
 
 namespace bf::testbed {
 
-Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
   const std::array<sim::NodeProfile, kNodeCount> initial = {
       sim::make_node_a(), sim::make_node_b(), sim::make_node_c()};
 
@@ -19,7 +19,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
 
   cluster_ = std::make_unique<cluster::Cluster>(std::move(node_specs));
   registry_ = std::make_unique<registry::Registry>(
-      cluster_.get(), config_.policy, [this] { return clock(); });
+      cluster_.get(), options_.policy, [this] { return clock(); });
   registry_->attach_to_cluster();
   for (std::size_t i = 0; i < kNodeCount; ++i) {
     registry::DeviceRecord record;
@@ -56,7 +56,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
       address.endpoint = &manager->endpoint();
       const bool colocated = manager_node == node;
       const sim::NodeProfile& profile = profiles_[node];
-      if (colocated && config_.use_shared_memory) {
+      if (colocated && options_.use_shared_memory) {
         address.transport = net::local_control(profile);
         address.node_shm = shm_[node].get();
         address.prefer_shared_memory = true;
@@ -68,6 +68,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
             net::remote_grpc(profile, profiles_[manager_node]);
         address.prefer_shared_memory = false;
       }
+      address.call_options = options_.call_options;
       faas::RuntimeBinding binding;
       binding.runtime = std::make_shared<remote::RemoteRuntime>(
           std::vector<remote::ManagerAddress>{address});
@@ -84,7 +85,8 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
     return binding;
   };
   gateway_ = std::make_unique<faas::Gateway>(cluster_.get(),
-                                             std::move(resolver));
+                                             std::move(resolver),
+                                             options_.gateway);
 }
 
 Testbed::~Testbed() {
@@ -102,16 +104,17 @@ void Testbed::add_node_stack(const std::string& name,
   board_config.id = "fpga-" + name;
   board_config.node = name;
   board_config.host = profile;
-  board_config.functional = config_.functional_boards;
-  board_config.pr_regions = config_.pr_regions;
+  board_config.functional = options_.functional_boards;
+  board_config.pr_regions = options_.pr_regions;
   boards_.push_back(std::make_unique<sim::Board>(board_config));
 
   devmgr::DeviceManagerConfig manager_config;
   manager_config.id = "devmgr-" + name;
-  manager_config.allow_shared_memory = config_.use_shared_memory;
+  manager_config.allow_shared_memory = options_.use_shared_memory;
+  manager_config.gate_stall_grace = options_.gate_stall_grace;
   managers_.push_back(std::make_unique<devmgr::DeviceManager>(
       manager_config, boards_.back().get(),
-      config_.use_shared_memory ? shm_.back().get() : nullptr));
+      options_.use_shared_memory ? shm_.back().get() : nullptr));
 }
 
 std::vector<std::string> Testbed::node_names() const { return node_names_; }

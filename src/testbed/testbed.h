@@ -14,11 +14,13 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/call_options.h"
 #include "devmgr/device_manager.h"
 #include "faas/gateway.h"
 #include "registry/registry.h"
@@ -28,7 +30,7 @@
 
 namespace bf::testbed {
 
-struct TestbedConfig {
+struct TestbedOptions {
   // Kernels compute real results (slow; tests/examples) or timing only
   // (load experiments).
   bool functional_boards = false;
@@ -39,11 +41,20 @@ struct TestbedConfig {
   // full-device time sharing; >1 enables the space-sharing extension).
   unsigned pr_regions = 1;
   registry::AllocationPolicy policy;
+  // Gateway graceful degradation (retry, circuit breaker). Defaults keep
+  // modeled timelines identical to a policy-free gateway.
+  faas::GatewayPolicy gateway;
+  // Failure handling for every remote control-plane channel the resolver
+  // hands out (deadline, retry-with-backoff). Defaults are zero-cost.
+  CallOptions call_options;
+  // Device Managers' conservative-gate stall grace (docs/VIRTUAL_TIME.md);
+  // recovery tests lower it so wedged producers fall back quickly.
+  std::chrono::milliseconds gate_stall_grace{1000};
 };
 
 class Testbed {
  public:
-  explicit Testbed(TestbedConfig config = {});
+  explicit Testbed(TestbedOptions options = {});
   ~Testbed();
 
   Testbed(const Testbed&) = delete;
@@ -102,7 +113,7 @@ class Testbed {
   void add_node_stack(const std::string& name,
                       const sim::NodeProfile& profile);
 
-  TestbedConfig config_;
+  TestbedOptions options_;
   std::vector<std::string> node_names_;
   std::vector<sim::NodeProfile> profiles_;
   std::vector<std::unique_ptr<shm::Namespace>> shm_;

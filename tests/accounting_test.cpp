@@ -19,9 +19,9 @@ TEST(Accounting, PerClientBusySumsToBoardBusy) {
   registry::AllocationPolicy pack;
   pack.pack_tenants = true;
   // Everyone on one board via a packed testbed.
-  testbed::TestbedConfig config;
-  config.policy = pack;
-  testbed::Testbed packed(config);
+  testbed::TestbedOptions options;
+  options.policy = pack;
+  testbed::Testbed packed(options);
   for (int i = 1; i <= 3; ++i) {
     ASSERT_TRUE(packed
                     .deploy_blastfunction("fn-" + std::to_string(i), factory)

@@ -26,9 +26,9 @@ workloads::WorkloadFactory mm_factory(std::size_t n = 128) {
 TEST(Integration, CrossNodeAccessFallsBackToGrpc) {
   // A client on node C reaching node B's manager: no shared namespace, so
   // the session must run without shm and still work.
-  testbed::TestbedConfig config;
-  config.functional_boards = true;
-  testbed::Testbed bed(config);
+  testbed::TestbedOptions options;
+  options.functional_boards = true;
+  testbed::Testbed bed(options);
 
   remote::ManagerAddress address;
   address.endpoint = &bed.manager("B").endpoint();
@@ -135,9 +135,9 @@ TEST(Integration, MixedWorkloadsServeConcurrently) {
 TEST(Integration, DataIntegrityThroughEveryLayer) {
   // Functional boards + full registry/gateway path: the edge map computed
   // through the entire stack equals the CPU reference.
-  testbed::TestbedConfig config;
-  config.functional_boards = true;
-  testbed::Testbed bed(config);
+  testbed::TestbedOptions options;
+  options.functional_boards = true;
+  testbed::Testbed bed(options);
   auto factory = sobel_factory(96, 64);
   ASSERT_TRUE(bed.deploy_blastfunction("fn", factory).ok());
   ASSERT_TRUE(bed.gateway().invoke("fn").ok());
@@ -171,11 +171,11 @@ TEST(Integration, DataIntegrityThroughEveryLayer) {
 
 TEST(Integration, ManyTenantsOneBoardAllServed) {
   // Eight tenants time-share a single board through one manager.
-  testbed::TestbedConfig config;
+  testbed::TestbedOptions options;
   registry::AllocationPolicy pack;
   pack.pack_tenants = true;
-  config.policy = pack;
-  testbed::Testbed bed(config);
+  options.policy = pack;
+  testbed::Testbed bed(options);
   constexpr int kTenants = 8;
   for (int i = 0; i < kTenants; ++i) {
     ASSERT_TRUE(bed.deploy_blastfunction("fn-" + std::to_string(i),

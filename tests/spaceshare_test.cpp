@@ -202,12 +202,12 @@ TEST(SpaceSharing, ClassicModeRejectsRegionProgramming) {
 TEST(SpaceSharing, MixedTenantsShareOneBoardThroughTheStack) {
   // With 2 PR regions, sobel and mm can land on the SAME board with no
   // migration — the scenario that needed disjoint boards in classic mode.
-  testbed::TestbedConfig config;
-  config.pr_regions = 2;
+  testbed::TestbedOptions options;
+  options.pr_regions = 2;
   registry::AllocationPolicy pack;
   pack.pack_tenants = true;  // force them together
-  config.policy = pack;
-  testbed::Testbed bed(config);
+  options.policy = pack;
+  testbed::Testbed bed(options);
   ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", [] {
                    return std::make_unique<workloads::SobelWorkload>(320,
                                                                      240);

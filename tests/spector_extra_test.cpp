@@ -111,9 +111,9 @@ TEST(SpectorExtra, FourAcceleratorFleetOnThreeBoards) {
   // sobel + mm + fir + histogram: more accelerator types than boards.
   // Classic time sharing cannot satisfy all four at once without evictions;
   // with 2 PR regions per board the whole fleet coexists.
-  testbed::TestbedConfig config;
-  config.pr_regions = 2;
-  testbed::Testbed bed(config);
+  testbed::TestbedOptions options;
+  options.pr_regions = 2;
+  testbed::Testbed bed(options);
   ASSERT_TRUE(bed.deploy_blastfunction("sobel-1", [] {
                    return std::make_unique<SobelWorkload>(320, 240);
                  }).ok());

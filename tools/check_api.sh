@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# API-convention lint (wired into ctest as `check_api`).
+#
+# Cross-module service methods must report failure through bf::Status /
+# bf::Result<T> (one ErrorCode vocabulary, docs/RESILIENCE.md), never
+# through a raw bool — a bool can't carry *why* and silently flattens
+# retryable vs terminal failures. Bool is fine for predicates, so any
+# method matching a predicate-naming pattern (is_*/has_*/should_*/can_*)
+# is allowed, plus a grandfathered allowlist of established predicate
+# names that don't carry a prefix.
+#
+# Exit 0 = clean; exit 1 = a new bool-returning non-predicate method
+# declaration appeared in a src/ header. Either rename it as a predicate
+# (is_.../has_...) or return Status.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Predicate-style names allowed to return bool.
+allow_prefixes='is_|has_|should_|can_'
+allow_names='ok|empty|closed|valid|cold|functional|complete|terminal|enabled|armed|triggered|at_end|push|apply|wait_safe|accepting|dirty|operator|compatible_accelerator|compatible_hardware|redistributable_locked'
+
+status=0
+while IFS=: read -r file line decl; do
+  # Extract the method name from "... bool name(".
+  name="$(printf '%s' "$decl" | sed -E 's/.*\bbool[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)\(.*/\1/')"
+  if printf '%s' "$name" | grep -qE "^(${allow_prefixes})"; then
+    continue
+  fi
+  if printf '%s' "$name" | grep -qE "^(${allow_names})$"; then
+    continue
+  fi
+  echo "check_api: $file:$line: method '$name' returns raw bool —" \
+       "return bf::Status (or rename it as a predicate: is_$name)" >&2
+  status=1
+done < <(grep -rnE '\bbool[[:space:]]+[a-z_][A-Za-z0-9_]*\(' \
+           "$repo/src" --include='*.h' || true)
+
+if [ "$status" -eq 0 ]; then
+  echo "check_api: all bool-returning methods in src/ headers are predicates."
+fi
+exit "$status"
