@@ -8,6 +8,7 @@
 #include "proto/wire.h"
 #include "sim/bitstream.h"
 #include "sim/kernels.h"
+#include "trace/span.h"
 
 namespace bf::devmgr {
 namespace {
@@ -275,6 +276,18 @@ void DeviceManager::handle_sync(std::uint64_t session_id,
   if (session_it == sessions_.end()) return;
   Session& session = session_it->second;
   auto connection = session.connection;
+  if (frame.trace.is_valid() && trace::enabled()) {
+    // Server-side handling span, child of the client's rpc span. Salted
+    // with the arrival stamp so retried attempts get distinct span ids.
+    const trace::SpanContext ctx = frame.trace.child(
+        trace::salt::kHandle ^
+        static_cast<std::uint64_t>(frame.arrival_time.ns()));
+    trace::record(trace::Span{
+        config_.id,
+        std::string("handle:") + std::string(proto::to_string(frame.method)),
+        frame.arrival_time, at, ctx.trace_id, ctx.span_id,
+        frame.trace.span_id});
+  }
   switch (frame.method) {
     case proto::Method::kGetDeviceInfo: {
       proto::OpenSessionResp resp;
@@ -457,6 +470,8 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       op.offset = request.value().offset;
       op.size = request.value().size;
       op.wait_op_ids = std::move(request.value().wait_op_ids);
+      op.trace = trace::SpanContext{request.value().trace_id,
+                                    request.value().parent_span};
       session.building[op.queue_id].ops.push_back(std::move(op));
       ack_enqueued(request.value().op_id);
       return;
@@ -493,6 +508,8 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       op.size = request.value().size;
       op.use_shm = request.value().use_shared_memory;
       op.wait_op_ids = std::move(request.value().wait_op_ids);
+      op.trace = trace::SpanContext{request.value().trace_id,
+                                    request.value().parent_span};
       session.building[op.queue_id].ops.push_back(std::move(op));
       ack_enqueued(request.value().op_id);
       return;
@@ -508,6 +525,8 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       op.args = std::move(request.value().args);
       op.global_size = request.value().global_size;
       op.wait_op_ids = std::move(request.value().wait_op_ids);
+      op.trace = trace::SpanContext{request.value().trace_id,
+                                    request.value().parent_span};
       session.building[op.queue_id].ops.push_back(std::move(op));
       ack_enqueued(request.value().op_id);
       return;
@@ -640,7 +659,71 @@ void DeviceManager::execute_task(const Task& task) {
       client_id = session_it->second.client_id;
     }
   }
+  // Request context for the task's spans: ops of one task come from one
+  // request in practice (each invocation seals its own flush), so the first
+  // traced op carries it. Only *successful* ops earn spans — aborted,
+  // poisoned or cancelled ops leave no trace (a tested invariant).
+  trace::SpanContext request_ctx;
+  for (const Operation& op : task.ops) {
+    if (op.trace.is_valid()) {
+      request_ctx = op.trace;
+      break;
+    }
+  }
+  const bool traced = request_ctx.is_valid() && trace::enabled();
+  struct ExecutedOp {
+    const Operation* op;
+    sim::Board::Interval interval;
+  };
+  std::vector<ExecutedOp> executed;
   vt::Time cursor = task.ready;
+  // Task-level spans: "task" = FIFO admission to last op completion, split
+  // into "queue-wait" (admission to first device activity — the paper's
+  // central-queue delay) and "execute", with one "op:<kind>" span per
+  // successful operation. By construction queue-wait + execute == task.
+  // Emitted *before* the final op's completion is notified: the client
+  // woken by that completion may immediately tear the scenario down (and
+  // uninstall the trace sink), so every span must reach the builder first.
+  auto record_task_spans = [&] {
+    if (!traced || executed.empty()) return;
+    vt::Time exec_start = executed.front().interval.start;
+    vt::Time task_end = exec_start;
+    for (const ExecutedOp& rec : executed) {
+      if (rec.interval.start < exec_start) exec_start = rec.interval.start;
+      if (rec.interval.end > task_end) task_end = rec.interval.end;
+    }
+    // Salt from the queue's *deterministic* ordering key (ready stamp +
+    // client), never task.seq: the admission counter is assigned under real
+    // thread races, and golden traces must be byte-identical across runs.
+    const trace::SpanContext task_ctx = request_ctx.child(
+        trace::salt::kTask ^
+        trace::mix64(static_cast<std::uint64_t>(task.ready.ns())) ^
+        trace::fnv1a(task.client_id));
+    const trace::SpanContext wait_ctx =
+        task_ctx.child(trace::salt::kQueueWait);
+    const trace::SpanContext exec_ctx = task_ctx.child(trace::salt::kExecute);
+    trace::record(trace::Span{config_.id, "task", task.ready, task_end,
+                              task_ctx.trace_id, task_ctx.span_id,
+                              request_ctx.span_id});
+    trace::record(trace::Span{config_.id, "queue-wait", task.ready,
+                              exec_start, wait_ctx.trace_id, wait_ctx.span_id,
+                              task_ctx.span_id});
+    trace::record(trace::Span{config_.id, "execute", exec_start, task_end,
+                              exec_ctx.trace_id, exec_ctx.span_id,
+                              task_ctx.span_id});
+    for (const ExecutedOp& rec : executed) {
+      const Operation& op = *rec.op;
+      if (op.kind == Operation::Kind::kFinish) continue;  // zero-width marker
+      const char* kind = op.kind == Operation::Kind::kWrite  ? "op:write"
+                         : op.kind == Operation::Kind::kRead ? "op:read"
+                                                             : "op:kernel";
+      const trace::SpanContext op_ctx =
+          op.trace.child(trace::salt::kOp ^ op.op_id);
+      trace::record(trace::Span{config_.id, kind, rec.interval.start,
+                                rec.interval.end, op_ctx.trace_id,
+                                op_ctx.span_id, exec_ctx.span_id});
+    }
+  };
   bool abort_rest = false;
   for (const Operation& op : task.ops) {
     proto::OpComplete completion;
@@ -660,7 +743,10 @@ void DeviceManager::execute_task(const Task& task) {
         if (&op == &task.ops.back()) ++tasks_executed_;
       }
       ops_counter_->increment();
-      if (&op == &task.ops.back()) tasks_counter_->increment();
+      if (&op == &task.ops.back()) {
+        tasks_counter_->increment();
+        record_task_spans();  // spans for the successful prefix, if any
+      }
       notify_completion(task.session_id, op.op_id, completion, cursor);
       continue;
     }
@@ -686,6 +772,7 @@ void DeviceManager::execute_task(const Task& task) {
     }
     if (!wait_status.ok()) {
       completion.status = proto::StatusMsg::from(wait_status);
+      if (&op == &task.ops.back()) record_task_spans();
       notify_completion(task.session_id, op.op_id, completion, cursor);
       {
         std::lock_guard lock(state_mutex_);
@@ -700,6 +787,7 @@ void DeviceManager::execute_task(const Task& task) {
         execute_operation(task.session_id, op, op_ready, completion);
     if (interval.ok()) {
       cursor = interval.value().end;
+      if (traced) executed.push_back(ExecutedOp{&op, interval.value()});
       completion.status = proto::StatusMsg::from(Status::Ok());
       std::lock_guard lock(state_mutex_);
       if (interval.value().end > interval.value().start) {
@@ -722,8 +810,12 @@ void DeviceManager::execute_task(const Task& task) {
     ops_counter_->increment();
     if (&op == &task.ops.back()) {
       tasks_counter_->increment();
-      task_span_ms_->observe((cursor - task.ready).ms());
+      // The exemplar lets an operator jump from a slow histogram bucket to
+      // the exact trace that landed in it.
+      task_span_ms_->observe((cursor - task.ready).ms(),
+                             request_ctx.trace_id);
       busy_ms_gauge_->set(board_->busy_total().ms());
+      record_task_spans();
     }
     notify_completion(task.session_id, op.op_id, completion, cursor);
   }
@@ -800,6 +892,11 @@ Result<sim::Board::Interval> DeviceManager::execute_operation(
     case Operation::Kind::kKernel: {
       auto launch = resolve_kernel(session_id, op);
       if (!launch.ok()) return launch.status();
+      if (op.trace.is_valid()) {
+        // Same derivation as the "op:kernel" span in execute_task, so the
+        // board's kernel span nests under it.
+        launch.value().trace = op.trace.child(trace::salt::kOp ^ op.op_id);
+      }
       return board_->run_kernel(launch.value(), ready);
     }
     case Operation::Kind::kFinish:

@@ -20,6 +20,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "proto/messages.h"
+#include "trace/span.h"
 #include "vt/time.h"
 
 namespace bf::devmgr {
@@ -46,6 +47,10 @@ struct Operation {
 
   // Event wait list: this op may not start before these ops completed.
   std::vector<std::uint64_t> wait_op_ids;
+
+  // Request trace context propagated from the enqueueing client (invalid
+  // when the request is untraced); the span id is the client's rpc span.
+  trace::SpanContext trace;
 };
 
 // Blocks a dispatcher thread until the worker has executed a board

@@ -32,9 +32,43 @@ Status FunctionInstance::cold_start_locked() {
 
 Result<InvokeResult> FunctionInstance::invoke() {
   std::lock_guard lock(mutex_);
+  const vt::Time accepted = session_.now();
+  trace::SpanContext root;
+  if (trace::enabled()) {
+    // Mint the request's root context at the gateway (paper's FaaS front
+    // door) and park it on the session so the remote library stamps every
+    // downstream call with it.
+    root = trace::mint_trace(pod_.spec.name, ++trace_seq_, accepted);
+    session_.set_trace_context(root);
+  }
+  auto result = invoke_locked(root, accepted);
+  if (root.is_valid()) {
+    session_.set_trace_context({});
+    // The root "request" span is recorded for failures too — a trace whose
+    // request span has no task children is how aborted work shows up.
+    trace::record(trace::Span{pod_.spec.name, "request", accepted,
+                              session_.now(), root.trace_id, root.span_id,
+                              0});
+  }
+  return result;
+}
+
+Result<InvokeResult> FunctionInstance::invoke_locked(
+    const trace::SpanContext& root, vt::Time accepted) {
   // Gateway hop + HTTP handling on the function side.
   session_.compute(config_.gateway_overhead);
+  const vt::Time gateway_done = session_.now();
   session_.compute(config_.handler_overhead);
+  if (root.is_valid()) {
+    const trace::SpanContext gw = root.child(trace::salt::kGateway);
+    trace::record(trace::Span{pod_.spec.name, "gateway", accepted,
+                              gateway_done, gw.trace_id, gw.span_id,
+                              root.span_id});
+    const trace::SpanContext hd = root.child(trace::salt::kHandler);
+    trace::record(trace::Span{pod_.spec.name, "handler", gateway_done,
+                              session_.now(), hd.trace_id, hd.span_id,
+                              root.span_id});
+  }
   const vt::Time start = session_.now();
 
   Status handled;
@@ -42,6 +76,12 @@ Result<InvokeResult> FunctionInstance::invoke() {
     // Classic watchdog: fork a handler, attach a fresh OpenCL context, set
     // up, serve, tear down.
     session_.compute(node_.fork_request_overhead);
+    if (root.is_valid()) {
+      const trace::SpanContext fk = root.child(trace::salt::kFork);
+      trace::record(trace::Span{pod_.spec.name, "fork", start,
+                                session_.now(), fk.trace_id, fk.span_id,
+                                root.span_id});
+    }
     auto binding = resolver_(pod_);
     if (!binding.ok()) {
       ++errors_;
@@ -71,7 +111,12 @@ Result<InvokeResult> FunctionInstance::invoke() {
     return handled;
   }
   ++served_;
-  return InvokeResult{session_.now() - start, session_.now()};
+  InvokeResult out;
+  out.latency = session_.now() - start;
+  out.completed_at = session_.now();
+  out.e2e_latency = session_.now() - accepted;
+  out.trace_id = root.trace_id;
+  return out;
 }
 
 void FunctionInstance::advance_clock_to(vt::Time t) {

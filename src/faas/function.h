@@ -19,6 +19,7 @@
 #include "cluster/cluster.h"
 #include "common/status.h"
 #include "ocl/runtime.h"
+#include "trace/span.h"
 #include "workloads/workload.h"
 
 namespace bf::faas {
@@ -47,6 +48,12 @@ struct FunctionConfig {
 struct InvokeResult {
   vt::Duration latency;
   vt::Time completed_at;
+  // End-to-end latency as the gateway reports it: from request acceptance
+  // (before the gateway/handler overheads) to completion — exactly the
+  // request's root trace span, so critical_path() totals match it.
+  vt::Duration e2e_latency;
+  // Root trace id of this request (0 when tracing is disabled).
+  std::uint64_t trace_id = 0;
 };
 
 class FunctionInstance {
@@ -82,6 +89,8 @@ class FunctionInstance {
 
  private:
   Status cold_start_locked();
+  Result<InvokeResult> invoke_locked(const trace::SpanContext& root,
+                                     vt::Time accepted);
 
   cluster::Pod pod_;
   FunctionConfig config_;
@@ -95,6 +104,7 @@ class FunctionInstance {
   std::unique_ptr<ocl::Context> context_;  // persistent mode
   std::uint64_t served_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t trace_seq_ = 0;  // per-pod request counter for trace minting
 };
 
 }  // namespace bf::faas

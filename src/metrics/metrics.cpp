@@ -35,11 +35,13 @@ double Gauge::value() const {
 }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0),
+      exemplars_(bounds_.size() + 1) {
   BF_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 
-void Histogram::observe(double value) {
+void Histogram::observe(double value, std::uint64_t exemplar_trace_id) {
   std::lock_guard lock(mutex_);
   std::size_t bucket = bounds_.size();  // +Inf
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
@@ -51,6 +53,9 @@ void Histogram::observe(double value) {
   ++counts_[bucket];
   ++count_;
   sum_ += value;
+  if (exemplar_trace_id != 0) {
+    exemplars_[bucket] = Exemplar{value, exemplar_trace_id, true};
+  }
 }
 
 std::uint64_t Histogram::count() const {
@@ -72,6 +77,11 @@ std::vector<std::uint64_t> Histogram::cumulative_buckets() const {
     out[i] = running;
   }
   return out;
+}
+
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::lock_guard lock(mutex_);
+  return exemplars_;
 }
 
 double Histogram::quantile(double q) const {
@@ -158,12 +168,23 @@ std::string Registry::expose() const {
     if (series.histogram) {
       const auto& bounds = series.histogram->upper_bounds();
       const auto buckets = series.histogram->cumulative_buckets();
+      const auto exemplars = series.histogram->exemplars();
       for (std::size_t i = 0; i < buckets.size(); ++i) {
         Labels with_le = series.labels;
         with_le["le"] =
             i < bounds.size() ? std::string(number(bounds[i])) : "+Inf";
         out << series.name << "_bucket" << format_labels(with_le) << ' '
-            << buckets[i] << '\n';
+            << buckets[i];
+        if (exemplars[i].has) {
+          // OpenMetrics exemplar: jump from a bucket to a concrete trace.
+          char hex[32];
+          std::snprintf(hex, sizeof(hex), "%016llx",
+                        static_cast<unsigned long long>(
+                            exemplars[i].trace_id));
+          out << " # {trace_id=\"" << hex << "\"} "
+              << number(exemplars[i].value);
+        }
+        out << '\n';
       }
       out << series.name << "_sum" << labels << ' '
           << number(series.histogram->sum()) << '\n';
@@ -184,6 +205,25 @@ std::string Registry::series_key(const std::string& name,
   return name + format_labels(labels);
 }
 
+namespace {
+
+// Prometheus text-format escaping for label values.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string format_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -193,11 +233,94 @@ std::string format_labels(const Labels& labels) {
     first = false;
     out += key;
     out += "=\"";
-    out += value;
+    out += escape_label_value(value);
     out += '"';
   }
   out += '}';
   return out;
+}
+
+Result<std::vector<Sample>> parse_exposition(const std::string& text) {
+  std::vector<Sample> samples;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  auto fail = [&line_no](const std::string& what) {
+    return InvalidArgument("exposition line " + std::to_string(line_no) +
+                           ": " + what);
+  };
+  // Parses a `{k="v",...}` block starting at `i` (on the '{').
+  auto parse_labels = [&](const std::string& line, std::size_t& i,
+                          Labels& out) -> Status {
+    ++i;  // '{'
+    while (i < line.size() && line[i] != '}') {
+      const std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        return fail("malformed label");
+      }
+      const std::string key = line.substr(i, eq - i);
+      std::string value;
+      std::size_t j = eq + 2;
+      for (; j < line.size() && line[j] != '"'; ++j) {
+        if (line[j] == '\\' && j + 1 < line.size()) {
+          ++j;
+          value += line[j] == 'n' ? '\n' : line[j];
+        } else {
+          value += line[j];
+        }
+      }
+      if (j >= line.size()) return fail("unterminated label value");
+      out[key] = value;
+      i = j + 1;  // past closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) return fail("unterminated label block");
+    ++i;  // '}'
+    return Status::Ok();
+  };
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;  // comment / HELP / TYPE
+    Sample sample;
+    std::size_t i = line.find_first_of("{ ");
+    if (i == std::string::npos) return fail("no value");
+    sample.name = line.substr(0, i);
+    if (line[i] == '{') {
+      if (Status s = parse_labels(line, i, sample.labels); !s.ok()) return s;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t value_end = line.find(' ', i);
+    if (value_end == std::string::npos) value_end = line.size();
+    try {
+      sample.value = std::stod(line.substr(i, value_end - i));
+    } catch (...) {
+      return fail("unparseable value '" + line.substr(i, value_end - i) +
+                  "'");
+    }
+    // Optional exemplar suffix: ` # {trace_id="..."} value`.
+    std::size_t hash = line.find(" # ", value_end);
+    if (hash != std::string::npos) {
+      std::size_t e = hash + 3;
+      if (e >= line.size() || line[e] != '{') return fail("malformed exemplar");
+      Labels exemplar_labels;
+      if (Status s = parse_labels(line, e, exemplar_labels); !s.ok()) {
+        return s;
+      }
+      sample.exemplar_trace_id = exemplar_labels["trace_id"];
+      while (e < line.size() && line[e] == ' ') ++e;
+      try {
+        sample.exemplar_value = std::stod(line.substr(e));
+      } catch (...) {
+        return fail("unparseable exemplar value");
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
 }
 
 }  // namespace bf::metrics

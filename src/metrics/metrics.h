@@ -14,9 +14,20 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace bf::metrics {
 
 using Labels = std::map<std::string, std::string>;
+
+// OpenMetrics-style exemplar: one concrete observation kept per histogram
+// bucket, linking the aggregate to the request trace that produced it
+// (docs/TRACING.md). `has` distinguishes "no traced observation yet".
+struct Exemplar {
+  double value = 0.0;
+  std::uint64_t trace_id = 0;
+  bool has = false;
+};
 
 class Counter {
  public:
@@ -44,11 +55,16 @@ class Histogram {
   // Bucket upper bounds (ascending); +Inf is implicit.
   explicit Histogram(std::vector<double> upper_bounds);
 
-  void observe(double value);
+  // Records an observation; a non-zero exemplar_trace_id additionally
+  // remembers (value, trace id) as the bucket's exemplar so the exposition
+  // links slow buckets to the traces that landed in them.
+  void observe(double value, std::uint64_t exemplar_trace_id = 0);
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double sum() const;
   // Cumulative count for bucket i (as exposed by Prometheus).
   [[nodiscard]] std::vector<std::uint64_t> cumulative_buckets() const;
+  // Per-bucket exemplars (last = +Inf), parallel to cumulative_buckets().
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
   [[nodiscard]] const std::vector<double>& upper_bounds() const {
     return bounds_;
   }
@@ -62,6 +78,7 @@ class Histogram {
   std::vector<double> bounds_;
   mutable std::mutex mutex_;
   std::vector<std::uint64_t> counts_;  // per-bucket, last = +Inf
+  std::vector<Exemplar> exemplars_;    // per-bucket, last = +Inf
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
 };
@@ -97,6 +114,23 @@ class Registry {
   std::map<std::string, Series> series_;
 };
 
+// Renders labels as `{k="v",...}` with label *values* escaped per the
+// Prometheus text format (backslash, double quote, newline).
 std::string format_labels(const Labels& labels);
+
+// One parsed line of the text exposition format.
+struct Sample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+  // Exemplar suffix (` # {trace_id="..."} v`), empty trace id when absent.
+  std::string exemplar_trace_id;
+  double exemplar_value = 0.0;
+};
+
+// Parses Registry::expose() output back into samples (label escapes
+// undone, exemplar suffixes captured) — the round-trip check a scraper
+// like the Registry's Metrics Gatherer relies on.
+Result<std::vector<Sample>> parse_exposition(const std::string& text);
 
 }  // namespace bf::metrics

@@ -61,15 +61,16 @@ Result<Frame> Connection::call(proto::Method method, Bytes payload,
 }
 
 Result<Frame> Connection::call(proto::Method method, Bytes payload,
-                               vt::Cursor& cursor,
-                               const CallOptions& options) {
+                               vt::Cursor& cursor, const CallOptions& options,
+                               const trace::SpanContext& trace) {
   const unsigned attempts = std::max(1u, options.retry.max_attempts);
   Backoff backoff(options.retry);
   for (unsigned attempt = 1;; ++attempt) {
     const bool last = attempt >= attempts;
     // Retain the payload for a possible re-send; the final attempt moves it.
-    auto result = call_attempt(
-        method, last ? std::move(payload) : Bytes(payload), cursor, options);
+    auto result =
+        call_attempt(method, last ? std::move(payload) : Bytes(payload),
+                     cursor, options, trace);
     if (result.ok() || last || !is_retryable(result.status().code()) ||
         closed_.load()) {
       return result;
@@ -85,7 +86,8 @@ Result<Frame> Connection::call(proto::Method method, Bytes payload,
 
 Result<Frame> Connection::call_attempt(proto::Method method, Bytes payload,
                                        vt::Cursor& cursor,
-                                       const CallOptions& options) {
+                                       const CallOptions& options,
+                                       const trace::SpanContext& trace) {
   if (closed_.load()) return Unavailable("connection closed");
   if (fault::should_fire(fault::site::kNetSendConnLoss)) {
     close();
@@ -102,6 +104,7 @@ Result<Frame> Connection::call_attempt(proto::Method method, Bytes payload,
   }
 
   Frame frame = make_request(method, call_id, std::move(payload), cursor);
+  frame.trace = trace;
   if (fault::should_fire(fault::site::kNetSendDelay)) {
     frame.arrival_time += kInjectedDelay;
   }

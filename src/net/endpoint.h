@@ -36,6 +36,7 @@
 #include "common/status.h"
 #include "net/transport.h"
 #include "proto/messages.h"
+#include "trace/span.h"
 #include "vt/cursor.h"
 #include "vt/gate.h"
 
@@ -49,6 +50,10 @@ struct Frame {
   Bytes payload;
   vt::Time send_time;
   vt::Time arrival_time;
+  // Request trace context (gRPC-metadata analogue). Carried alongside the
+  // payload, NOT serialized: wire_size() ignores it, so tracing never
+  // perturbs modeled transport costs.
+  trace::SpanContext trace;
 
   // HTTP/2 + gRPC framing overhead per message.
   static constexpr std::size_t kOverheadBytes = 64;
@@ -89,9 +94,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // on retryable codes with capped, seeded-jitter backoff charged to the
   // cursor — only pass a retry policy for idempotent methods
   // (proto::is_idempotent). Default options reproduce the plain overload
-  // bit-for-bit.
+  // bit-for-bit. `trace` rides on every attempt's frame as metadata (zero
+  // wire cost) so the server can parent its handler span.
   Result<Frame> call(proto::Method method, Bytes payload, vt::Cursor& cursor,
-                     const CallOptions& options);
+                     const CallOptions& options,
+                     const trace::SpanContext& trace = {});
 
   // One-way async request (command-queue methods). Charges encode cost,
   // stamps and delivers the frame.
@@ -145,7 +152,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // One attempt of the deadline-aware call(); the retry loop lives in the
   // public overload.
   Result<Frame> call_attempt(proto::Method method, Bytes payload,
-                             vt::Cursor& cursor, const CallOptions& options);
+                             vt::Cursor& cursor, const CallOptions& options,
+                             const trace::SpanContext& trace);
 
   // Stamps a client->server frame: send time from the cursor, in-order
   // arrival (TCP semantics: arrivals on one connection are monotonic).

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "trace/span.h"
 #include "vt/cursor.h"
 #include "vt/time.h"
 
@@ -26,9 +27,18 @@ class Session {
   // Models application CPU work of duration d.
   void compute(vt::Duration d) { cursor_.advance(d); }
 
+  // Request trace context carried by the session for the duration of one
+  // invocation (set by the FaaS layer, read by the remote library when it
+  // stamps outgoing calls). Invalid (zeroed) outside traced requests.
+  void set_trace_context(trace::SpanContext ctx) { trace_ = ctx; }
+  [[nodiscard]] const trace::SpanContext& trace_context() const {
+    return trace_;
+  }
+
  private:
   std::string client_id_ = "anonymous";
   vt::Cursor cursor_;
+  trace::SpanContext trace_;
 };
 
 }  // namespace bf::ocl

@@ -515,6 +515,10 @@ void EnqueueWriteReq::encode(Writer& writer) const {
   writer.field_uint(4, offset);
   writer.field_uint(5, size);
   for (std::uint64_t wait : wait_op_ids) writer.field_uint(8, wait);
+  if (trace_id != 0) {
+    writer.field_uint(9, trace_id);
+    writer.field_uint(10, parent_span);
+  }
 }
 
 Result<EnqueueWriteReq> EnqueueWriteReq::decode(Reader& reader) {
@@ -526,6 +530,8 @@ Result<EnqueueWriteReq> EnqueueWriteReq::decode(Reader& reader) {
       case 3: return take_uint(reader, out.buffer_id);
       case 4: return take_uint(reader, out.offset);
       case 5: return take_uint(reader, out.size);
+      case 9: return take_uint(reader, out.trace_id);
+      case 10: return take_uint(reader, out.parent_span);
       case 8: {
         std::uint64_t wait = 0;
         Status st = take_uint(reader, wait);
@@ -571,6 +577,10 @@ void EnqueueReadReq::encode(Writer& writer) const {
   writer.field_uint(5, size);
   writer.field_bool(6, use_shared_memory);
   for (std::uint64_t wait : wait_op_ids) writer.field_uint(8, wait);
+  if (trace_id != 0) {
+    writer.field_uint(9, trace_id);
+    writer.field_uint(10, parent_span);
+  }
 }
 
 Result<EnqueueReadReq> EnqueueReadReq::decode(Reader& reader) {
@@ -583,6 +593,8 @@ Result<EnqueueReadReq> EnqueueReadReq::decode(Reader& reader) {
       case 4: return take_uint(reader, out.offset);
       case 5: return take_uint(reader, out.size);
       case 6: return take_bool(reader, out.use_shared_memory);
+      case 9: return take_uint(reader, out.trace_id);
+      case 10: return take_uint(reader, out.parent_span);
       case 8: {
         std::uint64_t wait = 0;
         Status st = take_uint(reader, wait);
@@ -610,6 +622,10 @@ void EnqueueKernelReq::encode(Writer& writer) const {
   writer.field_uint(6, global_size[1]);
   writer.field_uint(7, global_size[2]);
   for (std::uint64_t wait : wait_op_ids) writer.field_uint(8, wait);
+  if (trace_id != 0) {
+    writer.field_uint(9, trace_id);
+    writer.field_uint(10, parent_span);
+  }
 }
 
 Result<EnqueueKernelReq> EnqueueKernelReq::decode(Reader& reader) {
@@ -631,6 +647,8 @@ Result<EnqueueKernelReq> EnqueueKernelReq::decode(Reader& reader) {
       case 5: return take_uint(reader, out.global_size[0]);
       case 6: return take_uint(reader, out.global_size[1]);
       case 7: return take_uint(reader, out.global_size[2]);
+      case 9: return take_uint(reader, out.trace_id);
+      case 10: return take_uint(reader, out.parent_span);
       case 8: {
         std::uint64_t wait = 0;
         Status st = take_uint(reader, wait);

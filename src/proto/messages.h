@@ -206,6 +206,10 @@ struct EnqueueWriteReq {
   std::uint64_t size = 0;
   // Event wait list: ops that must complete before this one starts.
   std::vector<std::uint64_t> wait_op_ids;
+  // Request trace context (0 = untraced; only encoded when set, so untraced
+  // messages are byte-identical to pre-tracing builds).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 
   void encode(Writer& writer) const;
   static Result<EnqueueWriteReq> decode(Reader& reader);
@@ -237,6 +241,8 @@ struct EnqueueReadReq {
   std::uint64_t size = 0;
   bool use_shared_memory = false;
   std::vector<std::uint64_t> wait_op_ids;
+  std::uint64_t trace_id = 0;     // see EnqueueWriteReq
+  std::uint64_t parent_span = 0;
 
   void encode(Writer& writer) const;
   static Result<EnqueueReadReq> decode(Reader& reader);
@@ -249,6 +255,8 @@ struct EnqueueKernelReq {
   std::vector<KernelArgMsg> args;
   std::array<std::uint64_t, 3> global_size = {1, 1, 1};
   std::vector<std::uint64_t> wait_op_ids;
+  std::uint64_t trace_id = 0;     // see EnqueueWriteReq
+  std::uint64_t parent_span = 0;
 
   void encode(Writer& writer) const;
   static Result<EnqueueKernelReq> decode(Reader& reader);

@@ -7,6 +7,7 @@
 #include "fault/injector.h"
 #include "proto/wire.h"
 #include "remote/event_state.h"
+#include "trace/span.h"
 
 namespace bf::remote {
 namespace {
@@ -261,8 +262,25 @@ class RemoteContext final : public ocl::Context {
   Result<net::Frame> unary(proto::Method method, Bytes payload) {
     CallOptions options = call_options_;
     if (!proto::is_idempotent(method)) options.retry.max_attempts = 1;
-    return connection_->call(method, std::move(payload), session_->clock(),
-                             options);
+    const trace::SpanContext parent = session_->trace_context();
+    if (!parent.is_valid() || !trace::enabled()) {
+      return connection_->call(method, std::move(payload), session_->clock(),
+                               options);
+    }
+    // Client-side rpc span (salted with the start stamp so repeated calls
+    // of one method inside a request stay distinct); the frame carries the
+    // context so the Device Manager parents its handling span under ours.
+    const vt::Time started = session_->now();
+    const trace::SpanContext ctx = parent.child(
+        trace::salt::kRpc ^ trace::fnv1a(proto::to_string(method)) ^
+        static_cast<std::uint64_t>(started.ns()));
+    auto reply = connection_->call(method, std::move(payload),
+                                   session_->clock(), options, ctx);
+    trace::record(trace::Span{
+        session_->client_id(),
+        std::string("rpc:") + std::string(proto::to_string(method)), started,
+        session_->now(), ctx.trace_id, ctx.span_id, parent.span_id});
+    return reply;
   }
 
   void pump_loop();
@@ -358,6 +376,8 @@ class RemoteQueue final : public ocl::CommandQueue {
     request.offset = offset;
     request.size = data.size();
     request.wait_op_ids = std::move(wait_ids.value());
+    request.trace_id = session.trace_context().trace_id;
+    request.parent_span = session.trace_context().span_id;
     Status sent = context_->connection().send(
         proto::Method::kEnqueueWrite, op_id, encode(request), session.clock());
     if (!sent.ok()) return sent;
@@ -416,6 +436,8 @@ class RemoteQueue final : public ocl::CommandQueue {
     request.size = out.size();
     request.use_shared_memory = context_->shm_enabled();
     request.wait_op_ids = std::move(wait_ids.value());
+    request.trace_id = session.trace_context().trace_id;
+    request.parent_span = session.trace_context().span_id;
     Status sent = context_->connection().send(
         proto::Method::kEnqueueRead, op_id, encode(request), session.clock());
     if (!sent.ok()) return sent;
@@ -446,6 +468,8 @@ class RemoteQueue final : public ocl::CommandQueue {
     request.kernel_id = kernel.id();
     request.global_size = {range.x, range.y, range.z};
     request.wait_op_ids = std::move(wait_ids.value());
+    request.trace_id = session.trace_context().trace_id;
+    request.parent_span = session.trace_context().span_id;
     request.args.reserve(kernel.args().size());
     for (const ocl::KernelArgValue& arg : kernel.args()) {
       proto::KernelArgMsg msg;

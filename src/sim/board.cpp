@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/span.h"
+
 namespace bf::sim {
 namespace {
 
@@ -207,7 +209,20 @@ Result<Board::Interval> Board::run_kernel(const KernelLaunch& launch,
   ++kernel_launches_;
   const auto region_index =
       static_cast<unsigned>(region - regions_.data());
-  return schedule_kernel_locked(region_index, ready, exec_time.value());
+  const Interval interval =
+      schedule_kernel_locked(region_index, ready, exec_time.value());
+  if (launch.trace.is_valid() && trace::enabled()) {
+    trace::Span span;
+    span.track = config_.id;
+    span.name = "kernel:" + launch.kernel;
+    span.start = interval.start;
+    span.end = interval.end;
+    span.trace_id = launch.trace.trace_id;
+    span.span_id = launch.trace.child(trace::salt::kKernel).span_id;
+    span.parent_span_id = launch.trace.span_id;
+    trace::record(std::move(span));
+  }
+  return interval;
 }
 
 std::uint64_t Board::memory_capacity() const {

@@ -19,6 +19,7 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "sim/memory.h"
+#include "trace/span.h"
 #include "vt/time.h"
 
 namespace bf::sim {
@@ -50,6 +51,9 @@ struct KernelLaunch {
   std::string kernel;
   std::vector<KernelArg> args;
   std::array<std::uint64_t, 3> global_size = {1, 1, 1};
+  // Request trace context of the enqueue that produced this launch (invalid
+  // when untraced); the board records a "kernel:<name>" span under it.
+  trace::SpanContext trace;
 
   [[nodiscard]] std::uint64_t work_items() const {
     return global_size[0] * global_size[1] * global_size[2];

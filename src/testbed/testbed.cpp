@@ -4,10 +4,12 @@
 
 #include "native/native_runtime.h"
 #include "remote/remote_runtime.h"
+#include "trace/span.h"
 
 namespace bf::testbed {
 
 Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
+  if (options_.trace != nullptr) trace::install(options_.trace);
   const std::array<sim::NodeProfile, kNodeCount> initial = {
       sim::make_node_a(), sim::make_node_b(), sim::make_node_c()};
 
@@ -90,6 +92,9 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
 }
 
 Testbed::~Testbed() {
+  // Uninstall the span sink before tearing anything down so shutdown-path
+  // activity cannot reach a builder the caller is about to destroy.
+  if (options_.trace != nullptr) trace::install(nullptr);
   gateway_->shutdown_instances();
   for (auto& manager : managers_) manager->shutdown();
 }

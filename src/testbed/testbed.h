@@ -28,6 +28,10 @@
 #include "sim/board.h"
 #include "workloads/workload.h"
 
+namespace bf::trace {
+class TraceBuilder;
+}  // namespace bf::trace
+
 namespace bf::testbed {
 
 struct TestbedOptions {
@@ -50,6 +54,11 @@ struct TestbedOptions {
   // Device Managers' conservative-gate stall grace (docs/VIRTUAL_TIME.md);
   // recovery tests lower it so wedged producers fall back quickly.
   std::chrono::milliseconds gate_stall_grace{1000};
+  // When set, installed as the process-wide request-trace sink for the
+  // testbed's lifetime (docs/TRACING.md): every request minted through the
+  // gateway collects parent-linked spans here. Must outlive the Testbed.
+  // nullptr (default) keeps tracing disabled and strictly zero-cost.
+  trace::TraceBuilder* trace = nullptr;
 };
 
 class Testbed {

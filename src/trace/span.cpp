@@ -1,0 +1,43 @@
+#include "trace/span.h"
+
+#include "common/rng.h"
+#include "trace/chrome_trace.h"
+
+namespace bf::trace {
+
+namespace internal {
+std::atomic<TraceBuilder*> g_builder{nullptr};
+}  // namespace internal
+
+void install(TraceBuilder* builder) {
+  internal::g_builder.store(builder, std::memory_order_release);
+}
+
+TraceBuilder* installed() {
+  return internal::g_builder.load(std::memory_order_acquire);
+}
+
+void record(Span span) {
+  TraceBuilder* builder = installed();
+  if (builder == nullptr) return;
+  builder->add(std::move(span));
+}
+
+SpanContext mint_trace(std::string_view stream, std::uint64_t sequence,
+                       vt::Time at) {
+  TraceBuilder* builder = installed();
+  if (builder == nullptr) return {};
+  // Trace ids must be unique across streams and requests yet reproducible
+  // for a fixed seed: derive a dedicated generator per (stream, sequence,
+  // modeled accept time) and never touch shared RNG state.
+  Rng rng(builder->seed() ^ fnv1a(stream) ^ mix64(sequence) ^
+          mix64(static_cast<std::uint64_t>(at.ns())));
+  SpanContext ctx;
+  ctx.trace_id = rng.next_u64();
+  ctx.span_id = rng.next_u64();
+  if (ctx.trace_id == 0) ctx.trace_id = 1;
+  if (ctx.span_id == 0) ctx.span_id = 1;
+  return ctx;
+}
+
+}  // namespace bf::trace

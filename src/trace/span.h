@@ -1,0 +1,124 @@
+// Distributed request tracing: span contexts and the process-wide sink.
+//
+// A SpanContext is minted at the FaaS gateway for every request (trace id +
+// span id, derived from the installed TraceBuilder's seed and the modeled
+// clock — never wall time) and propagated down the stack: through the ocl
+// Session, the remote library's calls and proto messages, the Device
+// Manager's task queue and finally the simulated board. Every layer that
+// holds a context records parent-linked spans into the installed
+// TraceBuilder; with no builder installed the whole subsystem is a single
+// relaxed atomic load per check and zero bytes on the wire.
+//
+// Determinism contract: span ids are pure functions of (seed, stream,
+// sequence, modeled time, structural salts). Two runs of the same seeded
+// scenario produce identical span ids and identical spans regardless of
+// thread interleaving; TraceBuilder::to_json() sorts on a total order, so
+// the exported JSON is byte-identical (the golden-trace tests pin this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "vt/time.h"
+
+namespace bf::trace {
+
+class TraceBuilder;
+
+// splitmix64 finalizer: cheap, well-distributed 64-bit mixing for deriving
+// child span ids.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over a string (stream / method names as id salts).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// Structural salts for deriving the fixed children of a span. Hop-specific
+// values (op ids, method names, timestamps) are XORed on top.
+namespace salt {
+inline constexpr std::uint64_t kGateway = fnv1a("gateway");
+inline constexpr std::uint64_t kHandler = fnv1a("handler");
+inline constexpr std::uint64_t kFork = fnv1a("fork");
+inline constexpr std::uint64_t kRpc = fnv1a("rpc");
+inline constexpr std::uint64_t kHandle = fnv1a("handle");
+inline constexpr std::uint64_t kTask = fnv1a("task");
+inline constexpr std::uint64_t kQueueWait = fnv1a("queue-wait");
+inline constexpr std::uint64_t kExecute = fnv1a("execute");
+inline constexpr std::uint64_t kOp = fnv1a("op");
+inline constexpr std::uint64_t kKernel = fnv1a("kernel");
+}  // namespace salt
+
+// Propagated trace identity. trace_id == 0 means "not traced" — the value
+// carried everywhere tracing is disabled, and the reason disabled runs
+// serialize zero extra bytes (proto encoders skip zero trace fields).
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool is_valid() const { return trace_id != 0; }
+
+  // Deterministically derives a child context: same trace, new span id from
+  // (trace, parent span, salt). Invalid contexts stay invalid.
+  [[nodiscard]] SpanContext child(std::uint64_t extra_salt) const {
+    if (!is_valid()) return {};
+    std::uint64_t id = mix64(trace_id ^ mix64(span_id ^ mix64(extra_salt)));
+    if (id == 0) id = 1;
+    return SpanContext{trace_id, id};
+  }
+};
+
+// One interval on one track. Plain occupancy spans leave the id fields 0;
+// request-traced spans carry their context so the exporter can emit
+// parent links, flow arrows and critical paths.
+struct Span {
+  std::string track;  // rendered as a thread row, e.g. "fpga-A"
+  std::string name;   // e.g. the tenant pod name or "op:kernel"
+  vt::Time start;
+  vt::Time end;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+// --- Process-wide sink -------------------------------------------------------
+//
+// Instrumented layers check enabled() (one relaxed atomic load — the same
+// zero-cost pattern as bf::fault) and only then build and record spans.
+// Install a TraceBuilder for the duration of a scenario; uninstall (nullptr)
+// before destroying it.
+
+namespace internal {
+extern std::atomic<TraceBuilder*> g_builder;
+}  // namespace internal
+
+[[nodiscard]] inline bool enabled() {
+  return internal::g_builder.load(std::memory_order_acquire) != nullptr;
+}
+
+// Installs the process-wide span sink (nullptr disables tracing).
+void install(TraceBuilder* builder);
+[[nodiscard]] TraceBuilder* installed();
+
+// Adds a span to the installed builder; no-op when tracing is disabled.
+void record(Span span);
+
+// Mints a fresh root context for request `sequence` of `stream` (the
+// per-instance request counter) at modeled time `at`. Seeded by the
+// installed builder; returns an invalid context when tracing is disabled.
+[[nodiscard]] SpanContext mint_trace(std::string_view stream,
+                                     std::uint64_t sequence, vt::Time at);
+
+}  // namespace bf::trace

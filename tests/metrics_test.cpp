@@ -105,5 +105,129 @@ TEST(Registry, DefaultLatencyBucketsAreSorted) {
   EXPECT_GE(buckets.size(), 10u);
 }
 
+// --- quantile edge cases -----------------------------------------------------
+
+TEST(Histogram, QuantileExtremesOnPopulatedHistogram) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) histogram.observe(15.0);
+  // q=0 lands on the first (empty) bucket's upper bound, q=1 walks to the
+  // far edge of the populated bucket.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileOutOfRangeIsAContractViolation) {
+  Histogram histogram({10.0});
+  histogram.observe(5.0);
+  EXPECT_THROW((void)histogram.quantile(-0.01), ContractViolation);
+  EXPECT_THROW((void)histogram.quantile(1.01), ContractViolation);
+}
+
+TEST(Histogram, SingleBucketInterpolation) {
+  Histogram histogram({5.0});
+  histogram.observe(3.0);
+  // One observation in [0, 5]: linear interpolation within the bucket.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, OverflowBucketQuantileExtrapolates) {
+  Histogram histogram({5.0});
+  histogram.observe(100.0);  // +Inf bucket
+  // The open bucket has no upper bound; the estimate doubles the last one.
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, EmptyQuantileEdges) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 0.0);
+}
+
+// --- exposition escaping and round-trip --------------------------------------
+
+TEST(Registry, LabelValueEscaping) {
+  // Backslash, double quote and newline per the Prometheus text format;
+  // label *names* are never escaped.
+  EXPECT_EQ(format_labels({{"path", "a\\b"}}), "{path=\"a\\\\b\"}");
+  EXPECT_EQ(format_labels({{"msg", "say \"hi\""}}),
+            "{msg=\"say \\\"hi\\\"\"}");
+  EXPECT_EQ(format_labels({{"err", "line1\nline2"}}),
+            "{err=\"line1\\nline2\"}");
+}
+
+TEST(Registry, ExposeEmitsExemplars) {
+  Registry registry;
+  auto histogram = registry.histogram("bf_task_span_ms", {},
+                                      std::vector<double>{1.0, 10.0});
+  histogram->observe(0.5);                      // no exemplar
+  histogram->observe(5.0, 0xdeadbeefULL);       // traced observation
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("bf_task_span_ms_bucket{le=\"10\"} 2 "
+                      "# {trace_id=\"00000000deadbeef\"} 5"),
+            std::string::npos)
+      << text;
+  // The untraced bucket carries no exemplar suffix.
+  EXPECT_NE(text.find("bf_task_span_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Exposition, RoundTripsThroughParse) {
+  Registry registry;
+  registry.counter("bf_requests_total", {{"fn", "sobel \"1\""}})
+      ->increment(7);
+  registry.gauge("bf_sessions")->set(3.5);
+  auto histogram =
+      registry.histogram("bf_latency_ms", {{"fn", "a\\b\nc"}},
+                         std::vector<double>{1.0, 10.0});
+  histogram->observe(0.25);
+  histogram->observe(4.0, 0x1234ULL);
+
+  auto parsed = parse_exposition(registry.expose());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const std::vector<Sample>& samples = parsed.value();
+
+  auto find = [&samples](const std::string& name,
+                         const Labels& labels) -> const Sample* {
+    for (const Sample& sample : samples) {
+      if (sample.name == name && sample.labels == labels) return &sample;
+    }
+    return nullptr;
+  };
+  // Escaped label values parse back to the original bytes.
+  const Sample* counter =
+      find("bf_requests_total", {{"fn", "sobel \"1\""}});
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->value, 7.0);
+  const Sample* gauge = find("bf_sessions", {});
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 3.5);
+  const Sample* bucket = find("bf_latency_ms_bucket",
+                              {{"fn", "a\\b\nc"}, {"le", "10"}});
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_DOUBLE_EQ(bucket->value, 2.0);
+  EXPECT_EQ(bucket->exemplar_trace_id, "0000000000001234");
+  EXPECT_DOUBLE_EQ(bucket->exemplar_value, 4.0);
+  const Sample* sum = find("bf_latency_ms_sum", {{"fn", "a\\b\nc"}});
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(sum->value, 4.25);
+}
+
+TEST(Exposition, SkipsCommentsAndRejectsGarbage) {
+  auto ok = parse_exposition("# HELP bf_x helps\n# TYPE bf_x counter\n"
+                             "bf_x 1\n\n");
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok.value().size(), 1u);
+  EXPECT_EQ(ok.value()[0].name, "bf_x");
+
+  EXPECT_EQ(parse_exposition("bf_y{oops} 1\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_exposition("bf_z notanumber\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_exposition("loneword\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace bf::metrics

@@ -1,0 +1,166 @@
+// Span-invariant property test (ctest -L trace).
+//
+// Drives randomized workload mixes (sizes and request counts drawn from a
+// seeded Rng) with tracing enabled and checks the structural invariants the
+// exporter and critical-path analysis rely on, for every recorded span:
+//
+//   * well-formed: start <= end, non-zero trace/span ids;
+//   * parent linkage: every non-root span's parent exists and the child's
+//     interval nests inside the parent's;
+//   * task split: queue-wait + execute partition the task span exactly
+//     (same endpoints, durations sum);
+//   * failure hygiene: aborted tasks (PR 3's FAILED/TIMED_OUT machinery,
+//     here forced via the devmgr.task.abort fault site) leave no
+//     task/op/kernel spans behind — only the gateway's root request span
+//     records the failed request.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/injector.h"
+#include "testbed/testbed.h"
+#include "trace/chrome_trace.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+namespace bf::trace {
+namespace {
+
+std::map<std::uint64_t, const Span*> index_by_span_id(
+    const std::vector<Span>& spans) {
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const Span& span : spans) {
+    if (span.span_id != 0) by_id[span.span_id] = &span;
+  }
+  return by_id;
+}
+
+void check_invariants(const std::vector<Span>& spans) {
+  const auto by_id = index_by_span_id(spans);
+  std::size_t tasks_checked = 0;
+  for (const Span& span : spans) {
+    SCOPED_TRACE(span.track + "/" + span.name);
+    EXPECT_LE(span.start.ns(), span.end.ns());
+    EXPECT_NE(span.trace_id, 0u);
+    EXPECT_NE(span.span_id, 0u);
+    if (span.parent_span_id != 0) {
+      auto parent = by_id.find(span.parent_span_id);
+      ASSERT_NE(parent, by_id.end())
+          << "span's parent was never recorded (orphan)";
+      EXPECT_EQ(parent->second->trace_id, span.trace_id);
+      EXPECT_GE(span.start.ns(), parent->second->start.ns())
+          << "child starts before its parent";
+      EXPECT_LE(span.end.ns(), parent->second->end.ns())
+          << "child ends after its parent";
+    }
+    if (span.name != "task") continue;
+    // Exactly one queue-wait and one execute child, partitioning the task.
+    ++tasks_checked;
+    const Span* wait = nullptr;
+    const Span* exec = nullptr;
+    for (const Span& child : spans) {
+      if (child.parent_span_id != span.span_id) continue;
+      if (child.name == "queue-wait") wait = &child;
+      if (child.name == "execute") exec = &child;
+    }
+    ASSERT_NE(wait, nullptr);
+    ASSERT_NE(exec, nullptr);
+    EXPECT_EQ(wait->start.ns(), span.start.ns());
+    EXPECT_EQ(wait->end.ns(), exec->start.ns());
+    EXPECT_EQ(exec->end.ns(), span.end.ns());
+    EXPECT_EQ((wait->end - wait->start).ns() + (exec->end - exec->start).ns(),
+              (span.end - span.start).ns())
+        << "queue-wait + execute != task";
+  }
+  EXPECT_GT(tasks_checked, 0u);
+}
+
+// Drives a seeded random mix of Sobel and MatMul tenants and returns the
+// recorded spans.
+std::vector<Span> run_mix(std::uint64_t seed) {
+  TraceBuilder builder(seed);
+  Rng rng(seed);
+  {
+    testbed::TestbedOptions options;
+    options.trace = &builder;
+    testbed::Testbed bed(options);
+    const std::size_t sobel_sizes[] = {64, 96, 128};
+    const std::size_t mm_sizes[] = {64, 112, 160};
+    const std::size_t sobel = sobel_sizes[rng.next_u64() % 3];
+    const std::size_t mm = mm_sizes[rng.next_u64() % 3];
+    EXPECT_TRUE(bed.deploy_blastfunction("sobel-fn", [sobel] {
+                     return std::make_unique<workloads::SobelWorkload>(sobel,
+                                                                       sobel);
+                   }).ok());
+    EXPECT_TRUE(bed.deploy_blastfunction("mm-fn", [mm] {
+                     return std::make_unique<workloads::MatMulWorkload>(mm);
+                   }).ok());
+    const int requests = 3 + static_cast<int>(rng.next_u64() % 3);
+    for (int i = 0; i < requests; ++i) {
+      const char* fn = rng.next_u64() % 2 == 0 ? "sobel-fn" : "mm-fn";
+      EXPECT_TRUE(bed.gateway().invoke(fn).ok());
+    }
+  }
+  return builder.spans();
+}
+
+TEST(TraceProperty, InvariantsHoldAcrossSeededMixes) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const std::vector<Span> spans = run_mix(seed);
+    ASSERT_FALSE(spans.empty());
+    check_invariants(spans);
+  }
+}
+
+TEST(TraceProperty, SameSeedSameSpans) {
+  const std::vector<Span> first = run_mix(7);
+  const std::vector<Span> second = run_mix(7);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].track, second[i].track);
+    EXPECT_EQ(first[i].name, second[i].name);
+    EXPECT_EQ(first[i].start.ns(), second[i].start.ns());
+    EXPECT_EQ(first[i].end.ns(), second[i].end.ns());
+    EXPECT_EQ(first[i].trace_id, second[i].trace_id);
+    EXPECT_EQ(first[i].span_id, second[i].span_id);
+    EXPECT_EQ(first[i].parent_span_id, second[i].parent_span_id);
+  }
+}
+
+TEST(TraceProperty, AbortedTasksLeaveNoDeviceSpans) {
+  TraceBuilder builder(11);
+  {
+    testbed::TestbedOptions options;
+    options.trace = &builder;
+    testbed::Testbed bed(options);
+    EXPECT_TRUE(bed.deploy_blastfunction("sobel-fn", [] {
+                     return std::make_unique<workloads::SobelWorkload>(64, 64);
+                   }).ok());
+    fault::ScopedInjection inject(11);
+    inject.site(fault::site::kDevmgrTaskAbort, {.probability = 1.0});
+    for (int i = 0; i < 3; ++i) {
+      (void)bed.gateway().invoke("sobel-fn");  // expected to fail
+    }
+  }
+  std::size_t requests = 0;
+  for (const Span& span : builder.spans()) {
+    // No span may survive an aborted/poisoned task: nothing reached the
+    // board, so the device-side taxonomy must be absent.
+    EXPECT_NE(span.name, "task");
+    EXPECT_NE(span.name, "queue-wait");
+    EXPECT_NE(span.name, "execute");
+    EXPECT_EQ(span.name.rfind("op:", 0), std::string::npos);
+    EXPECT_EQ(span.name.rfind("kernel:", 0), std::string::npos);
+    if (span.name == "request") ++requests;
+  }
+  // The gateway still records the failed requests' root spans.
+  EXPECT_EQ(requests, 3u);
+}
+
+}  // namespace
+}  // namespace bf::trace

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Trace-determinism lint (wired into ctest as `check_trace_hygiene`).
+#
+# The tracing subsystem's whole contract is that a fixed scenario seed
+# yields byte-identical trace JSON across runs and machines (pinned by the
+# golden-trace tests). That only holds if span ids and timestamps derive
+# exclusively from modeled virtual time (bf::vt) and the builder seed —
+# never from wall clocks. This lint rejects any wall-clock source (the
+# C++ equivalents of Date.now()) appearing in src/trace/.
+#
+# Exit 0 = clean; exit 1 = a wall-clock call crept into src/trace/. Thread
+# the time in as a vt::Time argument instead.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+banned='std::chrono::(system_clock|steady_clock|high_resolution_clock)'
+banned+='|\bgettimeofday\b|\bclock_gettime\b|\bstd::time\b'
+banned+='|\btime\(NULL\)|\btime\(nullptr\)'
+banned+='|\blocaltime\b|\bgmtime\b|\bstrftime\b|\bstd::clock\b'
+
+if hits="$(grep -rnE "$banned" "$repo/src/trace" \
+             --include='*.h' --include='*.cpp')"; then
+  echo "check_trace_hygiene: wall-clock source in src/trace/ —" \
+       "trace determinism requires modeled (vt::) time only:" >&2
+  echo "$hits" >&2
+  exit 1
+fi
+
+echo "check_trace_hygiene: src/trace/ is wall-clock free."
+exit 0
