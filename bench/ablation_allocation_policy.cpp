@@ -64,6 +64,28 @@ PolicyOutcome run_policy(const std::string& name,
     count += static_cast<double>(r.ok);
   }
   out.latency_ms = count > 0 ? weighted / count : 0.0;
+
+  // Registry invariants must hold regardless of policy: every assignment
+  // names a running pod on a registered device, and the per-device view
+  // agrees with the assignment map (see docs/ALLOCATION.md).
+  const auto assignments = bed.registry().assignments();
+  BF_CHECK(assignments.size() == bed.registry().assignment_count());
+  std::size_t indexed = 0;
+  for (const registry::DeviceRecord& record : bed.registry().devices()) {
+    for (const std::string& instance :
+         bed.registry().instances_on_device(record.id)) {
+      ++indexed;
+      BF_CHECK(assignments.contains(instance) &&
+               assignments.at(instance) == record.id);
+    }
+  }
+  BF_CHECK(indexed == assignments.size());
+  for (const auto& [instance, device] : assignments) {
+    auto pod = bed.cluster().get_pod(instance);
+    BF_CHECK(pod.has_value() &&
+             pod->phase == cluster::PodPhase::kRunning);
+    (void)device;
+  }
   return out;
 }
 

@@ -59,7 +59,7 @@ int main() {
   std::printf("  after MM deployment:\n");
   std::size_t migrated = 0;
   for (const cluster::Pod& pod : bed.cluster().list_pods()) {
-    if (pod.spec.name.ends_with("-r")) ++migrated;
+    if (cluster::migration_generation(pod.spec.name) > 1) ++migrated;
   }
   for (const char* node : testbed::Testbed::kNodeNames) {
     auto bitstream = bed.board(node).bitstream();

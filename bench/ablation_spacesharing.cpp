@@ -52,7 +52,7 @@ Outcome run_mixed(unsigned pr_regions) {
                               : std::to_string(pr_regions) + " PR regions";
   std::vector<std::string> live_names;
   for (const cluster::Pod& pod : bed.cluster().list_pods()) {
-    if (pod.spec.name.ends_with("-r")) ++out.migrations;
+    if (cluster::migration_generation(pod.spec.name) > 1) ++out.migrations;
     live_names.push_back(pod.spec.name);
   }
   for (const std::string& pod : live_names) {

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
+
 namespace bf::cluster {
+
+std::string base_pod_name(const std::string& pod_name) {
+  const std::size_t tilde = pod_name.rfind('~');
+  if (tilde == std::string::npos || tilde == 0 ||
+      tilde + 1 == pod_name.size()) {
+    return pod_name;
+  }
+  const std::string suffix = pod_name.substr(tilde + 1);
+  if (suffix.find_first_not_of("0123456789") != std::string::npos) {
+    return pod_name;
+  }
+  return pod_name.substr(0, tilde);
+}
+
+unsigned migration_generation(const std::string& pod_name) {
+  const std::string base = base_pod_name(pod_name);
+  if (base.size() == pod_name.size()) return 1;
+  return static_cast<unsigned>(
+      std::stoul(pod_name.substr(base.size() + 1)));
+}
 
 Cluster::Cluster(std::vector<NodeSpec> nodes) : nodes_(std::move(nodes)) {
   BF_CHECK(!nodes_.empty());
@@ -119,20 +141,55 @@ Result<Pod> Cluster::replace_pod(const std::string& name) {
     if (it == pods_.end() || it->second.phase != PodPhase::kRunning) {
       return NotFound("pod '" + name + "' not running");
     }
+    if (replacing_.contains(name)) {
+      // The replacement's own admission recursed into replacing this pod
+      // (a nested migration picked a device this pod lives on). Refuse:
+      // letting it through would delete the old pod while the outer
+      // replacement can still fail, leaving the function with no pod.
+      return FailedPrecondition("pod '" + name +
+                                "' already has a replacement in flight");
+    }
     fresh = it->second.spec;
+    // Generation-counter naming: strip the prior suffix and bump, so
+    // repeated migrations give "fn-0~2", "fn-0~3", ... instead of unbounded
+    // "fn-0-r-r-..." growth. Skip generations whose name is already taken
+    // (the base name may have been reused after an earlier migration) or
+    // reserved by a replacement still in flight.
+    const std::string base = base_pod_name(fresh.name);
+    unsigned generation = migration_generation(fresh.name);
+    do {
+      fresh.name = base + "~" + std::to_string(++generation);
+    } while (pods_.contains(fresh.name) || replacing_.contains(fresh.name));
+    replacing_.insert(name);
+    replacing_.insert(fresh.name);
   }
   // The replacement is re-admitted from a clean slate: prior patches
   // (device env, volumes, node pin) are stripped so the hook re-decides.
   fresh.env.clear();
   fresh.volumes.clear();
   fresh.node.clear();
-  const std::string old_name = fresh.name;
-  fresh.name = old_name + "-r";
+  const std::string old_name = name;
+  const std::string new_name = fresh.name;
+  auto release = [&] {
+    std::lock_guard lock(mutex_);
+    replacing_.erase(old_name);
+    replacing_.erase(new_name);
+  };
+  if (fault::should_fire(fault::site::kClusterReplaceFail)) {
+    release();
+    return Unavailable("cluster.replace.fail: injected replacement failure "
+                       "for pod '" + old_name + "'");
+  }
   auto created = create_pod(std::move(fresh));
-  if (!created.ok()) return created.status();
+  if (!created.ok()) {
+    release();
+    return created.status();
+  }
   if (Status s = delete_pod(old_name); !s.ok()) {
+    release();
     return s;  // replacement stays; caller sees the inconsistency
   }
+  release();
   return created;
 }
 

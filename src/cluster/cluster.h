@@ -13,6 +13,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,12 @@ struct WatchEvent {
   Pod pod;
 };
 
+// Migration-generation naming helpers (replace_pod): "fn-0" is generation 1,
+// its replacement "fn-0~2" generation 2, and so on. Use these instead of
+// suffix sniffing to tell replacements from original pods.
+[[nodiscard]] std::string base_pod_name(const std::string& pod_name);
+[[nodiscard]] unsigned migration_generation(const std::string& pod_name);
+
 class Cluster {
  public:
   explicit Cluster(std::vector<NodeSpec> nodes);
@@ -80,7 +87,10 @@ class Cluster {
   // before deleting the previous ones"): admits a fresh replacement running
   // through the admission hook again, then deletes the original. Env,
   // volumes and node binding from the original admission are discarded so
-  // the hook can re-decide.
+  // the hook can re-decide. The replacement is named with a generation
+  // counter that strips the prior suffix ("fn-0" -> "fn-0~2" -> "fn-0~3",
+  // never "fn-0-r-r..."); spec.function stays authoritative for
+  // function-level lookups.
   Result<Pod> replace_pod(const std::string& name);
 
   [[nodiscard]] std::optional<Pod> get_pod(const std::string& name) const;
@@ -100,6 +110,14 @@ class Cluster {
   AdmissionHook admission_;
   std::vector<Watcher> watchers_;
   std::map<std::string, Pod> pods_;
+  // Pods with a replacement in flight, plus the generation names those
+  // replacements reserved. A replacement's admission can trigger nested
+  // migrations; without this guard one of them could replace the same pod
+  // again (or claim the in-flight generation name), deleting the old pod
+  // out from under a replacement that then fails — breaking the
+  // create-before-delete guarantee that a failed replace keeps the old
+  // pod serving.
+  std::set<std::string> replacing_;
   std::uint64_t next_uid_ = 1;
   std::size_t round_robin_ = 0;
 };

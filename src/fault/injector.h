@@ -97,6 +97,8 @@ inline Site kDevmgrWorkerStall{"devmgr.worker.stall"};
 inline Site kDevmgrTaskAbort{"devmgr.task.abort"};
 inline Site kDevmgrReconfigAbort{"devmgr.reconfig.abort"};
 // remote: the Remote OpenCL Library's completion pump.
+inline Site kClusterReplaceFail{"cluster.replace.fail"};
+
 inline Site kRemotePumpReorder{"remote.pump.reorder"};
 inline Site kRemotePumpDupComplete{"remote.pump.dup_complete"};
 inline Site kRemotePumpDupEnqueued{"remote.pump.dup_enqueued"};

@@ -35,12 +35,15 @@ Status Registry::deregister_device(const std::string& device_id) {
   if (it == devices_.end()) {
     return NotFound("device '" + device_id + "' not registered");
   }
-  for (const auto& [instance, dev] : instance_device_) {
-    if (dev == device_id) {
-      return FailedPrecondition("device '" + device_id +
-                                "' still serves instance '" + instance + "'");
-    }
+  if (auto idx = device_instances_.find(device_id);
+      idx != device_instances_.end() && !idx->second.empty()) {
+    return FailedPrecondition("device '" + device_id +
+                              "' still serves instance '" +
+                              *idx->second.begin() + "'");
   }
+  // No index entry to clean up: unbind_instance_locked erases a device's
+  // entry the moment its last instance leaves, so a deregisterable device
+  // has none.
   devices_.erase(it);
   return Status::Ok();
 }
@@ -70,26 +73,68 @@ DeviceSample Registry::sample_locked(const DeviceState& device) const {
       bitstream.has_value() ? bitstream->accelerator : "";
   sample.resident_accelerators =
       device.record.manager->board().resident_accelerators();
-  sample.free_regions = device.record.manager->board().free_region_count();
   sample.expected_accelerator = device.expected_accelerator.empty()
                                     ? sample.configured_accelerator
                                     : device.expected_accelerator;
+  // A reservation is outstanding until its image is observed resident; each
+  // outstanding one withholds a region from the advertised free count.
+  for (const std::string& accelerator : device.pending_regions) {
+    if (std::find(sample.resident_accelerators.begin(),
+                  sample.resident_accelerators.end(),
+                  accelerator) == sample.resident_accelerators.end()) {
+      sample.pending_accelerators.push_back(accelerator);
+    }
+  }
+  const unsigned raw_free =
+      device.record.manager->board().free_region_count();
+  const auto outstanding =
+      static_cast<unsigned>(sample.pending_accelerators.size());
+  sample.free_regions = raw_free > outstanding ? raw_free - outstanding : 0;
   const vt::Time now = clock_();
   const vt::Time from =
       now.ns() > policy_.utilization_window.ns()
           ? vt::Time::nanos(now.ns() - policy_.utilization_window.ns())
           : vt::Time::zero();
   sample.utilization = device.record.manager->utilization(from, now);
-  std::size_t connected = 0;
-  for (const auto& [instance, dev] : instance_device_) {
-    if (dev == device.record.id) ++connected;
-  }
-  sample.connected_instances = connected;
+  auto idx = device_instances_.find(device.record.id);
+  sample.connected_instances =
+      idx == device_instances_.end() ? 0 : idx->second.size();
   return sample;
 }
 
 void Registry::probe_devices() {
   std::lock_guard lock(mutex_);
+
+  // Reconcile pass 1: garbage-collect assignments whose pod is gone (deleted
+  // while the registry was detached, so the watcher never fired). Two-strike:
+  // a binding is reaped only when it was already pod-less on the previous
+  // sweep, so an admission-hook binding whose pod has not been inserted into
+  // the cluster yet survives the sweep it races with.
+  std::vector<std::string> stale_now;
+  for (const auto& [instance, dev] : instance_device_) {
+    auto pod = cluster_->get_pod(instance);
+    if (!pod.has_value() || pod->phase != cluster::PodPhase::kRunning) {
+      stale_now.push_back(instance);
+    }
+  }
+  std::set<std::string> first_strike;
+  for (const std::string& instance : stale_now) {
+    if (stale_candidates_.contains(instance)) {
+      BF_LOG_WARN("registry")
+          << "reaping stale assignment '" << instance
+          << "' (pod gone for two consecutive sweeps)";
+      unbind_instance_locked(instance);
+      instance_accelerator_.erase(instance);
+    } else {
+      first_strike.insert(instance);
+    }
+  }
+  stale_candidates_ = std::move(first_strike);
+
+  // Reconcile pass 2: release fulfilled / abandoned region reservations.
+  for (auto& [id, state] : devices_) reconcile_reservations_locked(state);
+
+  // Health sweep.
   for (auto& [id, state] : devices_) {
     bool alive = false;
     if (state.record.manager != nullptr) {
@@ -117,7 +162,9 @@ void Registry::probe_devices() {
       if (policy_.health.migrate_on_unhealthy) {
         // Create-before-delete, same as a reconfiguration-driven migration.
         // Replacement pods re-enter the admission hook, whose allocate()
-        // now skips this board.
+        // now skips this board. Best effort: instances whose replacement
+        // fails stay bound to this board (rolled back) and are retried on
+        // the next sweep.
         Status migrated = migrate_instances_away(id, "");
         if (!migrated.ok()) {
           BF_LOG_WARN("registry")
@@ -127,6 +174,23 @@ void Registry::probe_devices() {
       }
     }
   }
+}
+
+std::size_t Registry::reap_stale_assignments() {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> stale;
+  for (const auto& [instance, dev] : instance_device_) {
+    auto pod = cluster_->get_pod(instance);
+    if (!pod.has_value() || pod->phase != cluster::PodPhase::kRunning) {
+      stale.push_back(instance);
+    }
+  }
+  for (const std::string& instance : stale) {
+    unbind_instance_locked(instance);
+    instance_accelerator_.erase(instance);
+  }
+  for (auto& [id, state] : devices_) reconcile_reservations_locked(state);
+  return stale.size();
 }
 
 bool Registry::is_device_healthy(const std::string& device_id) const {
@@ -191,7 +255,8 @@ void Registry::attach_to_cluster() {
   cluster_->add_watcher([this](const cluster::WatchEvent& event) {
     if (event.type == cluster::WatchEvent::Type::kDeleted) {
       std::lock_guard lock(mutex_);
-      instance_device_.erase(event.pod.spec.name);
+      unbind_instance_locked(event.pod.spec.name);
+      instance_accelerator_.erase(event.pod.spec.name);
     }
   });
 }
@@ -212,11 +277,28 @@ bool Registry::compatible_hardware(const DeviceState& device,
 bool Registry::compatible_accelerator(const DeviceSample& sample,
                                       const DeviceQuery& query) const {
   if (query.accelerator.empty()) return false;
+  const auto contains = [](const std::vector<std::string>& haystack,
+                           const std::string& needle) {
+    return std::find(haystack.begin(), haystack.end(), needle) !=
+           haystack.end();
+  };
   if (sample.expected_accelerator == query.accelerator) return true;
-  // Space-sharing: any resident region with the accelerator is compatible.
-  return std::find(sample.resident_accelerators.begin(),
-                   sample.resident_accelerators.end(),
-                   query.accelerator) != sample.resident_accelerators.end();
+  // A region already reserved for this image will host it once it lands.
+  if (contains(sample.pending_accelerators, query.accelerator)) return true;
+  // Space-sharing: a resident region with the accelerator is compatible —
+  // unless the device expects a different image that can only materialize
+  // through a full reprogram (no free region to host it, no reservation,
+  // not already resident). Everything resident is then about to be wiped,
+  // so binding a new tenant to a doomed image would strand it.
+  if (contains(sample.resident_accelerators, query.accelerator)) {
+    const bool full_reprogram_imminent =
+        !sample.expected_accelerator.empty() && sample.free_regions == 0 &&
+        !contains(sample.resident_accelerators,
+                  sample.expected_accelerator) &&
+        !contains(sample.pending_accelerators, sample.expected_accelerator);
+    return !full_reprogram_imminent;
+  }
+  return false;
 }
 
 Result<Allocation> Registry::allocate(
@@ -237,14 +319,12 @@ Result<Allocation> Registry::allocate(
     }
     if (!state.healthy) continue;  // missed its probes: not a candidate
     if (!compatible_hardware(state, query)) continue;
-    DeviceSample sample = sample_locked(state);
-    // A device flagged for (or expecting) a different accelerator is not a
-    // candidate: it is mid-reconfiguration for another tenant group.
-    if (state.flagged_for_reconfiguration &&
-        sample.expected_accelerator != query.accelerator) {
-      continue;
-    }
-    candidates.push_back(Candidate{&state, std::move(sample)});
+    // A device mid-migration is not a candidate — even for the image it is
+    // being reprogrammed to. If the in-flight migration fails, its expected
+    // image rolls back and a tenant admitted against it would be stranded;
+    // matching tenants can bind as soon as the migration completes.
+    if (state.flagged_for_reconfiguration) continue;
+    candidates.push_back(Candidate{&state, sample_locked(state)});
   }
 
   // Line 3: filterby_metrics (drop overloaded devices).
@@ -307,52 +387,97 @@ Result<Allocation> Registry::allocate(
       !compatible_accelerator(chosen->sample, query);
 
   if (allocation.reconfigure) {
+    DeviceState& device = *chosen->state;
     if (chosen->sample.free_regions > 0) {
-      // Space-sharing: a free partial-reconfiguration region hosts the new
-      // accelerator; resident tenants keep running, no migration needed.
-      // (expected_accelerator tracks only the newest pending image; the
-      // resident list carries the rest.)
-      chosen->state->expected_accelerator = query.accelerator;
+      // Space-sharing: reserve a free partial-reconfiguration region for the
+      // new image; resident tenants keep running, no migration needed. The
+      // reservation withholds the region from later allocations until the
+      // image is observed resident (released by the reconcile pass), so two
+      // reconfigure-allocations cannot both claim the last free region.
+      device.pending_regions.insert(query.accelerator);
+      device.expected_accelerator = query.accelerator;
     } else {
-      chosen->state->flagged_for_reconfiguration = true;
-      chosen->state->expected_accelerator = query.accelerator;
+      const std::string prior_expected = device.expected_accelerator;
+      std::set<std::string> prior_pending = device.pending_regions;
+      device.flagged_for_reconfiguration = true;
+      device.expected_accelerator = query.accelerator;
+      // A full reprogram voids earlier reservations: their tenants are
+      // migrated away with everyone else.
+      device.pending_regions.clear();
       Status migrated =
-          migrate_instances_away(chosen->state->record.id, instance);
-      chosen->state->flagged_for_reconfiguration = false;
+          migrate_instances_away(device.record.id, instance);
+      device.flagged_for_reconfiguration = false;
       if (!migrated.ok()) {
-        BF_LOG_WARN("registry") << "migration incomplete for device "
-                                << allocation.device_id << ": "
-                                << migrated.to_string();
+        // Live tenants remain on the board (rolled-back create-before-delete
+        // replacements); admitting the new instance anyway would double-book
+        // it. Restore the pre-flag state and fail the allocation.
+        device.expected_accelerator = prior_expected;
+        device.pending_regions = std::move(prior_pending);
+        return Status(migrated.code(),
+                      "allocation of '" + instance +
+                          "' aborted: migration incomplete for device '" +
+                          allocation.device_id +
+                          "': " + migrated.to_string());
+      }
+      // The new image claims a free PR region when realized (a full
+      // reprogram when there is none): reserve it so later allocations
+      // cannot double-book that region.
+      if (device.record.manager->board().free_region_count() > 0) {
+        device.pending_regions.insert(query.accelerator);
       }
     }
   }
 
-  instance_device_[instance] = allocation.device_id;
+  bind_instance_locked(instance, allocation.device_id);
   return allocation;
+}
+
+std::optional<std::string> Registry::required_accelerator_locked(
+    const std::string& instance) const {
+  if (auto it = instance_accelerator_.find(instance);
+      it != instance_accelerator_.end()) {
+    return it->second;
+  }
+  auto pod = cluster_->get_pod(instance);
+  if (!pod.has_value()) return std::nullopt;
+  auto fn = functions_.find(pod->spec.function);
+  if (fn == functions_.end()) return std::nullopt;
+  return fn->second.accelerator;
 }
 
 bool Registry::redistributable_locked(const std::string& device_id) {
   // Every instance currently on the device must have another device that is
   // hardware compatible, accelerator compatible and under the utilization
   // threshold.
-  for (const auto& [instance, dev] : instance_device_) {
-    if (dev != device_id) continue;
+  auto idx = device_instances_.find(device_id);
+  if (idx == device_instances_.end()) return true;
+  for (const std::string& instance : idx->second) {
     // Find this instance's function query via its pod.
     auto pod = cluster_->get_pod(instance);
-    if (!pod.has_value()) continue;  // stale assignment
+    if (!pod.has_value()) continue;  // stale: reaped by the reconcile pass
     auto fn = functions_.find(pod->spec.function);
     if (fn == functions_.end()) continue;
+    // What the instance actually needs now (a reconfiguration request may
+    // have overridden the function's image).
+    DeviceQuery query = fn->second;
+    if (auto required = required_accelerator_locked(instance)) {
+      query.accelerator = *required;
+    }
     bool movable = false;
     for (auto& [other_id, other] : devices_) {
       if (other_id == device_id) continue;
       if (!other.healthy) continue;
-      if (!compatible_hardware(other, fn->second)) continue;
+      // Mid-migration devices refuse new tenants (see allocate()).
+      if (other.flagged_for_reconfiguration) continue;
+      if (!compatible_hardware(other, query)) continue;
       DeviceSample sample = sample_locked(other);
       if (sample.utilization > policy_.max_utilization) continue;
-      if (compatible_accelerator(sample, fn->second) ||
+      auto other_idx = device_instances_.find(other_id);
+      const bool other_empty = other_idx == device_instances_.end() ||
+                               other_idx->second.empty();
+      if (compatible_accelerator(sample, query) ||
           sample.free_regions > 0 ||
-          (sample.expected_accelerator.empty() &&
-           instances_on_device(other_id).empty())) {
+          (sample.expected_accelerator.empty() && other_empty)) {
         movable = true;
         break;
       }
@@ -365,23 +490,68 @@ bool Registry::redistributable_locked(const std::string& device_id) {
 Status Registry::migrate_instances_away(const std::string& device_id,
                                         const std::string& except_instance) {
   std::vector<std::string> to_move;
-  for (const auto& [instance, dev] : instance_device_) {
-    if (dev == device_id && instance != except_instance) {
-      to_move.push_back(instance);
+  if (auto idx = device_instances_.find(device_id);
+      idx != device_instances_.end()) {
+    for (const std::string& instance : idx->second) {
+      if (instance != except_instance) to_move.push_back(instance);
     }
   }
   Status first_error;
   for (const std::string& instance : to_move) {
+    // A binding with no running pod is stale — the pod was deleted while
+    // the registry was detached, so there is nothing serving and nothing
+    // to migrate. Leave it for the probe-sweep GC instead of letting
+    // replace_pod's NotFound poison every migration off this device.
+    auto pod = cluster_->get_pod(instance);
+    if (!pod.has_value() || pod->phase != cluster::PodPhase::kRunning) {
+      continue;
+    }
     // Create-before-delete: the replacement is admitted (and re-allocated by
     // our hook, which now sees this device as flagged) before the old pod
-    // dies.
-    instance_device_.erase(instance);
+    // dies. Unbind first so the replacement's admission does not count the
+    // departing tenant against this device.
+    unbind_instance_locked(instance);
     auto replaced = cluster_->replace_pod(instance);
-    if (!replaced.ok() && first_error.ok()) {
-      first_error = replaced.status();
+    if (!replaced.ok()) {
+      // The old pod never stopped serving (create-before-delete), so its
+      // assignment must survive: restore it, or the instance becomes
+      // invisible to device_of_instance / connected-instance metrics and
+      // deregister_device's still-serving safety check.
+      bind_instance_locked(instance, device_id);
+      if (first_error.ok()) first_error = replaced.status();
     }
   }
   return first_error;
+}
+
+void Registry::reconcile_reservations_locked(DeviceState& device) {
+  if (device.pending_regions.empty()) return;
+  const std::vector<std::string> resident =
+      device.record.manager->board().resident_accelerators();
+  auto wanted_by_tenant = [&](const std::string& accelerator) {
+    auto idx = device_instances_.find(device.record.id);
+    if (idx == device_instances_.end()) return false;
+    for (const std::string& instance : idx->second) {
+      auto required = required_accelerator_locked(instance);
+      if (required.has_value() && *required == accelerator) return true;
+    }
+    return false;
+  };
+  for (auto it = device.pending_regions.begin();
+       it != device.pending_regions.end();) {
+    const bool fulfilled =
+        std::find(resident.begin(), resident.end(), *it) != resident.end();
+    if (fulfilled || !wanted_by_tenant(*it)) {
+      if (!fulfilled && device.expected_accelerator == *it) {
+        // The reservation was abandoned (its tenants are gone); stop
+        // advertising an image nobody is waiting for.
+        device.expected_accelerator.clear();
+      }
+      it = device.pending_regions.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 // --- Reconfiguration validation ------------------------------------------------------
@@ -406,13 +576,41 @@ Status Registry::request_reconfiguration(const std::string& instance,
   }
   DeviceSample sample = sample_locked(device);
   if (sample.expected_accelerator == bitstream->accelerator) {
+    instance_accelerator_[instance] = bitstream->accelerator;
     return Status::Ok();  // no reconfiguration needed
   }
+  if (sample.free_regions > 0) {
+    // Space-sharing: a free region hosts the new image; co-tenants keep
+    // running where they are.
+    device.pending_regions.insert(bitstream->accelerator);
+    device.expected_accelerator = bitstream->accelerator;
+    instance_accelerator_[instance] = bitstream->accelerator;
+    return Status::Ok();
+  }
+  const std::string prior_expected = device.expected_accelerator;
+  std::set<std::string> prior_pending = device.pending_regions;
   device.flagged_for_reconfiguration = true;
   device.expected_accelerator = bitstream->accelerator;
+  device.pending_regions.clear();
   Status migrated = migrate_instances_away(device.record.id, instance);
   device.flagged_for_reconfiguration = false;
-  return migrated;
+  if (!migrated.ok()) {
+    // Co-tenants are still on the board: restore the advertised image so
+    // their functions keep matching the device they actually run on.
+    device.expected_accelerator = prior_expected;
+    device.pending_regions = std::move(prior_pending);
+    return migrated;
+  }
+  // The board is now the requester's alone. The new image claims a free PR
+  // region when realized (a full reprogram when there is none): reserve it
+  // so later allocations cannot double-book that region. Remember the
+  // requester's new image — its function's registered query no longer
+  // describes what it runs.
+  if (device.record.manager->board().free_region_count() > 0) {
+    device.pending_regions.insert(bitstream->accelerator);
+  }
+  instance_accelerator_[instance] = bitstream->accelerator;
+  return Status::Ok();
 }
 
 // --- Introspection ---------------------------------------------------------------------
@@ -428,16 +626,57 @@ std::optional<std::string> Registry::device_of_instance(
 std::vector<std::string> Registry::instances_on_device(
     const std::string& device_id) const {
   std::lock_guard lock(mutex_);
-  std::vector<std::string> out;
-  for (const auto& [instance, dev] : instance_device_) {
-    if (dev == device_id) out.push_back(instance);
-  }
-  return out;
+  auto idx = device_instances_.find(device_id);
+  if (idx == device_instances_.end()) return {};
+  return {idx->second.begin(), idx->second.end()};
 }
 
 std::size_t Registry::assignment_count() const {
   std::lock_guard lock(mutex_);
   return instance_device_.size();
 }
+
+std::map<std::string, std::string> Registry::assignments() const {
+  std::lock_guard lock(mutex_);
+  return instance_device_;
+}
+
+// BEGIN instance_device_ accessors — the only code allowed to mutate
+// instance_device_ / device_instances_; everything else goes through these
+// so the map and its inverse index cannot drift (tools/check_api.sh lints
+// for mutations outside this block).
+
+void Registry::bind_instance_locked(const std::string& instance,
+                                    const std::string& device_id) {
+  auto existing = instance_device_.find(instance);
+  if (existing != instance_device_.end()) {
+    if (existing->second == device_id) {
+      stale_candidates_.erase(instance);
+      return;
+    }
+    auto idx = device_instances_.find(existing->second);
+    if (idx != device_instances_.end()) {
+      idx->second.erase(instance);
+      if (idx->second.empty()) device_instances_.erase(idx);
+    }
+  }
+  instance_device_[instance] = device_id;
+  device_instances_[device_id].insert(instance);
+  stale_candidates_.erase(instance);
+}
+
+void Registry::unbind_instance_locked(const std::string& instance) {
+  auto it = instance_device_.find(instance);
+  if (it == instance_device_.end()) return;
+  auto idx = device_instances_.find(it->second);
+  if (idx != device_instances_.end()) {
+    idx->second.erase(instance);
+    if (idx->second.empty()) device_instances_.erase(idx);
+  }
+  instance_device_.erase(it);
+  stale_candidates_.erase(instance);
+}
+
+// END instance_device_ accessors.
 
 }  // namespace bf::registry

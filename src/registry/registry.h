@@ -20,6 +20,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,8 +56,14 @@ struct DeviceSample {
   std::string expected_accelerator;    // after pending reconfigurations
   // All accelerators resident on the board (> 1 in space-sharing mode).
   std::vector<std::string> resident_accelerators;
-  // Free partial-reconfiguration regions (0 in classic mode when
-  // configured): a free region admits a new accelerator without migration.
+  // Accelerator images an allocation has reserved a free PR region for but
+  // that are not yet resident on the board. Each outstanding reservation
+  // withholds one region from `free_regions` so two reconfigure-allocations
+  // cannot both claim the last free region.
+  std::vector<std::string> pending_accelerators;
+  // Free partial-reconfiguration regions net of outstanding reservations
+  // (0 in classic mode when configured): a free region admits a new
+  // accelerator without migration.
   unsigned free_regions = 0;
   double utilization = 0.0;            // over the gatherer window
   std::size_t connected_instances = 0;
@@ -122,7 +129,19 @@ class Registry {
   // when migrate_on_unhealthy — move its instances create-before-delete to
   // healthy boards. A succeeding probe resets the miss count and restores
   // the board.
+  //
+  // Each sweep also runs a reconcile pass: reservations whose image became
+  // resident (or lost every tenant) are released, and assignments whose pod
+  // is gone — deleted while the registry was detached from the cluster, so
+  // the watcher never saw the event — are garbage-collected. Assignment GC
+  // is two-strike: a binding must be pod-less across two consecutive sweeps
+  // before it is reaped, so a binding made by an admission hook whose pod
+  // has not landed in the cluster yet is never collected mid-flight.
   void probe_devices();
+  // Immediately unbinds every assignment whose pod is not running and
+  // returns how many were reaped. Single-strike: only call at known quiesce
+  // points (no admission in flight), e.g. before decommissioning a node.
+  std::size_t reap_stale_assignments();
   [[nodiscard]] bool is_device_healthy(const std::string& device_id) const;
 
   // --- Functions Service ------------------------------------------------------
@@ -154,6 +173,9 @@ class Registry {
   [[nodiscard]] std::vector<std::string> instances_on_device(
       const std::string& device_id) const;
   [[nodiscard]] std::size_t assignment_count() const;
+  // Snapshot of the full instance -> device assignment map (invariant
+  // checkers; see tests/registry_churn_test.cpp and docs/ALLOCATION.md).
+  [[nodiscard]] std::map<std::string, std::string> assignments() const;
 
   // Env keys written into pod specs by the admission patch.
   static constexpr const char* kEnvManager = "BF_MANAGER";
@@ -164,6 +186,11 @@ class Registry {
  private:
   struct DeviceState {
     DeviceRecord record;
+    // Accelerator images that claimed a free PR region at allocation time
+    // and have not been observed resident yet (reservation accounting).
+    // Entries are released by the reconcile pass once the image lands on
+    // the board or its last tenant leaves.
+    std::set<std::string> pending_regions;
     std::string expected_accelerator;  // set by allocations that reconfigure
     bool flagged_for_reconfiguration = false;
     unsigned probe_misses = 0;  // consecutive failed health probes
@@ -179,6 +206,18 @@ class Registry {
   [[nodiscard]] bool redistributable_locked(const std::string& device_id);
   Status migrate_instances_away(const std::string& device_id,
                                 const std::string& except_instance);
+  // Releases fulfilled (image resident) and abandoned (no tenant's function
+  // still wants the image) reservations on one device.
+  void reconcile_reservations_locked(DeviceState& device);
+  // The accelerator an instance currently needs: its reconfiguration
+  // override if one exists, else its function's registered query.
+  [[nodiscard]] std::optional<std::string> required_accelerator_locked(
+      const std::string& instance) const;
+  // The only mutators of instance_device_ / device_instances_ (lint-enforced
+  // by tools/check_api.sh): keeps the map and its inverse index in lockstep.
+  void bind_instance_locked(const std::string& instance,
+                            const std::string& device_id);
+  void unbind_instance_locked(const std::string& instance);
 
   cluster::Cluster* cluster_;
   AllocationPolicy policy_;
@@ -188,6 +227,17 @@ class Registry {
   std::map<std::string, DeviceState> devices_;
   std::map<std::string, DeviceQuery> functions_;
   std::map<std::string, std::string> instance_device_;  // instance -> device
+  // Accelerator an instance explicitly reconfigured to via
+  // request_reconfiguration, overriding its function's registered query.
+  // Consulted by reservation reconcile and redistribution checks; erased
+  // when the instance's pod is deleted or its stale binding reaped.
+  std::map<std::string, std::string> instance_accelerator_;
+  // Inverse index (device -> instances) so admission-path sampling,
+  // deregistration safety checks and migration sweeps never scan the whole
+  // assignment map.
+  std::map<std::string, std::set<std::string>> device_instances_;
+  // Two-strike stale-assignment GC bookkeeping (see probe_devices()).
+  std::set<std::string> stale_candidates_;
 };
 
 }  // namespace bf::registry

@@ -154,6 +154,10 @@ Result<std::string> Testbed::provision_node(const std::string& name) {
 
 Status Testbed::decommission_node(const std::string& name) {
   const std::size_t index = node_index(name);
+  // Reap assignments whose pods are already gone (deleted while the
+  // registry's watcher was not attached, e.g. across a testbed restart) so
+  // a tenant-free board is not refused deregistration over a stale entry.
+  registry_->reap_stale_assignments();
   if (Status s = registry_->deregister_device(boards_[index]->id());
       !s.ok()) {
     return s;

@@ -113,10 +113,54 @@ TEST(Cluster, ReplaceCreatesBeforeDeleting) {
   auto replaced = cluster.replace_pod("p1");
   ASSERT_TRUE(replaced.ok());
   // Create-before-delete order (the paper's migration mechanism).
-  EXPECT_EQ(events, (std::vector<std::string>{"+p1", "+p1-r", "-p1"}));
+  EXPECT_EQ(events, (std::vector<std::string>{"+p1", "+p1~2", "-p1"}));
   // Replacement is re-admitted from a clean slate.
   EXPECT_FALSE(replaced.value().spec.env.contains("OLD"));
   EXPECT_EQ(cluster.pod_count(), 1u);
+}
+
+TEST(Cluster, ReplaceGenerationCounterStripsPriorSuffix) {
+  Cluster cluster(three_nodes());
+  ASSERT_TRUE(cluster.create_pod(pod("fn-0", "fn")).ok());
+  std::string name = "fn-0";
+  // Repeated migrations bump a generation counter instead of growing the
+  // name ("fn-0-r-r-r..." regression).
+  for (unsigned generation = 2; generation <= 5; ++generation) {
+    auto replaced = cluster.replace_pod(name);
+    ASSERT_TRUE(replaced.ok());
+    name = replaced.value().spec.name;
+    EXPECT_EQ(name, "fn-0~" + std::to_string(generation));
+    EXPECT_EQ(base_pod_name(name), "fn-0");
+    EXPECT_EQ(migration_generation(name), generation);
+    // The function stays authoritative for function-level lookups.
+    EXPECT_EQ(replaced.value().spec.function, "fn");
+    ASSERT_EQ(cluster.pods_of_function("fn").size(), 1u);
+  }
+  EXPECT_EQ(cluster.pod_count(), 1u);
+}
+
+TEST(Cluster, ReplaceSkipsTakenGenerationNames) {
+  Cluster cluster(three_nodes());
+  ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
+  ASSERT_TRUE(cluster.replace_pod("p1").ok());  // p1~2
+  // The base name is reused, then migrated again: generation 2 is taken, so
+  // the replacement skips ahead instead of colliding.
+  ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
+  auto replaced = cluster.replace_pod("p1");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced.value().spec.name, "p1~3");
+}
+
+TEST(Cluster, GenerationNameHelpersParseEdgeCases) {
+  EXPECT_EQ(base_pod_name("fn-0"), "fn-0");
+  EXPECT_EQ(migration_generation("fn-0"), 1u);
+  EXPECT_EQ(base_pod_name("fn-0~12"), "fn-0");
+  EXPECT_EQ(migration_generation("fn-0~12"), 12u);
+  // Non-numeric or dangling suffixes are part of the base name.
+  EXPECT_EQ(base_pod_name("we~ird"), "we~ird");
+  EXPECT_EQ(migration_generation("we~ird"), 1u);
+  EXPECT_EQ(base_pod_name("trailing~"), "trailing~");
+  EXPECT_EQ(migration_generation("trailing~"), 1u);
 }
 
 TEST(Cluster, ReplaceRunsAdmissionAgain) {
@@ -129,6 +173,53 @@ TEST(Cluster, ReplaceRunsAdmissionAgain) {
   ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
   ASSERT_TRUE(cluster.replace_pod("p1").ok());
   EXPECT_EQ(admissions, 2);
+}
+
+TEST(Cluster, ReplaceRefusesNestedReplacementOfSamePod) {
+  // A replacement's admission can recurse into the cluster (the registry
+  // migrates tenants off a device with replace_pod). If that recursion hits
+  // the pod already being replaced, it must be refused: letting it through
+  // deletes the old pod while the outer replacement can still fail,
+  // breaking "a failed replace keeps the old pod serving".
+  Cluster cluster(three_nodes());
+  ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
+  Status nested = Status::Ok();
+  cluster.set_admission_hook([&](PodSpec& spec) {
+    if (spec.name == "p1~2") {
+      nested = cluster.replace_pod("p1").status();
+    }
+    return Status::Ok();
+  });
+  auto replaced = cluster.replace_pod("p1");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(nested.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(cluster.get_pod("p1").has_value());
+  EXPECT_TRUE(cluster.get_pod("p1~2").has_value());
+}
+
+TEST(Cluster, ReplaceReservesInFlightGenerationName) {
+  // After p1 -> p1~2 the base name is reused, so generations of "p1" exist
+  // at ~2 and (implicitly) ~1. Replacing the new p1 reserves p1~3 while its
+  // admission runs; a nested replacement of p1~2 would also bump to ~3 and
+  // must skip the reserved name instead of colliding with the in-flight
+  // creation (which would silently overwrite the nested pod's entry).
+  Cluster cluster(three_nodes());
+  ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
+  ASSERT_TRUE(cluster.replace_pod("p1").ok());  // -> p1~2
+  ASSERT_TRUE(cluster.create_pod(pod("p1", "fn")).ok());
+  std::string nested_name;
+  cluster.set_admission_hook([&](PodSpec& spec) {
+    if (spec.name == "p1~3") {
+      auto nested = cluster.replace_pod("p1~2");
+      if (nested.ok()) nested_name = nested.value().spec.name;
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(cluster.replace_pod("p1").ok());  // ~2 taken -> reserves ~3
+  EXPECT_EQ(nested_name, "p1~4");
+  EXPECT_TRUE(cluster.get_pod("p1~3").has_value());
+  EXPECT_TRUE(cluster.get_pod("p1~4").has_value());
+  EXPECT_EQ(cluster.pod_count(), 2u);
 }
 
 TEST(Cluster, PodsOfFunctionFilters) {

@@ -1,0 +1,513 @@
+// Churn invariant stress harness for the Registry allocation / migration
+// state machine (ctest -L churn; also run under TSan+ASan by
+// bench/run_sanitized.sh).
+//
+// A seeded driver interleaves device register/deregister, pod
+// create/delete/replace, probe sweeps, reconfiguration requests and
+// fault-injected migration failures over virtual time, and checks global
+// invariants after EVERY event (docs/ALLOCATION.md lists them):
+//
+//   I1  every running pod of a registered function has an assignment;
+//   I2  every assignment names a registered device;
+//   I3  capacity: the distinct accelerators required by a device's bound
+//       tenants fit in its PR regions, and outstanding reservations never
+//       exceed the board's raw free regions;
+//   I4  instance->device map and device->instances index agree exactly;
+//   I5  (quiesce, after two probe sweeps) assignments are exactly the
+//       running pods of registered functions — stale bindings were reaped.
+//
+// I3 is the detector for the pending-region reservation fix (without it two
+// reconfigure-allocations can double-book the last free region); I1 is the
+// detector for the migration-rollback fix (without it a failed
+// create-before-delete replacement leaves a running pod with no assignment).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/injector.h"
+#include "registry/registry.h"
+#include "sim/bitstream.h"
+
+namespace bf::registry {
+namespace {
+
+struct FunctionSpec {
+  std::string name;
+  std::string accelerator;
+  const char* bitstream;
+};
+
+const std::vector<FunctionSpec>& function_specs() {
+  static const std::vector<FunctionSpec> specs = {
+      {"fn-sobel", "sobel", sim::BitstreamLibrary::kSobel},
+      {"fn-mm", "mm", sim::BitstreamLibrary::kMatMul},
+      {"fn-fir", "fir", sim::BitstreamLibrary::kFir},
+  };
+  return specs;
+}
+
+// One full churn run: cluster + boards + managers + registry driven by a
+// seeded RNG for `events` steps, invariants checked after every step.
+class ChurnDriver {
+ public:
+  static constexpr std::size_t kInitialDevices = 3;
+  static constexpr std::size_t kMaxDevices = 6;
+
+  explicit ChurnDriver(std::uint64_t seed) : rng_(seed), inject_(seed) {
+    // Migration failures: every create-before-delete replacement has a
+    // 15% chance to abort, exercising the rollback paths.
+    inject_.site(fault::site::kClusterReplaceFail, {.probability = 0.15});
+
+    std::vector<cluster::NodeSpec> nodes = {{"A", sim::make_node_a()},
+                                            {"B", sim::make_node_b()},
+                                            {"C", sim::make_node_c()}};
+    cluster_ = std::make_unique<cluster::Cluster>(nodes);
+    registry_ = std::make_unique<Registry>(cluster_.get(), AllocationPolicy{},
+                                           [this] { return now_; });
+    for (const auto& node : nodes) add_device(node.name, node.profile);
+    for (const FunctionSpec& fn : function_specs()) {
+      DeviceQuery query{"Intel", "a10gx_de5a_net", fn.accelerator,
+                        fn.bitstream};
+      BF_CHECK(registry_->register_function(fn.name, query).ok());
+    }
+    registry_->attach_to_cluster();
+  }
+
+  void run(std::size_t events) {
+    for (std::size_t i = 0; i < events; ++i) {
+      now_ = vt::Time::nanos(now_.ns() + 1'000'000 +
+                             rng_.next_below(5'000'000));
+      step();
+      check_invariants("event " + std::to_string(i));
+      if (::testing::Test::HasFailure()) {
+        dump_state();
+        return;  // first violation is the actionable one; stop the run
+      }
+      if ((i + 1) % 100 == 0) concurrency_window();
+      if ((i + 1) % 150 == 0) quiesce("quiesce after event " +
+                                      std::to_string(i));
+    }
+    quiesce("final quiesce");
+    if (::testing::Test::HasFailure()) dump_state();
+  }
+
+ private:
+  // --- device / pod bookkeeping -----------------------------------------------
+
+  void add_device(const std::string& node_name,
+                  const sim::NodeProfile& profile) {
+    if (!cluster_->find_node(node_name)) {
+      BF_CHECK(cluster_->add_node(cluster::NodeSpec{node_name, profile}).ok());
+    }
+    sim::BoardConfig bc;
+    bc.id = "fpga-" + node_name;
+    bc.node = node_name;
+    bc.host = profile;
+    bc.functional = false;
+    // Mixed fleet: alternate classic (1 region) and space-sharing boards.
+    bc.pr_regions = 1 + static_cast<unsigned>(boards_.size() % 2);
+    boards_.push_back(std::make_unique<sim::Board>(bc));
+    devmgr::DeviceManagerConfig mc;
+    mc.id = "devmgr-" + node_name;
+    managers_.push_back(std::make_unique<devmgr::DeviceManager>(
+        mc, boards_.back().get(), nullptr));
+    DeviceRecord record;
+    record.id = boards_.back()->id();
+    record.vendor = "Intel";
+    record.platform = "a10gx_de5a_net";
+    record.node = node_name;
+    record.manager_address = managers_.back()->endpoint().address();
+    record.manager = managers_.back().get();
+    BF_CHECK(registry_->register_device(std::move(record)).ok());
+  }
+
+  std::vector<cluster::Pod> registered_pods() const {
+    std::vector<cluster::Pod> out;
+    for (const cluster::Pod& pod : cluster_->list_pods()) {
+      if (is_registered_function(pod.spec.function)) out.push_back(pod);
+    }
+    return out;
+  }
+
+  static bool is_registered_function(const std::string& function) {
+    for (const FunctionSpec& fn : function_specs()) {
+      if (fn.name == function) return true;
+    }
+    return false;
+  }
+
+  const FunctionSpec& random_function() {
+    return function_specs()[rng_.next_below(function_specs().size())];
+  }
+
+  // --- events ------------------------------------------------------------------
+
+  void step() {
+    switch (rng_.next_below(10)) {
+      case 0:
+      case 1:
+      case 2:
+        create_pod();
+        break;
+      case 3:
+        delete_pod();
+        break;
+      case 4:
+        replace_pod();
+        break;
+      case 5:
+        request_reconfiguration();
+        break;
+      case 6:
+        registry_->probe_devices();
+        break;
+      case 7:
+        realize_pending_image();
+        break;
+      case 8:
+        provision_or_deregister_device();
+        break;
+      case 9:
+        ghost_or_unhealthy();
+        break;
+    }
+  }
+
+  void create_pod() {
+    const FunctionSpec& fn = random_function();
+    cluster::PodSpec spec;
+    spec.name = fn.name + "-" + std::to_string(pod_counter_++);
+    spec.function = fn.name;
+    const std::string name = spec.name;
+    auto created = cluster_->create_pod(std::move(spec));
+    if (created.ok()) {
+      // Admission succeeded: the allocation must already be visible.
+      auto device = registry_->device_of_instance(created.value().spec.name);
+      ASSERT_TRUE(device.has_value());
+      note("create " + name + " -> " + *device);
+    } else {
+      // !ok is legitimate churn: no compatible/healthy device right now.
+      note("create " + name + " rejected: " + created.status().to_string());
+    }
+  }
+
+  void delete_pod() {
+    auto pods = registered_pods();
+    if (pods.empty()) return;
+    const std::string name =
+        pods[rng_.next_below(pods.size())].spec.name;
+    ASSERT_TRUE(cluster_->delete_pod(name).ok());
+    // The watcher must have unbound the instance synchronously.
+    ASSERT_FALSE(registry_->device_of_instance(name).has_value());
+    note("delete " + name);
+  }
+
+  void replace_pod() {
+    auto pods = registered_pods();
+    if (pods.empty()) return;
+    const std::string name =
+        pods[rng_.next_below(pods.size())].spec.name;
+    auto replaced = cluster_->replace_pod(name);
+    if (replaced.ok()) {
+      ASSERT_TRUE(registry_->device_of_instance(replaced.value().spec.name)
+                      .has_value());
+      ASSERT_FALSE(cluster_->get_pod(name).has_value());
+      note("replace " + name + " -> " + replaced.value().spec.name);
+    } else {
+      // Injected failure (or no capacity): the old pod keeps serving.
+      ASSERT_TRUE(cluster_->get_pod(name).has_value());
+      note("replace " + name + " failed: " +
+           replaced.status().to_string());
+    }
+  }
+
+  void request_reconfiguration() {
+    auto pods = registered_pods();
+    if (pods.empty()) return;
+    const std::string name =
+        pods[rng_.next_below(pods.size())].spec.name;
+    if (!registry_->device_of_instance(name).has_value()) return;
+    const FunctionSpec& fn = random_function();
+    // May fail (migration aborted); the rollback paths are what we stress.
+    // On success the REQUESTING instance now needs fn's image, not its
+    // function's — record the override so I3 judges demand correctly.
+    Status status = registry_->request_reconfiguration(name, fn.bitstream);
+    if (status.ok()) {
+      overrides_[name] = fn.accelerator;
+      note("reconfig " + name + " -> " + fn.accelerator);
+    } else {
+      note("reconfig " + name + " -> " + fn.accelerator +
+           " failed: " + status.to_string());
+    }
+  }
+
+  // The Device Manager side of a reconfiguration: make a reserved or
+  // expected image actually resident on the board, as the first invoke
+  // through the gateway would.
+  void realize_pending_image() {
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < boards_.size(); ++i) {
+      auto sample = registry_->sample_device(boards_[i]->id());
+      if (!sample.ok()) continue;  // deregistered
+      if (!sample.value().pending_accelerators.empty() ||
+          (!sample.value().expected_accelerator.empty() &&
+           !boards_[i]->has_kernel(sample.value().expected_accelerator))) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) return;
+    const std::size_t i = candidates[rng_.next_below(candidates.size())];
+    auto sample = registry_->sample_device(boards_[i]->id());
+    ASSERT_TRUE(sample.ok());
+    const std::string accelerator =
+        !sample.value().pending_accelerators.empty()
+            ? sample.value()
+                  .pending_accelerators[rng_.next_below(
+                      sample.value().pending_accelerators.size())]
+            : sample.value().expected_accelerator;
+    const sim::Bitstream* bitstream = nullptr;
+    for (const FunctionSpec& fn : function_specs()) {
+      if (fn.accelerator == accelerator) {
+        bitstream = sim::BitstreamLibrary::standard().find(fn.bitstream);
+      }
+    }
+    if (bitstream == nullptr) return;  // image outside our function set
+    bool wiped = false;
+    (void)boards_[i]->ensure_accelerator(*bitstream, now_, &wiped);
+    note("realize " + accelerator + " on " + boards_[i]->id() +
+         (wiped ? " (wiped)" : ""));
+  }
+
+  void provision_or_deregister_device() {
+    const std::size_t registered = registry_->devices().size();
+    if (registered < kMaxDevices && rng_.next_below(2) == 0) {
+      const std::string name = "N" + std::to_string(node_counter_++);
+      sim::NodeProfile profile = sim::make_node_b();
+      profile.name = name;
+      add_device(name, profile);
+      note("provision fpga-" + name);
+      return;
+    }
+    // Deregistration: refused while the board serves instances, allowed
+    // once it is tenant-free. Never drop below two devices so migrations
+    // keep having a destination.
+    if (registered <= 2) return;
+    auto devices = registry_->devices();
+    const DeviceRecord& record =
+        devices[rng_.next_below(devices.size())];
+    const bool has_tenants =
+        !registry_->instances_on_device(record.id).empty();
+    Status status = registry_->deregister_device(record.id);
+    if (has_tenants) {
+      ASSERT_EQ(status.code(), StatusCode::kFailedPrecondition);
+      note("deregister " + record.id + " refused (tenants)");
+    } else {
+      ASSERT_TRUE(status.ok());
+      note("deregister " + record.id);
+    }
+  }
+
+  void ghost_or_unhealthy() {
+    if (rng_.next_below(3) != 0) {
+      // A binding whose pod was deleted while the registry was detached:
+      // allocate with no pod ever created. The two-strike GC must reap it
+      // within two probe sweeps (checked at quiesce).
+      const FunctionSpec& fn = random_function();
+      DeviceQuery query{"Intel", "a10gx_de5a_net", fn.accelerator,
+                        fn.bitstream};
+      const std::string name = "ghost-" + std::to_string(pod_counter_++);
+      auto ghost = registry_->allocate(name, query);
+      note("ghost " + name + " (" + fn.accelerator + ") " +
+           (ghost.ok() ? "-> " + ghost.value().device_id : "rejected"));
+      return;
+    }
+    // Kill a manager: probe sweeps must mark the board unhealthy and
+    // evacuate it (best effort under injected replacement failures).
+    if (shutdowns_ >= 2) return;
+    std::size_t healthy = 0;
+    for (const DeviceRecord& record : registry_->devices()) {
+      if (registry_->is_device_healthy(record.id)) ++healthy;
+    }
+    if (healthy <= 2) return;
+    ++shutdowns_;
+    const std::size_t victim = rng_.next_below(managers_.size());
+    managers_[victim]->shutdown();
+    note("shutdown manager of " + boards_[victim]->id());
+  }
+
+  // Read-side traffic from other threads while the driver mutates: gives
+  // TSan real lock coverage over the registry's shared state.
+  void concurrency_window() {
+    std::thread reader([this] {
+      for (int i = 0; i < 50; ++i) {
+        (void)registry_->assignments();
+        for (const DeviceRecord& record : registry_->devices()) {
+          (void)registry_->sample_device(record.id);
+          (void)registry_->is_device_healthy(record.id);
+        }
+      }
+    });
+    for (int i = 0; i < 5; ++i) {
+      create_pod();
+      delete_pod();
+    }
+    reader.join();
+  }
+
+  void note(std::string entry) {
+    log_.push_back(std::move(entry));
+    if (log_.size() > 40) log_.erase(log_.begin());
+  }
+
+  // On a failed invariant: the recent event history plus the full device /
+  // assignment view, so a failing seed is diagnosable from the test output.
+  void dump_state() {
+    std::string out = "recent events:\n";
+    for (const std::string& entry : log_) out += "  " + entry + "\n";
+    out += "devices:\n";
+    for (const DeviceRecord& record : registry_->devices()) {
+      auto sample = registry_->sample_device(record.id);
+      out += "  " + record.id;
+      if (sample.ok()) {
+        out += " expected=" + sample.value().expected_accelerator +
+               " free=" + std::to_string(sample.value().free_regions) +
+               " pending={";
+        for (const auto& a : sample.value().pending_accelerators)
+          out += a + ",";
+        out += "} tenants={";
+        for (const auto& inst : registry_->instances_on_device(record.id))
+          out += inst + ",";
+        out += "}";
+      }
+      out += "\n";
+    }
+    ADD_FAILURE() << out;
+  }
+
+  // --- invariants ----------------------------------------------------------------
+
+  std::optional<std::string> required_accelerator(
+      const std::string& instance) const {
+    auto pod = cluster_->get_pod(instance);
+    if (!pod.has_value()) return std::nullopt;  // ghost: pending GC
+    if (auto it = overrides_.find(instance); it != overrides_.end()) {
+      return it->second;  // explicit reconfiguration request won
+    }
+    auto query = registry_->function_query(pod->spec.function);
+    if (!query.has_value()) return std::nullopt;
+    return query->accelerator;
+  }
+
+  void check_invariants(const std::string& context) {
+    const auto assignments = registry_->assignments();
+    const auto devices = registry_->devices();
+    std::set<std::string> device_ids;
+    for (const DeviceRecord& record : devices) device_ids.insert(record.id);
+
+    // I1: every running pod of a registered function is assigned.
+    for (const cluster::Pod& pod : registered_pods()) {
+      ASSERT_TRUE(assignments.contains(pod.spec.name))
+          << context << ": running pod '" << pod.spec.name
+          << "' has no device assignment (lost during a failed migration?)";
+    }
+    // I2: assignments only reference registered devices.
+    for (const auto& [instance, device] : assignments) {
+      ASSERT_TRUE(device_ids.contains(device))
+          << context << ": instance '" << instance
+          << "' assigned to unregistered device '" << device << "'";
+    }
+    // I3 + I4, per device.
+    std::size_t indexed = 0;
+    for (const DeviceRecord& record : devices) {
+      const sim::Board* board = nullptr;
+      for (const auto& candidate : boards_) {
+        if (candidate->id() == record.id) board = candidate.get();
+      }
+      ASSERT_NE(board, nullptr) << context;
+      std::set<std::string> required;
+      for (const std::string& instance :
+           registry_->instances_on_device(record.id)) {
+        ++indexed;
+        // I4 (index -> map).
+        ASSERT_TRUE(assignments.contains(instance) &&
+                    assignments.at(instance) == record.id)
+            << context << ": index lists '" << instance << "' on '"
+            << record.id << "' but the assignment map disagrees";
+        if (auto accelerator = required_accelerator(instance)) {
+          required.insert(*accelerator);
+        }
+      }
+      // I3: tenant demand fits the board's regions (the double-booking
+      // detector for the reservation fix).
+      ASSERT_LE(required.size(), board->region_count())
+          << context << ": device '" << record.id << "' has tenants of "
+          << required.size() << " distinct accelerators but only "
+          << board->region_count() << " PR region(s)";
+      // I3b: outstanding reservations never exceed raw free regions.
+      auto sample = registry_->sample_device(record.id);
+      ASSERT_TRUE(sample.ok()) << context;
+      ASSERT_LE(sample.value().pending_accelerators.size(),
+                board->free_region_count())
+          << context << ": device '" << record.id
+          << "' reserved more regions than the board has free";
+    }
+    // I4 (map -> index): every assignment appeared exactly once above.
+    ASSERT_EQ(indexed, assignments.size())
+        << context << ": assignment map and device index diverged";
+  }
+
+  void quiesce(const std::string& context) {
+    // Two sweeps: the two-strike GC needs consecutive pod-less sightings.
+    registry_->probe_devices();
+    registry_->probe_devices();
+    check_invariants(context);
+    // I5: assignments are now exactly the running registered pods.
+    const auto assignments = registry_->assignments();
+    const auto pods = registered_pods();
+    ASSERT_EQ(assignments.size(), pods.size())
+        << context << ": stale assignments survived two probe sweeps";
+    for (const cluster::Pod& pod : pods) {
+      ASSERT_TRUE(assignments.contains(pod.spec.name)) << context;
+    }
+  }
+
+  bf::Rng rng_;
+  fault::ScopedInjection inject_;
+  vt::Time now_ = vt::Time::zero();
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::vector<std::unique_ptr<sim::Board>> boards_;
+  std::vector<std::unique_ptr<devmgr::DeviceManager>> managers_;
+  std::unique_ptr<Registry> registry_;
+  std::size_t pod_counter_ = 0;
+  std::size_t node_counter_ = 3;
+  unsigned shutdowns_ = 0;
+  // Instance -> accelerator it explicitly reconfigured to (diverging from
+  // its function's registered query).
+  std::map<std::string, std::string> overrides_;
+  // Rolling window of recent events, dumped when an invariant fails.
+  std::vector<std::string> log_;
+};
+
+class RegistryChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegistryChurn, InvariantsHoldUnderChurn) {
+  ChurnDriver driver(GetParam());
+  driver.run(/*events=*/600);
+  // The run must actually have exercised the failure paths it claims to
+  // cover: at least one injected replacement failure fired.
+  EXPECT_GE(fault::Injector::instance().fires("cluster.replace.fail"), 1u)
+      << "seed " << GetParam()
+      << " never hit an injected migration failure; rollback paths untested";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryChurn,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace bf::registry

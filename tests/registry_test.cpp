@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "fault/injector.h"
 #include "registry/registry.h"
 #include "sim/bitstream.h"
 
@@ -276,7 +277,7 @@ TEST(Registry, RequestReconfigurationMigratesCotenants) {
                   ->request_reconfiguration("sobel-1-0",
                                             sim::BitstreamLibrary::kMatMul)
                   .ok());
-  auto moved = packed.registry->device_of_instance("sobel-2-0-r");
+  auto moved = packed.registry->device_of_instance("sobel-2-0~2");
   ASSERT_TRUE(moved.has_value());
   EXPECT_NE(*moved, *d1);
 }
@@ -293,6 +294,254 @@ TEST(Registry, PackPolicyConcentratesTenants) {
     ++per_device[allocation.value().device_id];
   }
   EXPECT_EQ(per_device.size(), 1u);  // all piled on one device
+}
+
+// --- Algorithm 1 ordering edge cases ------------------------------------------------
+
+TEST(Registry, PackTiebreakIsDeterministic) {
+  // With every metric equal, pack ordering must fall back to the same
+  // deterministic tiebreak (accelerator compatibility, then id) on every
+  // run — the first allocation always lands on the lexicographically first
+  // device.
+  for (int run = 0; run < 3; ++run) {
+    AllocationPolicy policy;
+    policy.pack_tenants = true;
+    Fixture fx(policy);
+    auto allocation = fx.registry->allocate("inst", fx.sobel_query());
+    ASSERT_TRUE(allocation.ok());
+    EXPECT_EQ(allocation.value().device_id, "fpga-A") << "run " << run;
+  }
+}
+
+TEST(Registry, MetricsOrderFallsToSecondKeyOnEqualUtilization) {
+  // All boards idle: the utilization key ties, so kConnectedInstances must
+  // decide — a device that already hosts a tenant loses to an empty one.
+  Fixture fx;  // default order: utilization, connected
+  auto first = fx.registry->allocate("inst-0", fx.sobel_query());
+  ASSERT_TRUE(first.ok());
+  auto second = fx.registry->allocate("inst-1", fx.sobel_query());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value().device_id, first.value().device_id);
+
+  // With utilization as the ONLY key, the tie is broken by accelerator
+  // compatibility instead: the pending-sobel device wins for sobel tenants.
+  AllocationPolicy util_only;
+  util_only.metrics_order = {MetricKey::kUtilization};
+  Fixture fu(util_only);
+  auto a = fu.registry->allocate("inst-0", fu.sobel_query());
+  ASSERT_TRUE(a.ok());
+  auto b = fu.registry->allocate("inst-1", fu.sobel_query());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().device_id, a.value().device_id);
+}
+
+TEST(Registry, ExcludingEveryDeviceReturnsNotFound) {
+  Fixture fx;
+  auto allocation = fx.registry->allocate(
+      "inst", fx.sobel_query(), {"fpga-A", "fpga-B", "fpga-C"});
+  EXPECT_EQ(allocation.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Registry, AllDevicesUnhealthyReturnsNotFound) {
+  AllocationPolicy policy;
+  policy.health.migrate_on_unhealthy = false;
+  Fixture fx(policy);
+  for (auto& manager : fx.managers) manager->shutdown();
+  for (unsigned i = 0; i < policy.health.miss_threshold; ++i) {
+    fx.registry->probe_devices();
+  }
+  for (const auto& record : fx.registry->devices()) {
+    EXPECT_FALSE(fx.registry->is_device_healthy(record.id));
+  }
+  auto allocation = fx.registry->allocate("inst", fx.sobel_query());
+  EXPECT_EQ(allocation.status().code(), StatusCode::kNotFound);
+}
+
+// --- Reservation accounting (tentpole) -----------------------------------------------
+
+TEST(Registry, ReservationWithholdsFreeRegionUntilImageLands) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  cluster::PodSpec spec;
+  spec.name = "sobel-1-0";
+  spec.function = "sobel-1";
+  ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  auto device = fx.registry->device_of_instance("sobel-1-0");
+  ASSERT_TRUE(device.has_value());
+
+  // The allocation reserved the board's only PR region for the sobel image:
+  // the sample advertises no free region even though the board has not been
+  // programmed yet.
+  auto sample = fx.registry->sample_device(*device);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().free_regions, 0u);
+  ASSERT_EQ(sample.value().pending_accelerators.size(), 1u);
+  EXPECT_EQ(sample.value().pending_accelerators[0], "sobel");
+
+  // Once the image is resident the reservation is fulfilled: the region it
+  // claimed is the one now occupied, and nothing is double-counted.
+  std::size_t index = device->back() - 'A';
+  fx.program_board(index, sim::BitstreamLibrary::kSobel);
+  sample = fx.registry->sample_device(*device);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().free_regions, 0u);  // region genuinely occupied
+  EXPECT_TRUE(sample.value().pending_accelerators.empty());
+}
+
+TEST(Registry, ReservedLastRegionForcesMigrationForSecondImage) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  cluster::PodSpec spec;
+  spec.name = "sobel-1-0";
+  spec.function = "sobel-1";
+  ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  auto device = fx.registry->device_of_instance("sobel-1-0");
+  ASSERT_TRUE(device.has_value());
+
+  // An MM tenant constrained to the same device must NOT be able to claim
+  // the region already reserved for sobel: the state machine migrates the
+  // sobel tenant away instead of double-booking.
+  std::vector<std::string> excluded;
+  for (const auto& record : fx.registry->devices()) {
+    if (record.id != *device) excluded.push_back(record.id);
+  }
+  auto allocation = fx.registry->allocate("mm-x", fx.mm_query(), excluded);
+  ASSERT_TRUE(allocation.ok());
+  EXPECT_EQ(allocation.value().device_id, *device);
+  EXPECT_TRUE(allocation.value().reconfigure);
+  // The sobel tenant was migrated off (create-before-delete replacement).
+  EXPECT_FALSE(fx.registry->device_of_instance("sobel-1-0").has_value());
+  auto moved = fx.registry->device_of_instance("sobel-1-0~2");
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_NE(*moved, *device);
+  // Exactly one accelerator family per region on the contested board.
+  EXPECT_EQ(fx.registry->instances_on_device(*device),
+            std::vector<std::string>{"mm-x"});
+}
+
+// --- Migration rollback (tentpole) ----------------------------------------------------
+
+TEST(Registry, FailedMigrationRestoresAssignment) {
+  AllocationPolicy pack;
+  pack.pack_tenants = true;
+  Fixture fx(pack);
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  ASSERT_TRUE(fx.registry->register_function("sobel-2", fx.sobel_query()).ok());
+  for (const char* name : {"sobel-1-0", "sobel-2-0"}) {
+    cluster::PodSpec spec;
+    spec.name = name;
+    spec.function = std::string(name).substr(0, 7);
+    ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  }
+  auto device = fx.registry->device_of_instance("sobel-1-0");
+  ASSERT_TRUE(device.has_value());
+  ASSERT_EQ(fx.registry->device_of_instance("sobel-2-0"), device);
+
+  // Every create-before-delete replacement fails while the injection is
+  // armed: the migration must roll the co-tenant's assignment back.
+  fault::ScopedInjection inject(/*seed=*/11);
+  inject.site(fault::site::kClusterReplaceFail, {.probability = 1.0});
+  Status reconfigured = fx.registry->request_reconfiguration(
+      "sobel-1-0", sim::BitstreamLibrary::kMatMul);
+  EXPECT_FALSE(reconfigured.ok());
+
+  // The old pod never stopped serving, so it must still be visible...
+  ASSERT_TRUE(fx.cluster->get_pod("sobel-2-0").has_value());
+  EXPECT_EQ(fx.registry->device_of_instance("sobel-2-0"), device);
+  EXPECT_EQ(fx.registry->assignment_count(), 2u);
+  // ...the device's advertised image must be rolled back too...
+  auto sample = fx.registry->sample_device(*device);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().expected_accelerator, "sobel");
+  // ...and deregistration must still refuse a board with live tenants.
+  EXPECT_EQ(fx.registry->deregister_device(*device).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Registry, FailedMigrationFailsAllocationInsteadOfDoubleBooking) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  cluster::PodSpec spec;
+  spec.name = "sobel-1-0";
+  spec.function = "sobel-1";
+  ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  auto device = fx.registry->device_of_instance("sobel-1-0");
+  ASSERT_TRUE(device.has_value());
+  std::vector<std::string> excluded;
+  for (const auto& record : fx.registry->devices()) {
+    if (record.id != *device) excluded.push_back(record.id);
+  }
+
+  fault::ScopedInjection inject(/*seed=*/11);
+  inject.site(fault::site::kClusterReplaceFail, {.probability = 1.0});
+  auto allocation = fx.registry->allocate("mm-x", fx.mm_query(), excluded);
+  // The sobel tenant could not be evacuated, so the MM allocation must fail
+  // rather than bind a second accelerator family to a one-region board.
+  EXPECT_FALSE(allocation.ok());
+  EXPECT_EQ(fx.registry->device_of_instance("sobel-1-0"), device);
+  EXPECT_FALSE(fx.registry->device_of_instance("mm-x").has_value());
+  auto sample = fx.registry->sample_device(*device);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().expected_accelerator, "sobel");
+}
+
+// --- Stale-assignment reconcile (probe_devices GC) ------------------------------------
+
+TEST(Registry, ProbeReconcileReapsAssignmentsOfVanishedPods) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  cluster::PodSpec spec;
+  spec.name = "sobel-1-0";
+  spec.function = "sobel-1";
+  ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  // A binding whose pod was deleted while the registry was detached (no
+  // watch event): modeled by allocating an instance that has no pod.
+  ASSERT_TRUE(fx.registry->allocate("ghost-0", fx.sobel_query()).ok());
+  EXPECT_EQ(fx.registry->assignment_count(), 2u);
+
+  // Two-strike GC: the first sweep only marks the pod-less binding (an
+  // admission in flight must survive the sweep it races with)...
+  fx.registry->probe_devices();
+  EXPECT_EQ(fx.registry->assignment_count(), 2u);
+  // ...the second sweep reaps it; the live pod's binding is untouched.
+  fx.registry->probe_devices();
+  EXPECT_EQ(fx.registry->assignment_count(), 1u);
+  EXPECT_TRUE(fx.registry->device_of_instance("sobel-1-0").has_value());
+  EXPECT_FALSE(fx.registry->device_of_instance("ghost-0").has_value());
+}
+
+TEST(Registry, ReapStaleAssignmentsIsImmediate) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->allocate("ghost-0", fx.sobel_query()).ok());
+  ASSERT_TRUE(fx.registry->allocate("ghost-1", fx.sobel_query()).ok());
+  EXPECT_EQ(fx.registry->assignment_count(), 2u);
+  EXPECT_EQ(fx.registry->reap_stale_assignments(), 2u);
+  EXPECT_EQ(fx.registry->assignment_count(), 0u);
+  // Every device is tenant-free again: deregistration succeeds.
+  EXPECT_TRUE(fx.registry->deregister_device("fpga-A").ok());
+}
+
+TEST(Registry, AssignmentsSnapshotMatchesIndex) {
+  Fixture fx;
+  ASSERT_TRUE(fx.registry->register_function("sobel-1", fx.sobel_query()).ok());
+  for (int i = 0; i < 3; ++i) {
+    cluster::PodSpec spec;
+    spec.name = "sobel-1-" + std::to_string(i);
+    spec.function = "sobel-1";
+    ASSERT_TRUE(fx.cluster->create_pod(std::move(spec)).ok());
+  }
+  auto snapshot = fx.registry->assignments();
+  EXPECT_EQ(snapshot.size(), fx.registry->assignment_count());
+  std::size_t indexed = 0;
+  for (const auto& record : fx.registry->devices()) {
+    for (const std::string& instance :
+         fx.registry->instances_on_device(record.id)) {
+      ++indexed;
+      ASSERT_TRUE(snapshot.contains(instance));
+      EXPECT_EQ(snapshot.at(instance), record.id);
+    }
+  }
+  EXPECT_EQ(indexed, snapshot.size());
 }
 
 }  // namespace

@@ -225,9 +225,10 @@ TEST(SpaceSharing, MixedTenantsShareOneBoardThroughTheStack) {
   ASSERT_TRUE(bed.gateway().invoke("mm-1").ok());
   const std::string node = sobel_device->substr(5);
   EXPECT_EQ(bed.board(node).resident_accelerators().size(), 2u);
-  // No pod was migrated.
+  // No pod was migrated (still on its first generation).
   for (const cluster::Pod& pod : bed.cluster().list_pods()) {
-    EXPECT_FALSE(pod.spec.name.ends_with("-r")) << pod.spec.name;
+    EXPECT_EQ(cluster::migration_generation(pod.spec.name), 1u)
+        << pod.spec.name;
   }
 }
 

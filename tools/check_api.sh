@@ -39,4 +39,34 @@ done < <(grep -rnE '\bbool[[:space:]]+[a-z_][A-Za-z0-9_]*\(' \
 if [ "$status" -eq 0 ]; then
   echo "check_api: all bool-returning methods in src/ headers are predicates."
 fi
+
+# Assignment-map encapsulation: the registry's instance->device map and its
+# inverse index (instance_device_ / device_instances_) may only be mutated
+# by bind_instance_locked / unbind_instance_locked, fenced by the
+# "BEGIN/END instance_device_ accessors" markers in registry.cpp. A mutation
+# anywhere else can update one side without the other, and the churn
+# harness's I4 invariant (map <-> index agreement) only holds because every
+# writer goes through the pair.
+registry_cpp="$repo/src/registry/registry.cpp"
+begin_line="$(grep -n 'BEGIN instance_device_ accessors' "$registry_cpp" | cut -d: -f1 | head -1)"
+end_line="$(grep -n 'END instance_device_ accessors' "$registry_cpp" | cut -d: -f1 | head -1)"
+if [ -z "$begin_line" ] || [ -z "$end_line" ]; then
+  echo "check_api: accessor markers missing from src/registry/registry.cpp" >&2
+  status=1
+fi
+
+mutation_re='(instance_device_|device_instances_)[[:space:]]*(\[|\.[[:space:]]*(erase|insert|emplace|clear|swap)\b|=[^=])'
+while IFS=: read -r file line text; do
+  if [ "$file" = "$registry_cpp" ] && [ -n "$begin_line" ] && [ -n "$end_line" ] \
+     && [ "$line" -gt "$begin_line" ] && [ "$line" -lt "$end_line" ]; then
+    continue
+  fi
+  echo "check_api: $file:$line: direct mutation of the assignment map/index —" \
+       "go through bind_instance_locked / unbind_instance_locked" >&2
+  status=1
+done < <(grep -rnE "$mutation_re" "$repo/src" --include='*.cpp' --include='*.h' || true)
+
+if [ "$status" -eq 0 ]; then
+  echo "check_api: assignment map mutations are confined to the accessor block."
+fi
 exit "$status"
