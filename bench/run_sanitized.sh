@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Builds the tree under TSan and ASan (the BF_SANITIZE matrix from
-# CMakePresets.json) and runs the fault-, parallel-, recovery-, trace- and
-# churn-labeled tests — the fault-injection matrix plus the
+# CMakePresets.json) and runs the fault-, parallel-, recovery-, trace-,
+# churn- and sched-labeled tests — the fault-injection matrix plus the
 # queue/gate/event/pump suites it leans on, the worker-pool /
 # parallel-kernel suites, the deadline/retry/health recovery suite, the
 # golden-trace / span-invariant suites (TraceBuilder collects spans from
-# app threads, devmgr workers and board completions concurrently), and the
-# registry churn invariant stress harness — under each. Any sanitizer
-# report fails the run.
+# app threads, devmgr workers and board completions concurrently), the
+# registry churn invariant stress harness, and the device-scheduler policy
+# suite (dispatcher threads push while the worker pops) — under each. Any
+# sanitizer report fails the run.
 #
 # Usage: bench/run_sanitized.sh [thread|address ...]
 #   (defaults to both; pass a subset to save time)
@@ -35,14 +36,14 @@ for sanitizer in "${sanitizers[@]}"; do
   echo "=== [$sanitizer] build ==="
   cmake --build "$build" -j"$(nproc)"
 
-  echo "=== [$sanitizer] ctest -L 'fault|parallel|recovery|trace|churn' ==="
+  echo "=== [$sanitizer] ctest -L 'fault|parallel|recovery|trace|churn|sched' ==="
   # halt_on_error makes any report a hard test failure; the second-kill
   # suppression keeps TSan's atexit handling from masking the exit code.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
-    ctest --test-dir "$build" -L "fault|parallel|recovery|trace|churn" \
+    ctest --test-dir "$build" -L "fault|parallel|recovery|trace|churn|sched" \
       --output-on-failure
 done
 
-echo "All sanitized fault, parallel, recovery, trace and churn suites passed."
+echo "All sanitized fault, parallel, recovery, trace, churn and sched suites passed."

@@ -16,10 +16,16 @@ int main() {
 
   auto factory = [] { return std::make_unique<workloads::MatMulWorkload>(); };
 
+  SharingOptions options;
+  // Sequential pre-warm pins the tenants' gate-registration order, making
+  // the high-load cells run-to-run deterministic (docs/SCHEDULING.md).
+  options.prewarm = true;
+
   std::vector<ScenarioResult> cells;
   for (bool blastfunction : {true, false}) {
     for (const LoadConfig& config : mm_configs()) {
-      cells.push_back(run_sharing_cell(blastfunction, "mm", factory, config));
+      cells.push_back(
+          run_sharing_cell(blastfunction, "mm", factory, config, options));
     }
   }
 

@@ -24,6 +24,9 @@ int main() {
   options.warmup = vt::Duration::seconds(5);
   options.duration = vt::Duration::seconds(20);
   options.native_mode = faas::ExecutionMode::kPersistent;  // warm weights
+  // Sequential pre-warm pins the tenants' gate-registration order, making
+  // the high-load cells run-to-run deterministic (docs/SCHEDULING.md).
+  options.prewarm = true;
 
   std::vector<ScenarioResult> cells;
   for (bool blastfunction : {true, false}) {

@@ -46,7 +46,8 @@ DeviceManager::DeviceManager(DeviceManagerConfig config, sim::Board* board,
     : config_(std::move(config)),
       board_(board),
       node_shm_(node_shm),
-      endpoint_(config_.id) {
+      endpoint_(config_.id),
+      scheduler_(make_scheduler(config_.scheduler)) {
   BF_CHECK(board_ != nullptr);
   const metrics::Labels labels{{"device", board_->id()},
                                {"manager", config_.id}};
@@ -82,7 +83,7 @@ DeviceManager::~DeviceManager() { shutdown(); }
 void DeviceManager::shutdown() {
   if (shutdown_.exchange(true)) return;
   endpoint_.shutdown();  // closes connections and the gate
-  queue_.close();
+  scheduler_->close();
   if (worker_.joinable()) worker_.join();
   std::vector<std::thread> dispatchers;
   {
@@ -152,7 +153,7 @@ Result<DeviceManager::HealthSnapshot> DeviceManager::health() {
     return Unavailable("device manager " + config_.id + " is shut down");
   }
   HealthSnapshot snapshot;
-  snapshot.queue_depth = queue_.size();
+  snapshot.queue_depth = scheduler_->size();
   snapshot.accepting = true;
   {
     std::lock_guard lock(state_mutex_);
@@ -329,7 +330,7 @@ void DeviceManager::handle_sync(std::uint64_t session_id,
       task.program_waiter = std::make_shared<ProgramWaiter>();
       task.seq = next_task_seq_++;
       auto waiter = task.program_waiter;
-      if (Status pushed = queue_.push(std::move(task)); !pushed.ok()) {
+      if (Status pushed = scheduler_->push(std::move(task)); !pushed.ok()) {
         // Shutdown race: the queue rejected the task; complete the waiter
         // ourselves so the dispatcher below unblocks with a status.
         waiter->complete(pushed, at);
@@ -417,7 +418,7 @@ void DeviceManager::handle_sync(std::uint64_t session_id,
     }
     case proto::Method::kHealthCheck: {
       proto::HealthResp resp;
-      resp.queue_depth = queue_.size();
+      resp.queue_depth = scheduler_->size();
       resp.sessions = sessions_.size();
       resp.ops_executed = ops_executed_;
       resp.accepting = !shutdown_.load();
@@ -534,7 +535,11 @@ void DeviceManager::handle_command(std::uint64_t session_id,
     case proto::Method::kFlush: {
       auto request = decode<proto::FlushReq>(frame);
       if (!request.ok()) return;
-      seal_task(session, request.value().queue_id, at);
+      const vt::Time deadline = request.value().deadline_ns != 0
+                                    ? vt::Time::nanos(static_cast<std::int64_t>(
+                                          request.value().deadline_ns))
+                                    : vt::Time::infinite();
+      seal_task(session, request.value().queue_id, at, deadline);
       return;
     }
     case proto::Method::kFinish: {
@@ -546,7 +551,11 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       marker.queue_id = request.value().queue_id;
       session.building[request.value().queue_id].ops.push_back(
           std::move(marker));
-      seal_task(session, request.value().queue_id, at);
+      const vt::Time deadline = request.value().deadline_ns != 0
+                                    ? vt::Time::nanos(static_cast<std::int64_t>(
+                                          request.value().deadline_ns))
+                                    : vt::Time::infinite();
+      seal_task(session, request.value().queue_id, at, deadline);
       return;
     }
     default:
@@ -556,7 +565,7 @@ void DeviceManager::handle_command(std::uint64_t session_id,
 
 // Called with state_mutex_ held.
 void DeviceManager::seal_task(Session& session, std::uint64_t queue_id,
-                              vt::Time ready) {
+                              vt::Time ready, vt::Time deadline) {
   auto it = session.building.find(queue_id);
   if (it == session.building.end() || it->second.empty()) return;
   Task task = std::move(it->second);
@@ -565,11 +574,35 @@ void DeviceManager::seal_task(Session& session, std::uint64_t queue_id,
   task.client_id = session.client_id;
   task.queue_id = queue_id;
   task.ready = ready;
+  task.deadline = deadline;
   task.seq = next_task_seq_++;
+  // kBatching metadata: a task qualifies iff it is one dependency-free
+  // kernel launch (plus its transfers) moving a small number of bytes. The
+  // kernel id resolves to a name here, where the session map is at hand.
+  std::size_t kernel_ops = 0;
+  bool dependency_free = true;
+  std::uint64_t transfer_bytes = 0;
+  std::string kernel_name;
+  for (const Operation& op : task.ops) {
+    if (!op.wait_op_ids.empty()) dependency_free = false;
+    if (op.kind == Operation::Kind::kKernel) {
+      ++kernel_ops;
+      auto kernel_it = session.kernels.find(op.kernel_id);
+      if (kernel_it != session.kernels.end()) kernel_name = kernel_it->second;
+    } else if (op.kind == Operation::Kind::kWrite ||
+               op.kind == Operation::Kind::kRead) {
+      transfer_bytes += op.size;
+    }
+  }
+  if (kernel_ops == 1 && dependency_free && !kernel_name.empty() &&
+      transfer_bytes <= config_.scheduler.batch_small_bytes) {
+    task.batchable = true;
+    task.batch_key = kernel_name;
+  }
   std::vector<std::uint64_t> op_ids;
   op_ids.reserve(task.ops.size());
   for (const Operation& op : task.ops) op_ids.push_back(op.op_id);
-  if (Status pushed = queue_.push(std::move(task)); !pushed.ok()) {
+  if (Status pushed = scheduler_->push(std::move(task)); !pushed.ok()) {
     // Shutdown race: the central queue already closed. Fail every op's
     // event with the rejection status so no client event is left hanging
     // in FIRST/BUFFER (push-after-close must reject, never silently queue).
@@ -593,12 +626,19 @@ void DeviceManager::seal_task(Session& session, std::uint64_t queue_id,
 // --- Worker ---------------------------------------------------------------------
 
 void DeviceManager::worker_loop() {
-  bool ordered = true;
-  while (auto task = queue_.pop(endpoint_.gate(), &ordered)) {
+  for (;;) {
+    PopResult next = scheduler_->pop_next_safe(endpoint_.gate());
+    if (!next.task.has_value()) break;  // closed and drained
     if (config_.record_execution_journal) {
       std::lock_guard lock(state_mutex_);
-      journal_.push_back(
-          ExecutionRecord{task->ready, task->seq, task->client_id, ordered});
+      journal_.push_back(ExecutionRecord{next.task->ready, next.task->seq,
+                                         next.task->client_id,
+                                         next.strict_order});
+      for (const Task& companion : next.batch) {
+        journal_.push_back(ExecutionRecord{companion.ready, companion.seq,
+                                           companion.client_id,
+                                           next.strict_order});
+      }
     }
     if (fault::should_fire(fault::site::kDevmgrWorkerStall)) {
       // Real-time stall only: virtual stamps are untouched, so the modeled
@@ -606,7 +646,11 @@ void DeviceManager::worker_loop() {
       // shaken (the sanitizers' favorite food).
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    execute_task(*task);
+    if (next.batch.empty()) {
+      execute_task(*next.task);
+    } else {
+      execute_batch(*next.task, next.batch);
+    }
   }
 }
 
@@ -821,6 +865,225 @@ void DeviceManager::execute_task(const Task& task) {
   }
 }
 
+void DeviceManager::execute_batch(const Task& lead,
+                                  const std::vector<Task>& companions) {
+  // The scheduler only coalesces batchable tasks: one dependency-free kernel
+  // launch each (devmgr/scheduler.h), so the wait-list and program paths of
+  // execute_task cannot occur here. Phase A runs every task's pre-kernel
+  // transfers in batch order, the kernel launches execute as one board pass,
+  // and phase C runs the post-kernel ops — preserving each client's op order
+  // and the per-op completion/metrics/span semantics of execute_task.
+  struct ExecutedOp {
+    const Operation* op;
+    sim::Board::Interval interval;
+  };
+  struct Item {
+    const Task* task = nullptr;
+    std::string client_id;
+    trace::SpanContext request_ctx;
+    bool traced = false;
+    std::vector<ExecutedOp> executed;
+    vt::Time cursor;
+    bool abort_rest = false;
+    std::size_t kernel_index = 0;
+  };
+  std::vector<Item> items;
+  items.reserve(1 + companions.size());
+  auto add_item = [&](const Task& task) {
+    Item item;
+    item.task = &task;
+    item.cursor = task.ready;
+    {
+      std::lock_guard lock(state_mutex_);
+      auto session_it = sessions_.find(task.session_id);
+      if (session_it != sessions_.end()) {
+        item.client_id = session_it->second.client_id;
+      }
+    }
+    for (std::size_t i = 0; i < task.ops.size(); ++i) {
+      const Operation& op = task.ops[i];
+      if (op.kind == Operation::Kind::kKernel) item.kernel_index = i;
+      if (!item.request_ctx.is_valid() && op.trace.is_valid()) {
+        item.request_ctx = op.trace;
+      }
+    }
+    item.traced = item.request_ctx.is_valid() && trace::enabled();
+    items.push_back(std::move(item));
+  };
+  add_item(lead);
+  for (const Task& companion : companions) add_item(companion);
+
+  auto record_task_spans = [&](Item& item) {
+    if (!item.traced || item.executed.empty()) return;
+    const Task& task = *item.task;
+    vt::Time exec_start = item.executed.front().interval.start;
+    vt::Time task_end = exec_start;
+    for (const ExecutedOp& rec : item.executed) {
+      if (rec.interval.start < exec_start) exec_start = rec.interval.start;
+      if (rec.interval.end > task_end) task_end = rec.interval.end;
+    }
+    const trace::SpanContext task_ctx = item.request_ctx.child(
+        trace::salt::kTask ^
+        trace::mix64(static_cast<std::uint64_t>(task.ready.ns())) ^
+        trace::fnv1a(task.client_id));
+    const trace::SpanContext wait_ctx =
+        task_ctx.child(trace::salt::kQueueWait);
+    const trace::SpanContext exec_ctx = task_ctx.child(trace::salt::kExecute);
+    trace::record(trace::Span{config_.id, "task", task.ready, task_end,
+                              task_ctx.trace_id, task_ctx.span_id,
+                              item.request_ctx.span_id});
+    trace::record(trace::Span{config_.id, "queue-wait", task.ready,
+                              exec_start, wait_ctx.trace_id, wait_ctx.span_id,
+                              task_ctx.span_id});
+    trace::record(trace::Span{config_.id, "execute", exec_start, task_end,
+                              exec_ctx.trace_id, exec_ctx.span_id,
+                              task_ctx.span_id});
+    for (const ExecutedOp& rec : item.executed) {
+      const Operation& op = *rec.op;
+      if (op.kind == Operation::Kind::kFinish) continue;  // zero-width marker
+      const char* kind = op.kind == Operation::Kind::kWrite  ? "op:write"
+                         : op.kind == Operation::Kind::kRead ? "op:read"
+                                                             : "op:kernel";
+      const trace::SpanContext op_ctx =
+          op.trace.child(trace::salt::kOp ^ op.op_id);
+      trace::record(trace::Span{config_.id, kind, rec.interval.start,
+                                rec.interval.end, op_ctx.trace_id,
+                                op_ctx.span_id, exec_ctx.span_id});
+    }
+  };
+
+  auto fail_op_aborted = [&](Item& item, const Operation& op) {
+    proto::OpComplete completion;
+    completion.op_id = op.op_id;
+    completion.status =
+        proto::StatusMsg::from(Aborted("injected fault: mid-task shutdown"));
+    {
+      std::lock_guard lock(state_mutex_);
+      ++ops_executed_;
+      if (&op == &item.task->ops.back()) ++tasks_executed_;
+    }
+    ops_counter_->increment();
+    if (&op == &item.task->ops.back()) {
+      tasks_counter_->increment();
+      record_task_spans(item);  // spans for the successful prefix, if any
+    }
+    notify_completion(item.task->session_id, op.op_id, completion,
+                      item.cursor);
+  };
+
+  auto complete_op = [&](Item& item, const Operation& op,
+                         const Result<sim::Board::Interval>& interval,
+                         proto::OpComplete& completion) {
+    const Task& task = *item.task;
+    if (interval.ok()) {
+      item.cursor = interval.value().end;
+      if (item.traced) {
+        item.executed.push_back(ExecutedOp{&op, interval.value()});
+      }
+      completion.status = proto::StatusMsg::from(Status::Ok());
+      std::lock_guard lock(state_mutex_);
+      if (interval.value().end > interval.value().start) {
+        busy_records_.push_back(BusyRecord{item.client_id, interval.value()});
+      }
+      auto session_it = sessions_.find(task.session_id);
+      if (session_it != sessions_.end()) {
+        session_it->second.completed_ops[op.op_id] = interval.value().end;
+      }
+    } else {
+      completion.status = proto::StatusMsg::from(interval.status());
+    }
+    {
+      std::lock_guard lock(state_mutex_);
+      ++ops_executed_;
+      if (&op == &task.ops.back()) ++tasks_executed_;
+    }
+    ops_counter_->increment();
+    if (&op == &task.ops.back()) {
+      tasks_counter_->increment();
+      task_span_ms_->observe((item.cursor - task.ready).ms(),
+                             item.request_ctx.trace_id);
+      busy_ms_gauge_->set(board_->busy_total().ms());
+      record_task_spans(item);
+    }
+    notify_completion(task.session_id, op.op_id, completion, item.cursor);
+  };
+
+  auto run_op = [&](Item& item, const Operation& op) {
+    if (!item.abort_rest &&
+        fault::should_fire(fault::site::kDevmgrTaskAbort)) {
+      item.abort_rest = true;
+    }
+    if (item.abort_rest) {
+      fail_op_aborted(item, op);
+      return;
+    }
+    proto::OpComplete completion;
+    completion.op_id = op.op_id;
+    auto interval =
+        execute_operation(item.task->session_id, op, item.cursor, completion);
+    complete_op(item, op, interval, completion);
+  };
+
+  // Phase A: pre-kernel transfers, batch order.
+  for (Item& item : items) {
+    for (std::size_t i = 0; i < item.kernel_index; ++i) {
+      run_op(item, item.task->ops[i]);
+    }
+  }
+
+  // The coalesced kernel pass: one launch overhead for the whole batch. A
+  // task aborted or failed during phase A drops out; its kernel op fails.
+  std::vector<Item*> live;
+  std::vector<sim::KernelLaunch> launches;
+  vt::Time pass_ready = vt::Time::zero();
+  for (Item& item : items) {
+    const Operation& op = item.task->ops[item.kernel_index];
+    if (!item.abort_rest &&
+        fault::should_fire(fault::site::kDevmgrTaskAbort)) {
+      item.abort_rest = true;
+    }
+    if (item.abort_rest) {
+      fail_op_aborted(item, op);
+      continue;
+    }
+    auto launch = resolve_kernel(item.task->session_id, op);
+    if (!launch.ok()) {
+      proto::OpComplete completion;
+      completion.op_id = op.op_id;
+      complete_op(item, op, launch.status(), completion);
+      continue;
+    }
+    if (op.trace.is_valid()) {
+      launch.value().trace = op.trace.child(trace::salt::kOp ^ op.op_id);
+    }
+    live.push_back(&item);
+    launches.push_back(std::move(launch.value()));
+    pass_ready = vt::max(pass_ready, item.cursor);
+  }
+  if (!live.empty()) {
+    auto intervals = board_->run_kernel_batch(launches, pass_ready);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Item& item = *live[i];
+      const Operation& op = item.task->ops[item.kernel_index];
+      proto::OpComplete completion;
+      completion.op_id = op.op_id;
+      if (intervals.ok()) {
+        complete_op(item, op, intervals.value()[i], completion);
+      } else {
+        complete_op(item, op, intervals.status(), completion);
+      }
+    }
+  }
+
+  // Phase C: post-kernel ops (reads, finish markers), batch order.
+  for (Item& item : items) {
+    for (std::size_t i = item.kernel_index + 1; i < item.task->ops.size();
+         ++i) {
+      run_op(item, item.task->ops[i]);
+    }
+  }
+}
+
 Result<sim::Board::Interval> DeviceManager::execute_operation(
     std::uint64_t session_id, const Operation& op, vt::Time ready,
     proto::OpComplete& completion) {
@@ -977,7 +1240,7 @@ void DeviceManager::cleanup_session(std::uint64_t session_id) {
   // spends board time on work nobody can observe. Program waiters are
   // completed with kCancelled (the dispatcher blocked on them belongs to
   // this very connection, but a shutdown drain may also reach here).
-  std::vector<Task> cancelled = queue_.cancel_session(session_id);
+  std::vector<Task> cancelled = scheduler_->cancel_session(session_id);
   for (Task& task : cancelled) {
     if (task.program_waiter != nullptr) {
       task.program_waiter->complete(

@@ -6,8 +6,10 @@
 //     buffers, kernels, queues), and
 //   * command-queue methods by accumulating them into per-(client, queue)
 //     tasks; a flush seals the task into the central queue.
-// A single worker thread pulls tasks in modeled-FIFO order and executes them
-// exclusively on the board, notifying each operation's event on completion.
+// A single worker thread pulls tasks in scheduler-policy order (modeled FIFO
+// by default; see devmgr/scheduler.h for the weighted-fair, deadline, and
+// batching alternatives) and executes them exclusively on the board,
+// notifying each operation's event on completion.
 // Board reconfiguration is the one synchronous method that rides the central
 // queue, blocking all other operations while the board is programmed.
 //
@@ -24,8 +26,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "devmgr/scheduler.h"
 #include "devmgr/task.h"
-#include "devmgr/task_queue.h"
 #include "metrics/metrics.h"
 #include "net/endpoint.h"
 #include "shm/namespace.h"
@@ -49,6 +51,9 @@ struct DeviceManagerConfig {
   // in-memory journal. Unbounded — test/audit use only (the fault matrix
   // asserts modeled-FIFO order against it); leave off in load experiments.
   bool record_execution_journal = false;
+  // Central-queue scheduling policy (devmgr/scheduler.h). The default kFifo
+  // reproduces the paper's modeled-FIFO behavior exactly.
+  SchedulerConfig scheduler;
 };
 
 class DeviceManager {
@@ -108,7 +113,7 @@ class DeviceManager {
   // Unavailable once shutdown has begun; a probing registry treats that the
   // same as an unreachable manager.
   struct HealthSnapshot {
-    std::size_t queue_depth = 0;   // sealed tasks waiting in the FIFO
+    std::size_t queue_depth = 0;   // sealed tasks waiting in the scheduler
     std::size_t sessions = 0;      // open client sessions
     std::uint64_t ops_executed = 0;
     bool accepting = true;
@@ -149,10 +154,14 @@ class DeviceManager {
   void handle_sync(std::uint64_t session_id, const net::Frame& frame);
   void handle_command(std::uint64_t session_id, const net::Frame& frame);
   // Requires state_mutex_ held.
-  void seal_task(Session& session, std::uint64_t queue_id, vt::Time ready);
+  void seal_task(Session& session, std::uint64_t queue_id, vt::Time ready,
+                 vt::Time deadline);
 
   // Worker-side execution.
   void execute_task(const Task& task);
+  // Executes a batchable lead task plus its coalesced companions as one
+  // board pass (kBatching policy; devmgr/scheduler.h).
+  void execute_batch(const Task& lead, const std::vector<Task>& companions);
   // Returns the op's exclusive board occupancy interval.
   Result<sim::Board::Interval> execute_operation(
       std::uint64_t session_id, const Operation& op, vt::Time ready,
@@ -169,7 +178,7 @@ class DeviceManager {
   sim::Board* board_;
   shm::Namespace* node_shm_;
   net::ServerEndpoint endpoint_;
-  TaskQueue queue_;
+  std::unique_ptr<Scheduler> scheduler_;
   metrics::Registry metrics_;
 
   mutable std::mutex state_mutex_;

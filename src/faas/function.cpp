@@ -119,6 +119,14 @@ Result<InvokeResult> FunctionInstance::invoke_locked(
   return out;
 }
 
+Status FunctionInstance::warm() {
+  std::lock_guard lock(mutex_);
+  if (config_.mode != ExecutionMode::kPersistent || context_ != nullptr) {
+    return Status::Ok();
+  }
+  return cold_start_locked();
+}
+
 void FunctionInstance::advance_clock_to(vt::Time t) {
   std::lock_guard lock(mutex_);
   session_.clock().advance_to(t);

@@ -83,6 +83,14 @@ class FunctionInstance {
   [[nodiscard]] std::uint64_t errors() const;
   [[nodiscard]] bool cold() const;
 
+  // Eagerly performs the persistent-mode cold start (context creation +
+  // workload setup) that invoke() would otherwise do lazily on the first
+  // request. No-op when already warm or in fork-per-request mode. Warming
+  // sequentially before driving load makes every tenant's device-manager
+  // session (and gate registration) exist up front, so cross-tenant task
+  // order never depends on which driver thread connected first.
+  Status warm();
+
   // Tears down the OpenCL context (end of experiment / pod deletion) so the
   // device manager's gate no longer waits on this tenant.
   void shutdown();

@@ -206,6 +206,13 @@ std::size_t Gateway::instance_count() const {
   return pods_.size();
 }
 
+Status Gateway::warm(const std::string& function) {
+  for (const auto& instance : instances(function)) {
+    if (Status s = instance->warm(); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
 void Gateway::shutdown_instances() {
   std::map<std::string, std::shared_ptr<FunctionInstance>> pods;
   {

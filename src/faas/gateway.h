@@ -69,6 +69,12 @@ class Gateway {
       const std::string& function) const;
   [[nodiscard]] std::size_t instance_count() const;
 
+  // Eagerly cold-starts every replica of the function, in replica order
+  // (FunctionInstance::warm). Called sequentially before driving load it
+  // makes session/gate registration order deterministic instead of a race
+  // between driver threads. Returns the first failure.
+  Status warm(const std::string& function);
+
   // Destroys every instance's OpenCL context (end of experiment).
   void shutdown_instances();
 

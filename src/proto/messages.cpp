@@ -665,6 +665,9 @@ Result<EnqueueKernelReq> EnqueueKernelReq::decode(Reader& reader) {
 
 void FlushReq::encode(Writer& writer) const {
   writer.field_uint(1, queue_id);
+  if (deadline_ns != 0) {
+    writer.field_uint(2, deadline_ns);
+  }
 }
 
 Result<FlushReq> FlushReq::decode(Reader& reader) {
@@ -672,6 +675,7 @@ Result<FlushReq> FlushReq::decode(Reader& reader) {
   Status s = decode_fields(reader, [&](Reader::FieldHeader h) -> Status {
     switch (h.field) {
       case 1: return take_uint(reader, out.queue_id);
+      case 2: return take_uint(reader, out.deadline_ns);
       default: return reader.skip(h.type);
     }
   });
@@ -682,6 +686,9 @@ Result<FlushReq> FlushReq::decode(Reader& reader) {
 void FinishReq::encode(Writer& writer) const {
   writer.field_uint(1, op_id);
   writer.field_uint(2, queue_id);
+  if (deadline_ns != 0) {
+    writer.field_uint(3, deadline_ns);
+  }
 }
 
 Result<FinishReq> FinishReq::decode(Reader& reader) {
@@ -690,6 +697,7 @@ Result<FinishReq> FinishReq::decode(Reader& reader) {
     switch (h.field) {
       case 1: return take_uint(reader, out.op_id);
       case 2: return take_uint(reader, out.queue_id);
+      case 3: return take_uint(reader, out.deadline_ns);
       default: return reader.skip(h.type);
     }
   });

@@ -264,6 +264,10 @@ struct EnqueueKernelReq {
 
 struct FlushReq {
   std::uint64_t queue_id = 0;
+  // Modeled completion deadline (ns since experiment start) the client
+  // derived from its CallOptions timeout; 0 = none. Only the kDeadline
+  // scheduling policy consults it.
+  std::uint64_t deadline_ns = 0;
 
   void encode(Writer& writer) const;
   static Result<FlushReq> decode(Reader& reader);
@@ -273,6 +277,7 @@ struct FlushReq {
 struct FinishReq {
   std::uint64_t op_id = 0;
   std::uint64_t queue_id = 0;
+  std::uint64_t deadline_ns = 0;  // as FlushReq::deadline_ns
 
   void encode(Writer& writer) const;
   static Result<FinishReq> decode(Reader& reader);

@@ -225,6 +225,94 @@ Result<Board::Interval> Board::run_kernel(const KernelLaunch& launch,
   return interval;
 }
 
+Result<std::vector<Board::Interval>> Board::run_kernel_batch(
+    const std::vector<KernelLaunch>& launches, vt::Time ready) {
+  if (launches.empty()) {
+    return InvalidArgument("empty kernel batch");
+  }
+  if (launches.size() == 1) {
+    auto interval = run_kernel(launches.front(), ready);
+    if (!interval.ok()) return interval.status();
+    return std::vector<Interval>{interval.value()};
+  }
+  std::lock_guard lock(mutex_);
+  const std::string& kernel = launches.front().kernel;
+  for (const KernelLaunch& launch : launches) {
+    if (launch.kernel != kernel) {
+      return InvalidArgument("kernel batch mixes '" + kernel + "' and '" +
+                             launch.kernel + "'");
+    }
+  }
+  bool any_configured = false;
+  for (const Region& region : regions_) {
+    any_configured |= region.bitstream.has_value();
+  }
+  if (!any_configured) {
+    return FailedPrecondition("board " + config_.id + " is not configured");
+  }
+  const Region* region = region_with_kernel_locked(kernel);
+  if (region == nullptr) {
+    return NotFound("kernel '" + kernel + "' not resident on board '" +
+                    config_.id + "'");
+  }
+  const KernelModel* model = KernelRegistry::standard().find(kernel);
+  if (model == nullptr) {
+    return Internal("no model for kernel '" + kernel + "'");
+  }
+  // Validate and cost every launch before touching memory, so a bad launch
+  // fails the whole batch with no partial functional effects.
+  std::vector<vt::Duration> exec_times;
+  exec_times.reserve(launches.size());
+  for (const KernelLaunch& launch : launches) {
+    if (Status s = model->validate(launch); !s.ok()) return s;
+    auto exec_time = model->execution_time(launch);
+    if (!exec_time.ok()) return exec_time.status();
+    exec_times.push_back(exec_time.value());
+  }
+  if (config_.functional) {
+    for (const KernelLaunch& launch : launches) {
+      if (Status s = model->execute(launch, memory_); !s.ok()) return s;
+    }
+  }
+  kernel_launches_ += launches.size();
+  // Every model's execution_time includes the fixed launch overhead; the
+  // followers ride the already-filled pipeline, so the pass pays it once.
+  const vt::Duration overhead = kernel_launch_overhead();
+  const vt::Duration zero = vt::Duration::nanos(0);
+  std::vector<vt::Duration> shares;
+  shares.reserve(launches.size());
+  vt::Duration total = zero;
+  for (std::size_t i = 0; i < exec_times.size(); ++i) {
+    const vt::Duration share =
+        i == 0 ? exec_times[i] : vt::max(exec_times[i] - overhead, zero);
+    shares.push_back(share);
+    total += share;
+  }
+  const auto region_index = static_cast<unsigned>(region - regions_.data());
+  const Interval pass = schedule_kernel_locked(region_index, ready, total);
+  std::vector<Interval> intervals;
+  intervals.reserve(launches.size());
+  vt::Time cursor = pass.start;
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    const Interval interval{cursor, cursor + shares[i]};
+    cursor = interval.end;
+    intervals.push_back(interval);
+    const KernelLaunch& launch = launches[i];
+    if (launch.trace.is_valid() && trace::enabled()) {
+      trace::Span span;
+      span.track = config_.id;
+      span.name = "kernel:" + launch.kernel;
+      span.start = interval.start;
+      span.end = interval.end;
+      span.trace_id = launch.trace.trace_id;
+      span.span_id = launch.trace.child(trace::salt::kKernel).span_id;
+      span.parent_span_id = launch.trace.span_id;
+      trace::record(std::move(span));
+    }
+  }
+  return intervals;
+}
+
 std::uint64_t Board::memory_capacity() const {
   std::lock_guard lock(mutex_);
   return memory_.capacity();

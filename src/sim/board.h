@@ -100,6 +100,15 @@ class Board {
   // functionally when enabled, and schedules its modeled time exclusively.
   Result<Interval> run_kernel(const KernelLaunch& launch, vt::Time ready);
 
+  // Coalesced pass: executes several same-kernel launches back to back in
+  // one exclusive occupancy, paying the fixed per-launch overhead
+  // (kernel_launch_overhead()) once instead of once per launch. Functional
+  // effects and per-launch modeled compute are unchanged. Returns one
+  // sequential sub-interval per launch, in input order, partitioning the
+  // pass. All launches must name the same kernel.
+  Result<std::vector<Interval>> run_kernel_batch(
+      const std::vector<KernelLaunch>& launches, vt::Time ready);
+
   // --- Introspection / metrics ----------------------------------------------
 
   [[nodiscard]] std::uint64_t memory_capacity() const;

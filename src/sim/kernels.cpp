@@ -257,6 +257,8 @@ ScopedKernelParallelism::~ScopedKernelParallelism() {
   g_pool_override.store(previous_, std::memory_order_release);
 }
 
+vt::Duration kernel_launch_overhead() { return kLaunchOverhead; }
+
 Result<MemHandle> arg_buffer(const KernelLaunch& launch, std::size_t index) {
   if (index >= launch.args.size()) {
     return InvalidArgument("kernel '" + launch.kernel + "': missing arg " +

@@ -64,6 +64,11 @@ struct KernelLaunch {
 Result<MemHandle> arg_buffer(const KernelLaunch& launch, std::size_t index);
 Result<std::int64_t> arg_scalar(const KernelLaunch& launch, std::size_t index);
 
+// Fixed per-enqueue on-device launch overhead (pipeline fill, DMA descriptor
+// setup) baked into every model's execution_time. Exposed so a coalesced
+// batch pass (Board::run_kernel_batch) can pay it once instead of per launch.
+[[nodiscard]] vt::Duration kernel_launch_overhead();
+
 class KernelModel {
  public:
   virtual ~KernelModel() = default;

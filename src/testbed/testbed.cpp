@@ -117,6 +117,7 @@ void Testbed::add_node_stack(const std::string& name,
   manager_config.id = "devmgr-" + name;
   manager_config.allow_shared_memory = options_.use_shared_memory;
   manager_config.gate_stall_grace = options_.gate_stall_grace;
+  manager_config.scheduler = options_.scheduler;
   managers_.push_back(std::make_unique<devmgr::DeviceManager>(
       manager_config, boards_.back().get(),
       options_.use_shared_memory ? shm_.back().get() : nullptr));

@@ -54,6 +54,9 @@ struct TestbedOptions {
   // Device Managers' conservative-gate stall grace (docs/VIRTUAL_TIME.md);
   // recovery tests lower it so wedged producers fall back quickly.
   std::chrono::milliseconds gate_stall_grace{1000};
+  // Central-queue scheduling policy for every Device Manager
+  // (docs/SCHEDULING.md). The default kFifo is the paper's modeled FIFO.
+  devmgr::SchedulerConfig scheduler;
   // When set, installed as the process-wide request-trace sink for the
   // testbed's lifetime (docs/TRACING.md): every request minted through the
   // gateway collects parent-linked spans here. Must outlive the Testbed.

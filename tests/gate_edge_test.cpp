@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "devmgr/task_queue.h"
+#include "devmgr/scheduler.h"
 #include "vt/gate.h"
 
 namespace bf::vt {
@@ -132,11 +132,11 @@ TEST(GateEdge, ActiveProducerNeverTripsFallback) {
   producer.join();
 }
 
-TEST(GateEdge, ShutdownWhileConsumerBlocksInTaskQueuePop) {
+TEST(GateEdge, ShutdownWhileConsumerBlocksInSchedulerPop) {
   // The integrated shape of the shutdown edge: a worker blocked in
-  // TaskQueue::pop -> Gate::wait_safe is unblocked by gate shutdown and
-  // still drains the queued task, marked unordered.
-  devmgr::TaskQueue queue;
+  // Scheduler::pop_next_safe -> Gate::wait_safe is unblocked by gate
+  // shutdown and still drains the queued task, marked unordered.
+  auto queue = devmgr::make_scheduler({});
   Gate gate;
   gate.set_stall_grace(std::chrono::hours(1));
   auto source = gate.register_source(Time::zero());  // holds the gate shut
@@ -144,21 +144,22 @@ TEST(GateEdge, ShutdownWhileConsumerBlocksInTaskQueuePop) {
   task.seq = 1;
   task.client_id = "a";
   task.ready = Time::millis(10);
-  ASSERT_TRUE(queue.push(task).ok());
+  ASSERT_TRUE(queue->push(task).ok());
   std::atomic<bool> done{false};
-  std::optional<devmgr::Task> popped;
-  bool ordered = true;
+  devmgr::PopResult popped;
   std::thread consumer([&] {
-    popped = queue.pop(gate, &ordered);
+    popped = queue->pop_next_safe(gate);
     done = true;
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_FALSE(done.load());
   gate.shutdown();
   consumer.join();
-  ASSERT_TRUE(popped.has_value());
-  EXPECT_EQ(popped->seq, 1u);
-  EXPECT_FALSE(ordered);  // shutdown drain carries no FIFO guarantee
+  ASSERT_TRUE(popped.task.has_value());
+  EXPECT_EQ(popped.task->seq, 1u);
+  // Shutdown drain carries no FIFO guarantee.
+  EXPECT_FALSE(popped.strict_order);
+  EXPECT_EQ(popped.reason, devmgr::PopReason::kShutdownDrain);
 }
 
 // Seeded trace-equality regression: a gated consumer draining a seeded
@@ -170,7 +171,7 @@ class GateDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(GateDeterminismTest, SeededScheduleDrainsIdentically) {
   constexpr std::uint64_t kTasks = 64;
   auto run_once = [&](std::uint64_t seed) {
-    devmgr::TaskQueue queue;
+    auto queue = devmgr::make_scheduler({});
     Gate gate;
     gate.set_stall_grace(std::chrono::seconds(5));
     auto source = gate.register_source(Time::zero());
@@ -192,7 +193,7 @@ TEST_P(GateDeterminismTest, SeededScheduleDrainsIdentically) {
           task.seq = seq;
           task.client_id = "client-" + std::to_string(rng.next_u64() % 3);
           task.ready = stamp;
-          EXPECT_TRUE(queue.push(std::move(task)).ok());
+          EXPECT_TRUE(queue->push(std::move(task)).ok());
         }
         source.announce(stamp + Duration::nanos(1));
         if (seq % 8 == 0) {
@@ -204,15 +205,14 @@ TEST_P(GateDeterminismTest, SeededScheduleDrainsIdentically) {
     std::vector<std::string> trace;
     bool fallback_seen = false;
     for (std::uint64_t i = 0; i < kTasks; ++i) {
-      bool ordered = true;
-      auto task = queue.pop(gate, &ordered);
-      if (!task.has_value()) {
+      devmgr::PopResult r = queue->pop_next_safe(gate);
+      if (!r.task.has_value()) {
         ADD_FAILURE() << "queue drained early at task " << i;
         break;
       }
-      fallback_seen = fallback_seen || !ordered;
-      trace.push_back(std::to_string(task->ready.ns()) + "/" +
-                      task->client_id + "/" + std::to_string(task->seq));
+      fallback_seen = fallback_seen || !r.strict_order;
+      trace.push_back(std::to_string(r.task->ready.ns()) + "/" +
+                      r.task->client_id + "/" + std::to_string(r.task->seq));
     }
     producer.join();
     // With an actively announcing producer the stall-breaker must stay out

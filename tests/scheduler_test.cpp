@@ -1,0 +1,592 @@
+// bf::devmgr::Scheduler: the pluggable central queue behind the Device
+// Manager, exercised directly (unit level) through make_scheduler.
+//
+// The FifoScheduler section is the golden behavior contract inherited from
+// the historical TaskQueue: every ordering, gating, close and drain property
+// the old queue guaranteed must hold byte-identically for the default
+// policy. The remaining sections cover the three new policies: weighted
+// fair queueing share proportionality, EDF deadline ordering, and batching
+// coalescing/ordering/cancel semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "devmgr/scheduler.h"
+
+namespace bf::devmgr {
+namespace {
+
+Task make_task(std::uint64_t seq, const std::string& client, vt::Time ready) {
+  Task task;
+  task.seq = seq;
+  task.client_id = client;
+  task.ready = ready;
+  Operation op;
+  op.kind = Operation::Kind::kFinish;
+  op.op_id = seq;
+  task.ops.push_back(op);
+  return task;
+}
+
+Task make_batchable(std::uint64_t seq, const std::string& client,
+                    vt::Time ready, const std::string& key,
+                    std::uint64_t session_id = 0) {
+  Task task = make_task(seq, client, ready);
+  task.session_id = session_id;
+  task.batchable = true;
+  task.batch_key = key;
+  task.ops[0].kind = Operation::Kind::kKernel;
+  return task;
+}
+
+std::unique_ptr<Scheduler> make_fifo() { return make_scheduler({}); }
+
+// Convenience for tests where the pop cannot block: asserts a task came out.
+Task pop_one(Scheduler& queue, vt::Gate& gate) {
+  PopResult result = queue.pop_next_safe(gate);
+  EXPECT_TRUE(result.task.has_value());
+  return std::move(*result.task);
+}
+
+// ---- FifoScheduler: the TaskQueue golden behavior contract -------------------
+
+TEST(FifoScheduler, PopsInReadyOrderNotPushOrder) {
+  auto queue = make_fifo();
+  vt::Gate gate;  // no sources: always safe
+  ASSERT_TRUE(queue->push(make_task(1, "b", vt::Time::millis(30))).ok());
+  ASSERT_TRUE(queue->push(make_task(2, "a", vt::Time::millis(10))).ok());
+  ASSERT_TRUE(queue->push(make_task(3, "c", vt::Time::millis(20))).ok());
+  EXPECT_EQ(pop_one(*queue, gate).ready, vt::Time::millis(10));
+  EXPECT_EQ(pop_one(*queue, gate).ready, vt::Time::millis(20));
+  EXPECT_EQ(pop_one(*queue, gate).ready, vt::Time::millis(30));
+}
+
+TEST(FifoScheduler, EqualStampsBreakTiesByClientThenSeq) {
+  auto queue = make_fifo();
+  vt::Gate gate;
+  ASSERT_TRUE(queue->push(make_task(5, "zeta", vt::Time::millis(10))).ok());
+  ASSERT_TRUE(queue->push(make_task(9, "alpha", vt::Time::millis(10))).ok());
+  ASSERT_TRUE(queue->push(make_task(7, "alpha", vt::Time::millis(10))).ok());
+  Task first = pop_one(*queue, gate);
+  Task second = pop_one(*queue, gate);
+  Task third = pop_one(*queue, gate);
+  EXPECT_EQ(first.client_id, "alpha");
+  EXPECT_EQ(first.seq, 7u);
+  EXPECT_EQ(second.client_id, "alpha");
+  EXPECT_EQ(second.seq, 9u);
+  EXPECT_EQ(third.client_id, "zeta");
+}
+
+TEST(FifoScheduler, SafePopsReportStrictOrder) {
+  auto queue = make_fifo();
+  vt::Gate gate;
+  ASSERT_TRUE(queue->push(make_task(1, "a", vt::Time::millis(1))).ok());
+  PopResult result = queue->pop_next_safe(gate);
+  ASSERT_TRUE(result.task.has_value());
+  EXPECT_TRUE(result.strict_order);
+  EXPECT_EQ(result.reason, PopReason::kSafe);
+  EXPECT_TRUE(result.batch.empty());  // only kBatching ever fills this
+}
+
+TEST(FifoScheduler, PopWaitsForGateSafety) {
+  auto queue = make_fifo();
+  vt::Gate gate;
+  auto source = gate.register_source(vt::Time::millis(1));
+  ASSERT_TRUE(queue->push(make_task(1, "a", vt::Time::millis(100))).ok());
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    PopResult result = queue->pop_next_safe(gate);
+    EXPECT_TRUE(result.task.has_value());
+    popped = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(popped.load());  // source bound below the task stamp
+  source.announce(vt::Time::millis(200));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(FifoScheduler, EarlierTaskArrivingDuringWaitIsServedFirst) {
+  auto queue = make_fifo();
+  vt::Gate gate;
+  auto source = gate.register_source(vt::Time::millis(1));
+  ASSERT_TRUE(queue->push(make_task(1, "late", vt::Time::millis(100))).ok());
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(queue->push(make_task(2, "early", vt::Time::millis(50))).ok());
+    source.announce(vt::Time::millis(300));
+  });
+  PopResult first = queue->pop_next_safe(gate);
+  producer.join();
+  ASSERT_TRUE(first.task.has_value());
+  EXPECT_EQ(first.task->client_id, "early");
+  EXPECT_EQ(pop_one(*queue, gate).client_id, "late");
+}
+
+TEST(FifoScheduler, CloseDrainsWaiters) {
+  auto queue = make_fifo();
+  vt::Gate gate;
+  std::thread consumer([&] {
+    PopResult result = queue->pop_next_safe(gate);
+    EXPECT_FALSE(result.task.has_value());
+    EXPECT_EQ(result.reason, PopReason::kClosedDrained);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue->close();
+  consumer.join();
+  // Pushes after close are rejected with a deterministic status.
+  Status rejected = queue->push(make_task(1, "a", vt::Time::millis(1)));
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(queue->size(), 0u);
+}
+
+TEST(FifoScheduler, PushAfterCloseAlwaysRejected) {
+  auto queue = make_fifo();
+  queue->close();
+  for (int i = 0; i < 10; ++i) {
+    Status status = queue->push(make_task(static_cast<std::uint64_t>(i), "a",
+                                          vt::Time::millis(i)));
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(queue->size(), 0u);
+}
+
+TEST(FifoScheduler, ConcurrentCloseAndPushNeverLosesAcceptedTasks) {
+  // A push racing close() must either be accepted (and then drainable) or
+  // rejected with kUnavailable — never silently dropped.
+  for (int round = 0; round < 20; ++round) {
+    auto queue = make_fifo();
+    vt::Gate gate;
+    gate.shutdown();  // pops drain without gating
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 50; ++i) {
+          Status status = queue->push(
+              make_task(static_cast<std::uint64_t>(p * 50 + i),
+                        "client-" + std::to_string(p), vt::Time::millis(i)));
+          if (status.ok()) {
+            accepted.fetch_add(1);
+          } else {
+            EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    queue->close();
+    for (auto& producer : producers) producer.join();
+    int drained = 0;
+    while (queue->pop_next_safe(gate).task.has_value()) ++drained;
+    EXPECT_EQ(drained, accepted.load());
+    // After close has been observed by every producer, rejection is sticky.
+    EXPECT_EQ(queue->push(make_task(999, "late", vt::Time::zero())).code(),
+              StatusCode::kUnavailable);
+  }
+}
+
+TEST(FifoScheduler, GateShutdownStillDrainsTasks) {
+  // ProgramWaiter holders must not be stranded at shutdown.
+  auto queue = make_fifo();
+  vt::Gate gate;
+  ASSERT_TRUE(queue->push(make_task(1, "a", vt::Time::millis(10))).ok());
+  gate.shutdown();
+  PopResult result = queue->pop_next_safe(gate);
+  ASSERT_TRUE(result.task.has_value());
+  EXPECT_EQ(result.task->seq, 1u);
+  EXPECT_FALSE(result.strict_order);
+  EXPECT_EQ(result.reason, PopReason::kShutdownDrain);
+}
+
+TEST(FifoScheduler, StressManyProducersOrderPreserved) {
+  auto queue = make_fifo();
+  vt::Gate gate;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(
+            queue
+                ->push(make_task(
+                    static_cast<std::uint64_t>(p * kPerProducer + i),
+                    "client-" + std::to_string(p),
+                    vt::Time::millis(1 + (i * 7 + p * 3) % 1000)))
+                .ok());
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  vt::Time last = vt::Time::zero();
+  int count = 0;
+  while (queue->size() > 0) {
+    Task task = pop_one(*queue, gate);
+    EXPECT_GE(task.ready, last);
+    last = task.ready;
+    ++count;
+  }
+  EXPECT_EQ(count, 4 * kPerProducer);
+}
+
+TEST(ProgramWaiter, DeliversStatusAndTime) {
+  ProgramWaiter waiter;
+  std::thread completer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    waiter.complete(NotFound("nope"), vt::Time::millis(42));
+  });
+  auto [status, end] = waiter.wait();
+  completer.join();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(end, vt::Time::millis(42));
+}
+
+// ---- WfqScheduler: per-tenant weighted fair queueing -------------------------
+
+TEST(WfqScheduler, SharesTrackWeightsUnderBacklog) {
+  // Two backlogged tenants with weights 3:1: with unit task cost, tenant a's
+  // k-th task carries finish tag k/3 and tenant b's carries k, so any prefix
+  // of the drain serves them 3:1 (exactly, ties broken by client id).
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kWeightedFair;
+  config.weights = {{"a", 3.0}, {"b", 1.0}};
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(queue->push(make_task(seq++, "a", vt::Time::millis(1))).ok());
+    ASSERT_TRUE(queue->push(make_task(seq++, "b", vt::Time::millis(1))).ok());
+  }
+  int served_a = 0;
+  int served_b = 0;
+  for (int i = 0; i < 40; ++i) {
+    Task task = pop_one(*queue, gate);
+    (task.client_id == "a" ? served_a : served_b)++;
+  }
+  EXPECT_EQ(served_a, 30);
+  EXPECT_EQ(served_b, 10);
+}
+
+TEST(WfqScheduler, UnweightedClientsFallBackToDefaultWeight) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kWeightedFair;
+  config.default_weight = 1.0;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(queue->push(make_task(seq++, "x", vt::Time::millis(1))).ok());
+    ASSERT_TRUE(queue->push(make_task(seq++, "y", vt::Time::millis(1))).ok());
+  }
+  // Equal weights: the drain alternates in balanced 1:1 shares.
+  int served_x = 0;
+  for (int i = 0; i < 30; ++i) {
+    served_x += pop_one(*queue, gate).client_id == "x" ? 1 : 0;
+  }
+  EXPECT_EQ(served_x, 15);
+}
+
+TEST(WfqScheduler, IdleClientReentersAtVirtualNowWithoutCredit) {
+  // Client b stays idle while a drains 12 tasks; when b finally submits it
+  // must compete from the current virtual time, not replay the idle period
+  // as banked credit and starve a.
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kWeightedFair;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(queue->push(make_task(seq++, "a", vt::Time::millis(1))).ok());
+  }
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(pop_one(*queue, gate).client_id, "a");
+  }
+  // Now interleave fresh backlogs: b gets no catch-up burst.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue->push(make_task(seq++, "a", vt::Time::millis(2))).ok());
+    ASSERT_TRUE(queue->push(make_task(seq++, "b", vt::Time::millis(2))).ok());
+  }
+  int lead_b = 0;
+  int max_lead_b = 0;
+  for (int i = 0; i < 16; ++i) {
+    lead_b += pop_one(*queue, gate).client_id == "b" ? 1 : -1;
+    max_lead_b = lead_b > max_lead_b ? lead_b : max_lead_b;
+  }
+  EXPECT_LE(max_lead_b, 1);  // never more than one pop ahead of a
+}
+
+// ---- EdfScheduler: earliest-deadline-first -----------------------------------
+
+TEST(EdfScheduler, NeverInvertsTwoDeadlinedTasks) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kDeadline;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  // Arrival (ready) order is a-then-b, but b's deadline is tighter.
+  Task a = make_task(1, "a", vt::Time::millis(10));
+  a.deadline = vt::Time::millis(500);
+  Task b = make_task(2, "b", vt::Time::millis(20));
+  b.deadline = vt::Time::millis(100);
+  ASSERT_TRUE(queue->push(a).ok());
+  ASSERT_TRUE(queue->push(b).ok());
+  EXPECT_EQ(pop_one(*queue, gate).client_id, "b");
+  EXPECT_EQ(pop_one(*queue, gate).client_id, "a");
+}
+
+TEST(EdfScheduler, DrainIsDeadlineSorted) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kDeadline;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  // A scrambled push order over distinct deadlines; ready stamps deliberately
+  // anti-correlated with deadlines so FIFO order would be the exact inverse.
+  const int deadlines_ms[] = {70, 20, 90, 10, 50, 40, 80, 30, 100, 60};
+  std::uint64_t seq = 0;
+  for (int deadline_ms : deadlines_ms) {
+    Task task = make_task(seq++, "c", vt::Time::millis(110 - deadline_ms));
+    task.deadline = vt::Time::millis(deadline_ms);
+    ASSERT_TRUE(queue->push(task).ok());
+  }
+  vt::Time last = vt::Time::zero();
+  for (std::size_t i = 0; i < std::size(deadlines_ms); ++i) {
+    Task task = pop_one(*queue, gate);
+    EXPECT_GE(task.deadline, last);
+    last = task.deadline;
+  }
+}
+
+TEST(EdfScheduler, UndeadlinedTasksSortBehindByReadyStamp) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kDeadline;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  // Two no-deadline tasks (infinite) and one deadlined task pushed last: the
+  // deadlined task jumps ahead; the rest fall back to ready-stamp order.
+  ASSERT_TRUE(queue->push(make_task(1, "a", vt::Time::millis(30))).ok());
+  ASSERT_TRUE(queue->push(make_task(2, "a", vt::Time::millis(10))).ok());
+  Task urgent = make_task(3, "b", vt::Time::millis(40));
+  urgent.deadline = vt::Time::millis(60);
+  ASSERT_TRUE(queue->push(urgent).ok());
+  EXPECT_EQ(pop_one(*queue, gate).seq, 3u);
+  EXPECT_EQ(pop_one(*queue, gate).seq, 2u);
+  EXPECT_EQ(pop_one(*queue, gate).seq, 1u);
+}
+
+// ---- BatchingScheduler: same-kernel coalescing -------------------------------
+
+TEST(BatchingScheduler, CoalescesSameKernelLaunchesUpToMaxBatch) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  config.max_batch = 4;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue
+                    ->push(make_batchable(i, "c" + std::to_string(i),
+                                          vt::Time::millis(1 + i), "mm"))
+                    .ok());
+  }
+  PopResult first = queue->pop_next_safe(gate);
+  ASSERT_TRUE(first.task.has_value());
+  EXPECT_EQ(first.task->seq, 0u);
+  ASSERT_EQ(first.batch.size(), 3u);  // head + 3 == max_batch
+  EXPECT_EQ(first.batch[0].seq, 1u);
+  EXPECT_EQ(first.batch[1].seq, 2u);
+  EXPECT_EQ(first.batch[2].seq, 3u);
+  PopResult second = queue->pop_next_safe(gate);
+  ASSERT_TRUE(second.task.has_value());
+  EXPECT_EQ(second.task->seq, 4u);
+  ASSERT_EQ(second.batch.size(), 1u);
+  EXPECT_EQ(second.batch[0].seq, 5u);
+  EXPECT_EQ(queue->size(), 0u);
+}
+
+TEST(BatchingScheduler, WindowBoundsCoalescing) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  config.batch_window = vt::Duration::millis(10);
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  ASSERT_TRUE(
+      queue->push(make_batchable(1, "a", vt::Time::millis(1), "mm")).ok());
+  // 12 ms behind the head: outside the window, waits for its own pass.
+  ASSERT_TRUE(
+      queue->push(make_batchable(2, "b", vt::Time::millis(13), "mm")).ok());
+  PopResult first = queue->pop_next_safe(gate);
+  EXPECT_TRUE(first.batch.empty());
+  PopResult second = queue->pop_next_safe(gate);
+  ASSERT_TRUE(second.task.has_value());
+  EXPECT_EQ(second.task->seq, 2u);
+}
+
+TEST(BatchingScheduler, DifferentKernelsNeverCoalesce) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  ASSERT_TRUE(
+      queue->push(make_batchable(1, "a", vt::Time::millis(1), "mm")).ok());
+  ASSERT_TRUE(
+      queue->push(make_batchable(2, "b", vt::Time::millis(2), "sobel")).ok());
+  PopResult first = queue->pop_next_safe(gate);
+  EXPECT_TRUE(first.batch.empty());
+  EXPECT_EQ(pop_one(*queue, gate).batch_key, "sobel");
+}
+
+TEST(BatchingScheduler, ProgramTaskIsABatchBarrier) {
+  // Nothing coalesces across a reconfiguration: the kernel behind the
+  // program task may not even exist on the new bitstream.
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  ASSERT_TRUE(
+      queue->push(make_batchable(1, "a", vt::Time::millis(1), "mm")).ok());
+  Task program;
+  program.seq = 2;
+  program.client_id = "a";
+  program.ready = vt::Time::millis(2);
+  program.is_program = true;
+  program.bitstream_id = "bits-2";
+  ASSERT_TRUE(queue->push(program).ok());
+  ASSERT_TRUE(
+      queue->push(make_batchable(3, "b", vt::Time::millis(3), "mm")).ok());
+  PopResult first = queue->pop_next_safe(gate);
+  ASSERT_TRUE(first.task.has_value());
+  EXPECT_EQ(first.task->seq, 1u);
+  EXPECT_TRUE(first.batch.empty());  // barrier stopped the scan
+  EXPECT_TRUE(pop_one(*queue, gate).is_program);
+  EXPECT_EQ(pop_one(*queue, gate).seq, 3u);
+}
+
+TEST(BatchingScheduler, SkippedClientBlocksItsLaterTasks) {
+  // Client b's first queued task is incompatible (different kernel); pulling
+  // b's *later* compatible task into the head's batch would complete it
+  // before the earlier one — per-client completion order must hold.
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  ASSERT_TRUE(
+      queue->push(make_batchable(1, "a", vt::Time::millis(1), "mm")).ok());
+  ASSERT_TRUE(
+      queue->push(make_batchable(2, "b", vt::Time::millis(2), "sobel")).ok());
+  ASSERT_TRUE(
+      queue->push(make_batchable(3, "b", vt::Time::millis(3), "mm")).ok());
+  // A third client's compatible task is still free to join.
+  ASSERT_TRUE(
+      queue->push(make_batchable(4, "c", vt::Time::millis(4), "mm")).ok());
+  PopResult first = queue->pop_next_safe(gate);
+  ASSERT_TRUE(first.task.has_value());
+  EXPECT_EQ(first.task->seq, 1u);
+  ASSERT_EQ(first.batch.size(), 1u);
+  EXPECT_EQ(first.batch[0].seq, 4u);  // c joined; b seq 3 stayed blocked
+  EXPECT_EQ(pop_one(*queue, gate).seq, 2u);
+  EXPECT_EQ(pop_one(*queue, gate).seq, 3u);
+}
+
+TEST(BatchingScheduler, PerClientCompletionOrderHoldsAcrossDrain) {
+  // Seeded-ish mixed workload: every client's tasks must leave the scheduler
+  // (head or batch position) in seq order, whatever the batching decisions.
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  config.max_batch = 3;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  std::uint64_t seq = 0;
+  for (int wave = 0; wave < 10; ++wave) {
+    for (const char* client : {"a", "b", "c"}) {
+      const bool compatible = (wave + client[0]) % 3 != 0;
+      Task task = make_batchable(seq, client,
+                                 vt::Time::millis(1 + wave),
+                                 compatible ? "mm" : "sobel");
+      task.seq = seq++;
+      ASSERT_TRUE(queue->push(task).ok());
+    }
+  }
+  std::map<std::string, std::uint64_t> last_seq;
+  int drained = 0;
+  while (queue->size() > 0) {
+    PopResult result = queue->pop_next_safe(gate);
+    ASSERT_TRUE(result.task.has_value());
+    std::vector<const Task*> completed{&*result.task};
+    for (const Task& companion : result.batch) completed.push_back(&companion);
+    for (const Task* task : completed) {
+      auto it = last_seq.find(task->client_id);
+      if (it != last_seq.end()) {
+        EXPECT_LT(it->second, task->seq)
+            << "client " << task->client_id << " completion order inverted";
+      }
+      last_seq[task->client_id] = task->seq;
+      ++drained;
+    }
+  }
+  EXPECT_EQ(drained, 30);
+}
+
+TEST(BatchingScheduler, CancelSessionRemovesQueuedCompanions) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  ASSERT_TRUE(
+      queue->push(make_batchable(1, "a", vt::Time::millis(1), "mm", 7)).ok());
+  ASSERT_TRUE(
+      queue->push(make_batchable(2, "b", vt::Time::millis(2), "mm", 9)).ok());
+  ASSERT_TRUE(
+      queue->push(make_batchable(3, "b", vt::Time::millis(3), "mm", 9)).ok());
+  std::vector<Task> cancelled = queue->cancel_session(9);
+  ASSERT_EQ(cancelled.size(), 2u);
+  EXPECT_EQ(cancelled[0].seq, 2u);
+  EXPECT_EQ(cancelled[1].seq, 3u);
+  // The surviving session's task pops alone: cancelled tasks never appear in
+  // a later batch.
+  PopResult result = queue->pop_next_safe(gate);
+  ASSERT_TRUE(result.task.has_value());
+  EXPECT_EQ(result.task->session_id, 7u);
+  EXPECT_TRUE(result.batch.empty());
+  EXPECT_EQ(queue->size(), 0u);
+}
+
+TEST(BatchingScheduler, ShutdownDrainStillBatchesAndKeepsClientOrder) {
+  // The injected-fault/shutdown drain path goes through the same take hook:
+  // batches stay well-formed (head + companions, per-client seq order) even
+  // when the pop is marked best-effort.
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kBatching;
+  auto queue = make_scheduler(config);
+  vt::Gate gate;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(
+        queue->push(make_batchable(i, "a", vt::Time::millis(i), "mm")).ok());
+  }
+  gate.shutdown();  // the fault path every injected devmgr fault ends in
+  PopResult result = queue->pop_next_safe(gate);
+  ASSERT_TRUE(result.task.has_value());
+  EXPECT_FALSE(result.strict_order);
+  EXPECT_EQ(result.reason, PopReason::kShutdownDrain);
+  EXPECT_EQ(result.task->seq, 1u);
+  ASSERT_EQ(result.batch.size(), 2u);
+  EXPECT_EQ(result.batch[0].seq, 2u);
+  EXPECT_EQ(result.batch[1].seq, 3u);
+}
+
+TEST(SchedulerFactory, PolicyNamesRoundTrip) {
+  EXPECT_EQ(make_scheduler({})->name(), "fifo");
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kWeightedFair;
+  EXPECT_EQ(make_scheduler(config)->name(), "wfq");
+  config.policy = SchedulerPolicy::kDeadline;
+  EXPECT_EQ(make_scheduler(config)->name(), "edf");
+  config.policy = SchedulerPolicy::kBatching;
+  EXPECT_EQ(make_scheduler(config)->name(), "batch");
+  EXPECT_EQ(to_string(SchedulerPolicy::kFifo), "fifo");
+  EXPECT_EQ(to_string(SchedulerPolicy::kBatching), "batch");
+}
+
+}  // namespace
+}  // namespace bf::devmgr
