@@ -1,0 +1,175 @@
+// Host-CPU cost of the end-to-end request path (ROADMAP item 4).
+//
+// The figure benches measure *modeled* (virtual-time) latency, which is
+// deliberately insensitive to host-side implementation cost. This bench
+// measures the real host cost per request instead: CPU-time per request
+// (getrusage over all threads: app, dispatcher, device worker, pump) and
+// heap allocations per request (global operator new/delete hook, local to
+// this binary), under the fig4b sobel mix and the table3 MM mix on the two
+// remote data paths. These are the numbers the zero-allocation pass moves;
+// the figure outputs stay byte-identical.
+//
+// Reported counters (per request, steady state after warmup):
+//   allocs_per_req       heap allocations
+//   alloc_kb_per_req     heap bytes requested (KiB)
+//   cpu_us_per_req       process CPU time (user+sys, all threads, µs)
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "experiment.h"
+#include "workloads/matmul.h"
+#include "workloads/sobel.h"
+
+// ---- allocation counting hook (binary-local) --------------------------------
+//
+// Replaces the global allocation functions for this binary only. Counts are
+// relaxed atomics: the hot path is multi-threaded and we only need totals.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_alloc(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace bf::bench {
+namespace {
+
+// Process CPU time (user + system, all threads) in microseconds.
+double process_cpu_us() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  auto tv_us = [](const timeval& tv) {
+    return 1e6 * static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec);
+  };
+  return tv_us(usage.ru_utime) + tv_us(usage.ru_stime);
+}
+
+// Drives `reps` steady-state requests of `workload` through `rig` after
+// `warmup` untimed ones, attributing CPU time and allocations to requests.
+void run_mix(benchmark::State& state, DataPath path,
+             workloads::Workload& workload) {
+  OverheadRig rig(path);
+  ocl::Session session("hotpath");
+  auto devices = rig.runtime().devices();
+  BF_CHECK(devices.ok());
+  auto context = rig.runtime().create_context(devices.value()[0].id, session);
+  BF_CHECK(context.ok());
+  BF_CHECK(workload.setup(*context.value()).ok());
+
+  constexpr int kWarmup = 32;
+  for (int i = 0; i < kWarmup; ++i) {
+    BF_CHECK(workload.handle_request(*context.value()).ok());
+    session.compute(vt::Duration::millis(5));
+  }
+
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t bytes_before =
+      g_alloc_bytes.load(std::memory_order_relaxed);
+  const double cpu_before = process_cpu_us();
+
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    BF_CHECK(workload.handle_request(*context.value()).ok());
+    session.compute(vt::Duration::millis(5));
+    ++requests;
+  }
+
+  const double cpu_after = process_cpu_us();
+  const std::uint64_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t bytes_after =
+      g_alloc_bytes.load(std::memory_order_relaxed);
+  workload.teardown();
+
+  const double n = requests > 0 ? static_cast<double>(requests) : 1.0;
+  state.counters["allocs_per_req"] =
+      static_cast<double>(allocs_after - allocs_before) / n;
+  state.counters["alloc_kb_per_req"] =
+      static_cast<double>(bytes_after - bytes_before) / n / 1024.0;
+  state.counters["cpu_us_per_req"] = (cpu_after - cpu_before) / n;
+}
+
+// fig4b mix: Sobel at 512x512 (mid-sweep point, ~2 MiB R+W per call).
+void BM_Hotpath_Fig4bSobel_Grpc(benchmark::State& state) {
+  workloads::SobelWorkload workload(512, 512);
+  run_mix(state, DataPath::kGrpc, workload);
+}
+void BM_Hotpath_Fig4bSobel_Shm(benchmark::State& state) {
+  workloads::SobelWorkload workload(512, 512);
+  run_mix(state, DataPath::kShm, workload);
+}
+
+// table3 mix: the MM kernel at its table size (448x448).
+void BM_Hotpath_Table3MM_Grpc(benchmark::State& state) {
+  workloads::MatMulWorkload workload(448);
+  run_mix(state, DataPath::kGrpc, workload);
+}
+void BM_Hotpath_Table3MM_Shm(benchmark::State& state) {
+  workloads::MatMulWorkload workload(448);
+  run_mix(state, DataPath::kShm, workload);
+}
+
+BENCHMARK(BM_Hotpath_Fig4bSobel_Grpc)->Iterations(256);
+BENCHMARK(BM_Hotpath_Fig4bSobel_Shm)->Iterations(256);
+BENCHMARK(BM_Hotpath_Table3MM_Grpc)->Iterations(256);
+BENCHMARK(BM_Hotpath_Table3MM_Shm)->Iterations(256);
+
+}  // namespace
+}  // namespace bf::bench
+
+BENCHMARK_MAIN();

@@ -117,8 +117,8 @@ void BM_FrameRoundtrip(benchmark::State& state) {
     frame.payload = std::move(payload);
     queue.push(std::move(frame));
     auto popped = queue.try_pop();
-    benchmark::DoNotOptimize(popped.has_value());
-    payload = std::move(popped->payload);  // recycle for the next iteration
+    benchmark::DoNotOptimize(popped.has_item());
+    payload = std::move(popped.item->payload);  // recycle for the next iteration
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }

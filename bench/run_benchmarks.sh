@@ -13,13 +13,43 @@ build="${1:-$repo/build}"
 echo "=== configure + build ($build) ==="
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j"$(nproc)" --target \
-  microbench_core fig4a_rw_overhead fig4b_sobel_overhead fig4c_mm_overhead
+  microbench_core hotpath_cpu \
+  fig4a_rw_overhead fig4b_sobel_overhead fig4c_mm_overhead
 
 echo "=== microbench_core -> BENCH_CORE.json ==="
 "$build/bench/microbench_core" \
   --benchmark_format=console \
   --benchmark_out_format=json \
   --benchmark_out="$repo/BENCH_CORE.json"
+
+echo "=== hotpath_cpu (allocs/copies/CPU per request) ==="
+"$build/bench/hotpath_cpu" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$build/hotpath_cpu.json"
+
+# Merge the hot-path benchmarks into BENCH_CORE.json so the per-request
+# allocation counters are committed alongside the core series.
+python3 - "$repo/BENCH_CORE.json" "$build/hotpath_cpu.json" <<'PY'
+import json, sys
+core_path, hot_path = sys.argv[1], sys.argv[2]
+with open(core_path) as f:
+    core = json.load(f)
+with open(hot_path) as f:
+    hot = json.load(f)
+core["benchmarks"].extend(hot["benchmarks"])
+# Pre-arena baseline (captured at the PR-6 tree) kept alongside the live
+# numbers so the allocations-per-request reduction stays visible in diffs.
+core["hotpath_pre_arena_baseline"] = {
+    "BM_Hotpath_Fig4bSobel_Grpc": {"allocs_per_req": 92.68, "alloc_kb_per_req": 4101.1, "cpu_us_per_req": 375.4},
+    "BM_Hotpath_Fig4bSobel_Shm": {"allocs_per_req": 90.68, "alloc_kb_per_req": 5.17, "cpu_us_per_req": 191.0},
+    "BM_Hotpath_Table3MM_Grpc": {"allocs_per_req": 115.29, "alloc_kb_per_req": 4710.3, "cpu_us_per_req": 889.5},
+    "BM_Hotpath_Table3MM_Shm": {"allocs_per_req": 112.29, "alloc_kb_per_req": 6.42, "cpu_us_per_req": 275.6},
+}
+with open(core_path, "w") as f:
+    json.dump(core, f, indent=2)
+    f.write("\n")
+PY
 
 echo "=== figure smoke runs (BF_FIG_SMOKE=1) ==="
 for fig in fig4a_rw_overhead fig4b_sobel_overhead fig4c_mm_overhead; do

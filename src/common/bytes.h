@@ -1,15 +1,263 @@
 // Byte containers and views shared by the OpenCL buffer layer, the wire
 // format, and the shared-memory transport.
+//
+// bf::Bytes is a small-buffer-optimized byte vector: payloads up to
+// kInlineCapacity (64 B — varint headers, scalar kernel args, control-plane
+// acks) live inside the object and never touch the heap; larger payloads
+// fall back to a heap buffer with vector-style amortized growth. The class
+// is API-compatible with the std::vector<std::uint8_t> it replaced for
+// every operation the tree uses (spans, iteration, resize/reserve/insert,
+// move semantics through stage(Bytes&&)/fetch_take), and additionally
+// exposes process-wide deep-copy and heap-allocation counters that the
+// hot-path discipline tests assert against (docs/PERFORMANCE.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
+#include <iterator>
 #include <span>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
 namespace bf {
 
-using Bytes = std::vector<std::uint8_t>;
+namespace detail {
+// Relaxed process-wide instrumentation: totals only, never ordering.
+inline std::atomic<std::uint64_t> g_bytes_deep_copies{0};
+inline std::atomic<std::uint64_t> g_bytes_heap_allocs{0};
+}  // namespace detail
+
+class Bytes {
+ public:
+  using value_type = std::uint8_t;
+  using size_type = std::size_t;
+  using iterator = std::uint8_t*;
+  using const_iterator = const std::uint8_t*;
+  using reference = std::uint8_t&;
+  using const_reference = const std::uint8_t&;
+
+  // Small-buffer threshold. 64 B covers the control-plane frames that
+  // dominate the hot path (encoded acks/completions, varint headers, scalar
+  // kernel args) while keeping the object two cache lines; measured larger
+  // payloads (pixel/matrix data) go to the heap anyway, so raising it only
+  // bloats every Frame/Operation. See docs/PERFORMANCE.md.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  Bytes() noexcept : data_(inline_) {}
+
+  explicit Bytes(std::size_t count) : data_(inline_) {
+    resize(count);  // zero-filled, matching std::vector value-init
+  }
+
+  Bytes(std::size_t count, std::uint8_t fill) : data_(inline_) {
+    resize(count, fill);
+  }
+
+  // Excluding integral It keeps Bytes(n, value) with two ints on the
+  // count/fill constructor, exactly as std::vector's constrained overload
+  // set resolves it.
+  template <typename It, typename = std::enable_if_t<!std::is_integral_v<It>>>
+  Bytes(It first, It last) : data_(inline_) {
+    assign(first, last);
+  }
+
+  Bytes(std::initializer_list<std::uint8_t> init) : data_(inline_) {
+    assign(init.begin(), init.end());
+  }
+
+  Bytes(const Bytes& other) : data_(inline_) {
+    ensure_capacity(other.size_);
+    std::memcpy(data_, other.data_, other.size_);
+    size_ = other.size_;
+    if (size_ > 0)
+      detail::g_bytes_deep_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Bytes(Bytes&& other) noexcept : data_(inline_) { steal(other); }
+
+  Bytes& operator=(const Bytes& other) {
+    if (this == &other) return *this;
+    size_ = 0;
+    ensure_capacity(other.size_);
+    std::memcpy(data_, other.data_, other.size_);
+    size_ = other.size_;
+    if (size_ > 0)
+      detail::g_bytes_deep_copies.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+
+  Bytes& operator=(Bytes&& other) noexcept {
+    if (this == &other) return *this;
+    release_heap();
+    steal(other);
+    return *this;
+  }
+
+  Bytes& operator=(std::initializer_list<std::uint8_t> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~Bytes() { release_heap(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  // True when the current buffer is heap-backed (spare-cache recycling only
+  // keeps heap buffers: recycling an inline one saves nothing).
+  [[nodiscard]] bool is_heap() const noexcept { return data_ != inline_; }
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator cbegin() const noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator cend() const noexcept { return data_ + size_; }
+
+  std::uint8_t& operator[](std::size_t index) noexcept { return data_[index]; }
+  const std::uint8_t& operator[](std::size_t index) const noexcept {
+    return data_[index];
+  }
+  [[nodiscard]] std::uint8_t& front() noexcept { return data_[0]; }
+  [[nodiscard]] const std::uint8_t& front() const noexcept { return data_[0]; }
+  [[nodiscard]] std::uint8_t& back() noexcept { return data_[size_ - 1]; }
+  [[nodiscard]] const std::uint8_t& back() const noexcept {
+    return data_[size_ - 1];
+  }
+
+  void reserve(std::size_t capacity) { ensure_capacity(capacity); }
+
+  void resize(std::size_t count) {
+    if (count > size_) {
+      ensure_capacity(count);
+      std::memset(data_ + size_, 0, count - size_);
+    }
+    size_ = count;
+  }
+
+  void resize(std::size_t count, std::uint8_t fill) {
+    if (count > size_) {
+      ensure_capacity(count);
+      std::memset(data_ + size_, fill, count - size_);
+    }
+    size_ = count;
+  }
+
+  // Grows without zero-filling the new tail. Only for staging buffers whose
+  // full range is overwritten immediately (wire decode, device reads into
+  // scratch) — reading the uninitialized tail is undefined.
+  void resize_for_overwrite(std::size_t count) {
+    ensure_capacity(count);
+    size_ = count;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void push_back(std::uint8_t value) {
+    if (size_ == cap_) grow_to(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  void pop_back() noexcept { --size_; }
+
+  template <typename It>
+  void assign(It first, It last) {
+    size_ = 0;
+    const auto count =
+        static_cast<std::size_t>(std::distance(first, last));
+    ensure_capacity(count);
+    std::copy(first, last, data_);
+    size_ = count;
+  }
+
+  void assign(std::size_t count, std::uint8_t fill) {
+    size_ = 0;
+    resize(count, fill);
+  }
+
+  // Range insert (the wire Writer appends at end(); arbitrary positions are
+  // supported for completeness).
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    const std::size_t index = static_cast<std::size_t>(pos - data_);
+    const auto count =
+        static_cast<std::size_t>(std::distance(first, last));
+    ensure_capacity(size_ + count);
+    std::memmove(data_ + index + count, data_ + index, size_ - index);
+    std::copy(first, last, data_ + index);
+    size_ += count;
+    return data_ + index;
+  }
+
+  void swap(Bytes& other) noexcept {
+    Bytes tmp(std::move(other));
+    other = std::move(*this);
+    *this = std::move(tmp);
+  }
+
+  friend bool operator==(const Bytes& a, const Bytes& b) noexcept {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+  // ---- hot-path instrumentation (monotonic; tests diff snapshots) ----------
+  [[nodiscard]] static std::uint64_t deep_copy_count() {
+    return detail::g_bytes_deep_copies.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint64_t heap_alloc_count() {
+    return detail::g_bytes_heap_allocs.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ensure_capacity(std::size_t need) {
+    if (need > cap_) grow_to(need);
+  }
+
+  void grow_to(std::size_t need) {
+    std::size_t next = cap_ * 2;
+    if (next < need) next = need;
+    auto* heap = new std::uint8_t[next];
+    detail::g_bytes_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    std::memcpy(heap, data_, size_);
+    release_heap();
+    data_ = heap;
+    cap_ = next;
+  }
+
+  void release_heap() noexcept {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  // Takes other's contents; other is left valid and empty (inline storage).
+  void steal(Bytes& other) noexcept {
+    if (other.data_ != other.inline_) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.cap_ = kInlineCapacity;
+      other.size_ = 0;
+    } else {
+      std::memcpy(inline_, other.inline_, other.size_);
+      data_ = inline_;
+      cap_ = kInlineCapacity;
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInlineCapacity;
+  std::uint8_t* data_;
+  alignas(16) std::uint8_t inline_[kInlineCapacity];
+};
+
+inline void swap(Bytes& a, Bytes& b) noexcept { a.swap(b); }
+
 using ByteSpan = std::span<const std::uint8_t>;
 using MutableByteSpan = std::span<std::uint8_t>;
 

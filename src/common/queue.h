@@ -11,6 +11,18 @@
 
 namespace bf {
 
+// Non-blocking pop outcome, shared by BlockingQueue and SpscQueue
+// (common/spsc_ring.h). `closed` distinguishes "momentarily empty" from
+// "closed and drained" so pollers can stop instead of spinning forever on
+// a dead queue.
+template <typename T>
+struct TryPopResult {
+  std::optional<T> item;
+  bool closed = false;  // true only when the queue is closed AND drained
+
+  [[nodiscard]] bool has_item() const { return item.has_value(); }
+};
+
 // Unbounded MPMC blocking queue with shutdown semantics: after close(),
 // pop() drains remaining items then returns nullopt.
 template <typename T>
@@ -37,13 +49,13 @@ class BlockingQueue {
     return item;
   }
 
-  // Non-blocking pop.
-  std::optional<T> try_pop() {
+  // Non-blocking pop; closed-aware (see TryPopResult).
+  TryPopResult<T> try_pop() {
     std::lock_guard lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
+    if (items_.empty()) return {std::nullopt, closed_};
+    TryPopResult<T> result{std::move(items_.front()), false};
     items_.pop_front();
-    return item;
+    return result;
   }
 
   void close() {
@@ -64,7 +76,10 @@ class BlockingQueue {
     return items_.size();
   }
 
-  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] bool empty() const {
+    std::lock_guard lock(mutex_);
+    return items_.empty();
+  }
 
  private:
   mutable std::mutex mutex_;

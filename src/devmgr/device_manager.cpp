@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/log.h"
 #include "fault/injector.h"
 #include "native/native_runtime.h"
@@ -39,7 +40,44 @@ Result<T> decode(const net::Frame& frame) {
   return T::decode(reader);
 }
 
+// Free list for per-task op vectors: sealing hands the vector (and each op's
+// staged write payload) to the worker, which retires both back to the pools
+// after execution, so steady-state request streams reuse the same storage.
+arena::Pool<std::vector<Operation>>& op_vector_pool() {
+  static arena::Pool<std::vector<Operation>> pool;
+  return pool;
+}
+
+// Routes a freshly decoded command-queue op into its building task,
+// reviving a pooled op vector on the task's first op. state_mutex_ held.
+void append_op(std::map<std::uint64_t, Task>& building, Operation op) {
+  Task& task = building[op.queue_id];
+  if (task.ops.capacity() == 0) task.ops = op_vector_pool().acquire();
+  task.ops.push_back(std::move(op));
+}
+
+// Returns an executed (or cancelled) task's per-request storage to the
+// pools. The ops vector keeps its capacity; staged write payloads keep
+// their heap blocks.
+void retire_task_storage(Task& task) {
+  for (Operation& op : task.ops) {
+    if (op.inline_data.is_heap()) {
+      arena::recycle(std::move(op.inline_data));
+    }
+  }
+  if (task.ops.capacity() != 0) {
+    op_vector_pool().recycle(std::move(task.ops));
+  }
+}
+
 }  // namespace
+
+// See device_manager.h: one instance per task on the worker's stack.
+struct CompletionBatch {
+  std::shared_ptr<net::Connection> connection;
+  bool resolved = false;  // connection lookup done (session may be gone)
+  std::vector<net::Completion> staged;
+};
 
 DeviceManager::DeviceManager(DeviceManagerConfig config, sim::Board* board,
                              shm::Namespace* node_shm)
@@ -264,6 +302,11 @@ void DeviceManager::serve_connection(
     } else {
       handle_sync(session_id, *frame);
     }
+    // The handlers decoded everything they need out of the payload
+    // (WriteData bodies are copied into the op's staging buffer); the
+    // frame's heap block goes back to the pool the client's encoder drew
+    // it from.
+    arena::recycle(std::move(frame->payload));
   }
 
   if (session_id != 0) cleanup_session(session_id);
@@ -473,7 +516,7 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       op.wait_op_ids = std::move(request.value().wait_op_ids);
       op.trace = trace::SpanContext{request.value().trace_id,
                                     request.value().parent_span};
-      session.building[op.queue_id].ops.push_back(std::move(op));
+      append_op(session.building, std::move(op));
       ack_enqueued(request.value().op_id);
       return;
     }
@@ -511,7 +554,7 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       op.wait_op_ids = std::move(request.value().wait_op_ids);
       op.trace = trace::SpanContext{request.value().trace_id,
                                     request.value().parent_span};
-      session.building[op.queue_id].ops.push_back(std::move(op));
+      append_op(session.building, std::move(op));
       ack_enqueued(request.value().op_id);
       return;
     }
@@ -528,7 +571,7 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       op.wait_op_ids = std::move(request.value().wait_op_ids);
       op.trace = trace::SpanContext{request.value().trace_id,
                                     request.value().parent_span};
-      session.building[op.queue_id].ops.push_back(std::move(op));
+      append_op(session.building, std::move(op));
       ack_enqueued(request.value().op_id);
       return;
     }
@@ -549,8 +592,7 @@ void DeviceManager::handle_command(std::uint64_t session_id,
       marker.kind = Operation::Kind::kFinish;
       marker.op_id = request.value().op_id;
       marker.queue_id = request.value().queue_id;
-      session.building[request.value().queue_id].ops.push_back(
-          std::move(marker));
+      append_op(session.building, std::move(marker));
       const vt::Time deadline = request.value().deadline_ns != 0
                                     ? vt::Time::nanos(static_cast<std::int64_t>(
                                           request.value().deadline_ns))
@@ -651,6 +693,10 @@ void DeviceManager::worker_loop() {
     } else {
       execute_batch(*next.task, next.batch);
     }
+    retire_task_storage(*next.task);
+    for (Task& companion : next.batch) {
+      retire_task_storage(companion);
+    }
   }
 }
 
@@ -703,6 +749,12 @@ void DeviceManager::execute_task(const Task& task) {
       client_id = session_it->second.client_id;
     }
   }
+  // Completions are staged per op and delivered once at the end of the
+  // task: one consumer wake instead of one per op. Safe because the worker
+  // never depends on the client observing an earlier op mid-task, and the
+  // frame stamps (and the gate wake bounds anchored inside notify_batch)
+  // are identical to per-op delivery.
+  CompletionBatch batch;
   // Request context for the task's spans: ops of one task come from one
   // request in practice (each invocation seals its own flush), so the first
   // traced op carries it. Only *successful* ops earn spans — aborted,
@@ -791,7 +843,8 @@ void DeviceManager::execute_task(const Task& task) {
         tasks_counter_->increment();
         record_task_spans();  // spans for the successful prefix, if any
       }
-      notify_completion(task.session_id, op.op_id, completion, cursor);
+      stage_completion(batch, task.session_id, op.op_id, completion,
+                       cursor);
       continue;
     }
     // Event wait list: delay the op's readiness to its dependencies'
@@ -817,7 +870,8 @@ void DeviceManager::execute_task(const Task& task) {
     if (!wait_status.ok()) {
       completion.status = proto::StatusMsg::from(wait_status);
       if (&op == &task.ops.back()) record_task_spans();
-      notify_completion(task.session_id, op.op_id, completion, cursor);
+      stage_completion(batch, task.session_id, op.op_id, completion,
+                       cursor);
       {
         std::lock_guard lock(state_mutex_);
         ++ops_executed_;
@@ -861,8 +915,10 @@ void DeviceManager::execute_task(const Task& task) {
       busy_ms_gauge_->set(board_->busy_total().ms());
       record_task_spans();
     }
-    notify_completion(task.session_id, op.op_id, completion, cursor);
+    stage_completion(batch, task.session_id, op.op_id, completion,
+                     cursor);
   }
+  flush_completions(batch);
 }
 
 void DeviceManager::execute_batch(const Task& lead,
@@ -886,6 +942,7 @@ void DeviceManager::execute_batch(const Task& lead,
     vt::Time cursor;
     bool abort_rest = false;
     std::size_t kernel_index = 0;
+    CompletionBatch net_batch;  // per-task staging, one wake per client
   };
   std::vector<Item> items;
   items.reserve(1 + companions.size());
@@ -967,8 +1024,8 @@ void DeviceManager::execute_batch(const Task& lead,
       tasks_counter_->increment();
       record_task_spans(item);  // spans for the successful prefix, if any
     }
-    notify_completion(item.task->session_id, op.op_id, completion,
-                      item.cursor);
+    stage_completion(item.net_batch, item.task->session_id, op.op_id,
+                     completion, item.cursor);
   };
 
   auto complete_op = [&](Item& item, const Operation& op,
@@ -1005,7 +1062,8 @@ void DeviceManager::execute_batch(const Task& lead,
       busy_ms_gauge_->set(board_->busy_total().ms());
       record_task_spans(item);
     }
-    notify_completion(task.session_id, op.op_id, completion, item.cursor);
+    stage_completion(item.net_batch, task.session_id, op.op_id, completion,
+                     item.cursor);
   };
 
   auto run_op = [&](Item& item, const Operation& op) {
@@ -1082,6 +1140,10 @@ void DeviceManager::execute_batch(const Task& lead,
       run_op(item, item.task->ops[i]);
     }
   }
+
+  for (Item& item : items) {
+    flush_completions(item.net_batch);
+  }
 }
 
 Result<sim::Board::Interval> DeviceManager::execute_operation(
@@ -1144,7 +1206,11 @@ Result<sim::Board::Interval> DeviceManager::execute_operation(
         completion.size = op.size;
         return interval;
       }
-      Bytes out(op.size);
+      // Pooled read staging; no zero-fill needed because Board::read fully
+      // defines the span on success (zero-fill + copy-out; never-written
+      // device memory reads as zeros) and failures never ship `out`.
+      Bytes out = arena::acquire(op.size);
+      out.resize_for_overwrite(op.size);
       auto interval = board_->read(
           buffer, op.offset, MutableByteSpan{out}, ready);
       if (!interval.ok()) return interval;
@@ -1211,27 +1277,51 @@ Result<sim::KernelLaunch> DeviceManager::resolve_kernel(
   return launch;
 }
 
-void DeviceManager::notify_completion(std::uint64_t session_id,
-                                      std::uint64_t op_id,
-                                      const proto::OpComplete& completion,
-                                      vt::Time at) {
-  std::shared_ptr<net::Connection> connection;
-  {
+void DeviceManager::stage_completion(CompletionBatch& batch,
+                                     std::uint64_t session_id,
+                                     std::uint64_t op_id,
+                                     proto::OpComplete& completion,
+                                     vt::Time at) {
+  if (!batch.resolved) {
     std::lock_guard lock(state_mutex_);
     auto it = sessions_.find(session_id);
-    if (it == sessions_.end()) return;
-    connection = it->second.connection;
+    if (it == sessions_.end()) return;  // session already torn down
+    batch.connection = it->second.connection;
+    batch.resolved = true;
   }
-  if (connection != nullptr && !connection->closed()) {
-    if (Status sent = connection->notify(proto::Method::kOpComplete, op_id,
-                                         encode(completion), at);
-        !sent.ok()) {
-      // The stream closed between the check above and the push (or the
-      // completion was dropped by fault injection inside notify). The
-      // client's event is resolved by connection-loss poisoning instead.
-      BF_LOG_WARN("devmgr") << config_.id << ": OpComplete for op " << op_id
-                            << " undeliverable: " << sent.to_string();
+  if (batch.connection == nullptr) return;
+  net::Completion staged;
+  staged.correlation = op_id;
+  staged.payload = encode(completion);
+  staged.server_time = at;
+  // encode() copied the read payload into the frame; its buffer goes back
+  // to the pool instead of the heap.
+  if (completion.data.is_heap()) {
+    arena::recycle(std::move(completion.data));
+  }
+  batch.staged.push_back(std::move(staged));
+}
+
+void DeviceManager::flush_completions(CompletionBatch& batch) {
+  if (batch.staged.empty()) return;
+  if (batch.connection == nullptr || batch.connection->closed()) {
+    // The stream closed while the task executed. The client's events are
+    // resolved by connection-loss poisoning instead.
+    for (const net::Completion& staged : batch.staged) {
+      BF_LOG_WARN("devmgr") << config_.id << ": OpComplete for op "
+                            << staged.correlation
+                            << " undeliverable: stream closed";
     }
+    batch.staged.clear();
+    return;
+  }
+  const std::size_t count = batch.staged.size();
+  if (Status sent = batch.connection->notify_batch(batch.staged);
+      !sent.ok()) {
+    // Close raced the delivery (or fault injection dropped the batch push).
+    BF_LOG_WARN("devmgr") << config_.id << ": " << count
+                          << " OpComplete notification(s) undeliverable: "
+                          << sent.to_string();
   }
 }
 
@@ -1247,6 +1337,7 @@ void DeviceManager::cleanup_session(std::uint64_t session_id) {
           Cancelled("client disconnected before reconfiguration ran"),
           task.ready);
     }
+    retire_task_storage(task);
   }
   if (!cancelled.empty()) {
     BF_LOG_INFO("devmgr") << config_.id << ": cancelled " << cancelled.size()

@@ -35,6 +35,12 @@
 
 namespace bf::devmgr {
 
+// Worker-side staging of one task's OpComplete notifications: the worker
+// resolves the session's connection once, appends encoded completions as ops
+// retire, and delivers them through Connection::notify_batch with a single
+// consumer wake per task (defined in device_manager.cpp).
+struct CompletionBatch;
+
 struct DeviceManagerConfig {
   std::string id;  // e.g. "devmgr-b"
   bool allow_shared_memory = true;
@@ -166,8 +172,12 @@ class DeviceManager {
   Result<sim::Board::Interval> execute_operation(
       std::uint64_t session_id, const Operation& op, vt::Time ready,
       proto::OpComplete& completion);
-  void notify_completion(std::uint64_t session_id, std::uint64_t op_id,
-                         const proto::OpComplete& completion, vt::Time at);
+  // Encodes the completion into `batch` (consuming completion.data into the
+  // arena); flush_completions delivers the whole task's worth in one wake.
+  void stage_completion(CompletionBatch& batch, std::uint64_t session_id,
+                        std::uint64_t op_id, proto::OpComplete& completion,
+                        vt::Time at);
+  void flush_completions(CompletionBatch& batch);
 
   Result<sim::KernelLaunch> resolve_kernel(std::uint64_t session_id,
                                            const Operation& op);

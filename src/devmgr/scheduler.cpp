@@ -72,7 +72,10 @@ class QueueBase : public Scheduler {
       annotate_locked(entry);
       entries_.insert(std::move(entry));
     }
-    cv_.notify_all();
+    // Exactly one consumer (the manager's worker thread) ever blocks in
+    // pop_next_safe, so one wake suffices; close() keeps notify_all for the
+    // shutdown broadcast.
+    cv_.notify_one();
     return Status::Ok();
   }
 

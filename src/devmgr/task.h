@@ -65,7 +65,9 @@ class ProgramWaiter {
       end_ = end;
       done_ = true;
     }
-    cv_.notify_all();
+    // Exactly one dispatcher ever waits on a ProgramWaiter (the one that
+    // accepted the kProgram call), and complete() fires once.
+    cv_.notify_one();
   }
 
   // Returns (status, completion time).

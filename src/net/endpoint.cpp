@@ -307,6 +307,57 @@ Status Connection::notify(proto::Method method, std::uint64_t correlation,
   return Status::Ok();
 }
 
+Status Connection::notify_batch(std::vector<Completion>& completions) {
+  // Stage every frame first — applying the same per-completion fault sites
+  // and wake_announce ordering as notify(), in completion order — then
+  // deliver the whole batch with one consumer wake. Announcing a later
+  // completion before an earlier one is *delivered* is safe: each announce
+  // targets the single (tag, id) the client armed, so at most one of them
+  // re-anchors the bound and the rest are no-ops, exactly as with N
+  // individual notifies.
+  //
+  // The staging vector is thread-local: one device worker stages at a time
+  // per thread, and reusing the vector keeps steady-state batches
+  // allocation-free.
+  static thread_local std::vector<Frame> staged;
+  staged.clear();
+  staged.reserve(completions.size() + 1);
+  for (Completion& completion : completions) {
+    if (completion.method == proto::Method::kOpEnqueued &&
+        fault::should_fire(fault::site::kNetNotifyDropEnqueued)) {
+      continue;
+    }
+    if (completion.method == proto::Method::kOpComplete &&
+        fault::should_fire(fault::site::kNetNotifyDropComplete)) {
+      BF_LOG_WARN("net") << "injected fault: dropping completion for op "
+                         << completion.correlation << " on " << peer_;
+      continue;
+    }
+    Frame frame = make_server_frame(Frame::Kind::kNotify, completion.method,
+                                    completion.correlation,
+                                    std::move(completion.payload),
+                                    completion.server_time);
+    if (completion.method == proto::Method::kOpComplete) {
+      wake_announce(WaitTag::kEvent, completion.correlation,
+                    frame.arrival_time);
+      if (fault::should_fire(fault::site::kNetNotifyDupComplete)) {
+        staged.push_back(frame);
+      }
+    }
+    staged.push_back(std::move(frame));
+  }
+  completions.clear();
+  if (staged.empty()) return Status::Ok();
+  const bool delivered =
+      notifications_.push_batch(std::make_move_iterator(staged.begin()),
+                                std::make_move_iterator(staged.end()));
+  staged.clear();
+  if (!delivered) {
+    return Unavailable("notification stream closed by " + peer_);
+  }
+  return Status::Ok();
+}
+
 // ---- bound arbitration -------------------------------------------------------
 
 void Connection::client_announce(vt::Time t) {

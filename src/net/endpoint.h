@@ -33,6 +33,7 @@
 #include "common/bytes.h"
 #include "common/call_options.h"
 #include "common/queue.h"
+#include "common/spsc_ring.h"
 #include "common/status.h"
 #include "net/transport.h"
 #include "proto/messages.h"
@@ -63,6 +64,26 @@ struct Frame {
 };
 
 class ServerEndpoint;
+
+// Both per-connection frame queues have exactly one consumer (the server
+// dispatcher drains the inbox, the client pump drains the notification
+// stream), so they ride the lock-light SPSC queue instead of BlockingQueue:
+// ring push + sequence bump per frame, futex wake only when the consumer is
+// parked, no deque node allocation. Producers (app thread on the inbox;
+// dispatcher ack + device worker completions on the stream) serialize on the
+// queue's internal producer lock.
+using FrameQueue = SpscQueue<Frame, 64>;
+
+// A server->client completion staged by the device worker. Worker threads
+// accumulate these per task and deliver them through notify_batch: one
+// consumer wake per task instead of one per op (gate wake bounds are still
+// anchored per completion at stage time, so virtual time is unchanged).
+struct Completion {
+  proto::Method method = proto::Method::kOpComplete;
+  std::uint64_t correlation = 0;
+  Bytes payload;
+  vt::Time server_time;
+};
 
 // One client<->server connection. The client side is driven by the
 // application thread (sends) and the remote library's connection thread
@@ -106,7 +127,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
               vt::Cursor& cursor);
 
   // Server->client notification stream (drained by the connection thread).
-  BlockingQueue<Frame>& notifications() { return notifications_; }
+  FrameQueue& notifications() { return notifications_; }
 
   // Gate protocol for blocking waits outside call() (e.g. event waits).
   // The application thread registers the tag it is about to sleep on; the
@@ -146,6 +167,14 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Status notify(proto::Method method, std::uint64_t correlation, Bytes payload,
                 vt::Time server_time);
 
+  // Delivers a task's worth of staged completions with a single consumer
+  // wake. Per-completion semantics (fault sites, wake_announce ordering,
+  // frame stamps) are identical to calling notify() N times; only the
+  // number of futex wakes changes, which is invisible to virtual time.
+  // The batch vector is consumed (cleared) on success so callers can pool
+  // it.
+  Status notify_batch(std::vector<Completion>& completions);
+
  private:
   friend class ServerEndpoint;
 
@@ -174,8 +203,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   TransportCost cost_;
   vt::Gate::Source source_;
 
-  BlockingQueue<Frame> inbox_;          // client -> server
-  BlockingQueue<Frame> notifications_;  // server -> client stream
+  FrameQueue inbox_;          // client -> server
+  FrameQueue notifications_;  // server -> client stream
 
   std::mutex pending_mutex_;
   std::condition_variable pending_cv_;

@@ -2,7 +2,23 @@
 
 #include <cstring>
 
+#include "common/arena.h"
+
 namespace bf::proto {
+
+void Writer::reserve(std::size_t capacity) {
+  if (capacity <= buffer_.capacity()) return;
+  // Arena-backed growth: swap in a pooled buffer instead of letting Bytes
+  // round-trip through the heap. The retired storage (typically the inline
+  // block early in a message, or a smaller pooled buffer) goes back to its
+  // free list.
+  Bytes grown = arena::acquire(capacity);
+  grown.resize_for_overwrite(buffer_.size());
+  std::memcpy(grown.data(), buffer_.data(), buffer_.size());
+  Bytes retired = std::move(buffer_);
+  buffer_ = std::move(grown);
+  arena::recycle(std::move(retired));
+}
 
 void Writer::varint(std::uint64_t value) {
   // Single-byte fast path: tags and small lengths dominate real messages.
@@ -54,8 +70,11 @@ void Writer::field_string(std::uint32_t field, std::string_view value) {
 
 void Writer::field_bytes(std::uint32_t field, ByteSpan value) {
   // One reservation for tag + length + payload keeps large payload fields
-  // from growing the buffer in doubling steps.
-  buffer_.reserve(buffer_.size() + value.size() + 16);
+  // from growing the buffer in doubling steps. Writer::reserve (not
+  // Bytes::reserve) so the backing store comes from the arena free lists —
+  // this is the encode that carries WriteData/OpComplete payloads, the
+  // hot path's two biggest buffers.
+  reserve(buffer_.size() + value.size() + 16);
   tag(field, WireType::kLengthDelimited);
   varint(value.size());
   buffer_.insert(buffer_.end(), value.begin(), value.end());
@@ -119,7 +138,14 @@ Result<std::string> Reader::read_string() {
 Result<Bytes> Reader::read_bytes() {
   auto view = read_bytes_view();
   if (!view.ok()) return view.status();
-  return Bytes(view.value().begin(), view.value().end());
+  // Pooled copy-out: large payload fields (WriteData bodies) reuse arena
+  // storage; recycling the decoded value after use closes the loop.
+  Bytes out = arena::acquire(view.value().size());
+  out.resize_for_overwrite(view.value().size());
+  if (!view.value().empty()) {
+    std::memcpy(out.data(), view.value().data(), view.value().size());
+  }
+  return out;
 }
 
 Result<ByteSpan> Reader::read_bytes_view() {

@@ -26,8 +26,11 @@ class Writer {
   Writer() = default;
 
   // Pre-size the output buffer (e.g. before appending a large payload
-  // field) so encoding never reallocates mid-message.
-  void reserve(std::size_t capacity) { buffer_.reserve(capacity); }
+  // field) so encoding never reallocates mid-message. Growth beyond the
+  // inline capacity is served from the arena free lists (wire.cpp), so a
+  // steady state of encode -> deliver -> arena::recycle(payload) never
+  // touches the heap.
+  void reserve(std::size_t capacity);
 
   void varint(std::uint64_t value);
   void tag(std::uint32_t field, WireType type);

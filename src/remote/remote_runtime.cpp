@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/arena.h"
 #include "common/log.h"
 #include "fault/injector.h"
 #include "proto/wire.h"
@@ -403,6 +404,10 @@ class RemoteQueue final : public ocl::CommandQueue {
     }
     sent = context_->connection().send(proto::Method::kWriteData, op_id,
                                        encode(payload), session.clock());
+    // The owned buffer was serialized into the frame (gRPC path) or moved
+    // into the shm slot; whatever heap block is still here goes back to
+    // the pool for the next request's payload.
+    arena::recycle(std::move(payload.data));
     if (!sent.ok()) return sent;
     event->mark_buffer_staged();
     dirty_ = true;
@@ -609,11 +614,18 @@ void RemoteContext::pump_loop() {
     // stamps ride in the frames themselves, so the modeled results are
     // unchanged — only the pump's processing order is shaken.
     if (fault::should_fire(fault::site::kRemotePumpReorder)) {
-      if (auto next = connection_->notifications().try_pop()) {
-        process_notification(*next);
+      // Closed-aware try_pop: on a closed-and-drained queue this stops
+      // immediately instead of treating "no item" as "try again later".
+      if (auto next = connection_->notifications().try_pop();
+          next.has_item()) {
+        process_notification(*next.item);
+        arena::recycle(std::move(next.item->payload));
       }
     }
     process_notification(*frame);
+    // The pump retires every notification frame: recycle its payload so the
+    // server's next completion of this size class skips the heap.
+    arena::recycle(std::move(frame->payload));
   }
   fail_pending(Unavailable("connection to device manager lost"));
 }

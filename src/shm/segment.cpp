@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/arena.h"
 #include "fault/injector.h"
 
 namespace bf::shm {
@@ -192,7 +193,17 @@ Result<std::int64_t> Segment::allocate_locked(std::uint64_t size, bool zero) {
       std::fill_n(slot.storage.begin(), size, std::uint8_t{0});
     }
   } else {
-    slot.storage = Bytes(size);  // fresh buffers start zeroed either way
+    // Spare-cache miss: fall back to the process-wide arena before the
+    // heap. Pooled buffers carry stale contents, so the zero=true path
+    // (manager-side read slots — sim::DeviceMemory materializes lazily and
+    // skips the copy-out for never-written buffers) must zero explicitly;
+    // the zero=false path is fully overwritten by the caller's copy.
+    slot.storage = arena::acquire(size);
+    if (zero) {
+      slot.storage.resize(size);  // zero-fills from empty
+    } else {
+      slot.storage.resize_for_overwrite(size);
+    }
   }
   const std::int64_t id = next_slot_++;
   slots_.emplace(id, std::move(slot));
@@ -220,7 +231,10 @@ void Segment::recycle_locked(Bytes storage) {
   const std::uint64_t bytes = storage.capacity();
   if (bytes == 0 || spare_.size() >= kMaxSpareBuffers ||
       spare_bytes_ + bytes > kMaxSpareBytes) {
-    return;  // let it free
+    // Doesn't fit the per-segment cache: offer it to the process-wide
+    // arena (which enforces its own size bounds) instead of freeing.
+    arena::recycle(std::move(storage));
+    return;
   }
   spare_bytes_ += bytes;
   spare_.push_back(std::move(storage));

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "trace/span.h"
 #include "vt/time.h"
@@ -94,7 +95,9 @@ class TraceBuilder {
 
   const std::uint64_t seed_;
   mutable std::mutex mutex_;
-  std::vector<Span> spans_;
+  // Chunked append-only storage: record() under load never reallocates the
+  // whole history (a vector would move every span's strings on growth).
+  arena::Slab<Span> spans_;
 };
 
 // Escapes a string for embedding in a JSON literal (exposed for tests).

@@ -91,7 +91,7 @@ TEST(BlockingQueue, FifoOrder) {
 
 TEST(BlockingQueue, TryPopOnEmpty) {
   BlockingQueue<int> queue;
-  EXPECT_FALSE(queue.try_pop().has_value());
+  EXPECT_FALSE(queue.try_pop().has_item());
 }
 
 TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {

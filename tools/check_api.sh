@@ -18,7 +18,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 
 # Predicate-style names allowed to return bool.
 allow_prefixes='is_|has_|should_|can_'
-allow_names='ok|empty|closed|valid|cold|functional|complete|terminal|enabled|armed|triggered|at_end|push|apply|wait_safe|accepting|dirty|operator|compatible_accelerator|compatible_hardware|redistributable_locked'
+allow_names='ok|empty|closed|valid|cold|functional|complete|terminal|enabled|armed|triggered|at_end|push|try_push|push_batch|apply|wait_safe|accepting|dirty|operator|compatible_accelerator|compatible_hardware|redistributable_locked'
 
 status=0
 while IFS=: read -r file line decl; do
@@ -91,5 +91,44 @@ done < <(grep -rnE "$scheduler_re" "$repo/src" \
 
 if [ "$status" -eq 0 ]; then
   echo "check_api: scheduler construction/pops are confined to src/devmgr/."
+fi
+
+# Hot-path memory discipline (docs/PERFORMANCE.md): payload bytes on the
+# per-request data plane live in bf::Bytes — small-buffer-optimized and
+# recyclable through bf::arena's size-class free lists — never in raw byte
+# containers or raw heap blocks. A std::vector<std::byte> (or malloc'd
+# block) can't be handed back to the arena, so every frame/op that touches
+# it pays a fresh allocation; the hotpath_test zero-alloc assertions only
+# hold because nothing on the path spells its own buffer. Only
+# common/bytes.h and common/arena.h may.
+hot_alloc_re='std::vector<[[:space:]]*(std::byte|char|unsigned char|std::uint8_t|uint8_t)[[:space:]]*>|new[[:space:]]+(std::byte|char|unsigned[[:space:]]+char)[[:space:]]*\[|\b(malloc|calloc|realloc)[[:space:]]*\('
+while IFS=: read -r file line text; do
+  case "$file" in
+    "$repo/src/common/bytes.h"|"$repo/src/common/arena.h") continue ;;
+  esac
+  echo "check_api: $file:$line: raw byte-buffer allocation on a data-plane" \
+       "module — stage payloads in bf::Bytes via bf::arena::acquire" >&2
+  status=1
+done < <(grep -rnE "$hot_alloc_re" "$repo/src" \
+           --include='*.cpp' --include='*.h' || true)
+
+if [ "$status" -eq 0 ]; then
+  echo "check_api: payload buffers are bf::Bytes everywhere in src/."
+fi
+
+# The two stream queues with exactly one consumer (the manager's inbox
+# dispatcher, the client's notification pump) must stay on SpscQueue.
+# Reintroducing BlockingQueue<Frame> there silently restores the
+# mutex+deque hot path and per-item wakeups that the batched-notify work
+# removed. BlockingQueue remains the right tool for genuinely MPMC queues.
+while IFS=: read -r file line text; do
+  echo "check_api: $file:$line: BlockingQueue<Frame> on a single-consumer" \
+       "stream — use SpscQueue (common/spsc_ring.h)" >&2
+  status=1
+done < <(grep -rnE 'BlockingQueue<[[:space:]]*(net::)?Frame\b' "$repo/src" \
+           --include='*.cpp' --include='*.h' || true)
+
+if [ "$status" -eq 0 ]; then
+  echo "check_api: single-consumer frame streams are on SpscQueue."
 fi
 exit "$status"
